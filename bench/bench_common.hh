@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches.
+ *
+ * Every bench accepts the same scale flags: the defaults regenerate the
+ * figure in seconds at reduced scale; --layouts 100 --instructions
+ * 1000000 (and up) approach the paper's scale. --csv writes the
+ * machine-readable series next to the printed table.
+ */
+
+#ifndef INTERF_BENCH_COMMON_HH
+#define INTERF_BENCH_COMMON_HH
+
+#include <string>
+
+#include "interferometry/campaign.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+namespace interf::bench
+{
+
+/** Scale parameters shared by all benches. */
+struct Scale
+{
+    u32 layouts = 40;
+    u64 instructions = 300000;
+    std::string csvPath;
+    std::string only; ///< Restrict to benchmarks containing this text.
+};
+
+/** Register the shared flags on a parser. */
+inline void
+addScaleOptions(OptionParser &opts, u32 default_layouts = 40,
+                u64 default_insts = 300000)
+{
+    opts.addInt("layouts", default_layouts,
+                "code reorderings per benchmark (paper: 100)");
+    opts.addInt("instructions", static_cast<i64>(default_insts),
+                "dynamic instructions per run (paper: billions)");
+    opts.addString("csv", "", "also write results to this CSV file");
+    opts.addString("only", "",
+                   "restrict to benchmarks whose name contains this");
+}
+
+/** Read the shared flags back. */
+inline Scale
+readScale(const OptionParser &opts)
+{
+    Scale s;
+    s.layouts = static_cast<u32>(opts.getInt("layouts"));
+    s.instructions = static_cast<u64>(opts.getInt("instructions"));
+    s.csvPath = opts.getString("csv");
+    s.only = opts.getString("only");
+    if (s.layouts < 1)
+        fatal("--layouts must be >= 1");
+    if (s.instructions < 10000)
+        fatal("--instructions must be >= 10000");
+    return s;
+}
+
+/** Campaign configuration at the requested scale. */
+inline interferometry::CampaignConfig
+campaignConfig(const Scale &scale)
+{
+    interferometry::CampaignConfig cfg;
+    cfg.instructionBudget = scale.instructions;
+    cfg.initialLayouts = scale.layouts;
+    cfg.maxLayouts = scale.layouts;
+    return cfg;
+}
+
+/** Should this benchmark run under the --only filter? */
+inline bool
+selected(const Scale &scale, const std::string &name)
+{
+    return scale.only.empty() ||
+           name.find(scale.only) != std::string::npos;
+}
+
+} // namespace interf::bench
+
+#endif // INTERF_BENCH_COMMON_HH

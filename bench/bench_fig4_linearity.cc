@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 4: percent error when estimating perfect and L-TAGE CPI by
+ * linear extrapolation from 145 imperfect predictor configurations.
+ *
+ * "MASE simulates 145 different branch predictor configurations with
+ * varying accuracies, as well as a perfect branch predictor. ... The
+ * average percent difference was 1.32%. The two worst benchmarks ...
+ * show ... 6.0% and 7.5% ... For most benchmarks, L-TAGE ... the
+ * average error is less than 0.3%, and the highest error is less than
+ * 1%."
+ *
+ * Our cycle-level model plays MASE's role: only the predictor varies
+ * between runs (the single-variable property is tested in
+ * tests/test_timing.cc).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "bpred/factory.hh"
+#include "stats/regression.hh"
+#include "util/table.hh"
+#include "workloads/spec.hh"
+
+using namespace interf;
+using namespace interf::interferometry;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("bench_fig4_linearity",
+                      "Figure 4: linear-extrapolation error to perfect "
+                      "and L-TAGE CPI over a 145-predictor sweep");
+    bench::addScaleOptions(opts, 1, 200000);
+    opts.addInt("step", 1,
+                "use every Nth sweep configuration (1 = all 145)");
+    opts.parse(argc, argv);
+    auto scale = bench::readScale(opts);
+    u32 step = static_cast<u32>(opts.getInt("step"));
+
+    auto sweep = bpred::sweepSpecs();
+    std::cout << "Figure 4: estimating perfect and L-TAGE CPI from "
+              << (sweep.size() + step - 1) / step
+              << " imperfect predictors (simulated machine sweep)\n\n";
+
+    struct Row
+    {
+        std::string name;
+        double perfectErr;
+        double ltageErr;
+        double r2;
+    };
+    std::vector<Row> rows;
+
+    for (const auto &entry : workloads::specSuite()) {
+        const auto &name = entry.profile.name;
+        if (!bench::selected(scale, name))
+            continue;
+        Campaign camp(entry.profile, bench::campaignConfig(scale));
+        auto code = camp.codeLayoutFor(0);
+        auto heap = camp.heapLayoutFor(0);
+
+        std::vector<double> mpki, cpi;
+        for (size_t i = 0; i < sweep.size(); i += step) {
+            core::Machine machine(
+                core::MachineConfig::xeonE5440().withPredictor(
+                    sweep[i]));
+            auto r = machine.run(camp.program(), camp.trace(), code,
+                                 heap);
+            mpki.push_back(r.mpki());
+            cpi.push_back(r.cpi());
+        }
+        stats::LinearFit fit(mpki, cpi);
+
+        core::Machine perfect(
+            core::MachineConfig::xeonE5440().withPredictor("perfect"));
+        auto pr = perfect.run(camp.program(), camp.trace(), code, heap);
+        core::Machine ltage(
+            core::MachineConfig::xeonE5440().withPredictor("ltage"));
+        auto lr = ltage.run(camp.program(), camp.trace(), code, heap);
+
+        Row row;
+        row.name = name;
+        row.perfectErr =
+            100.0 * (fit.predict(0.0) - pr.cpi()) / pr.cpi();
+        row.ltageErr =
+            100.0 * (fit.predict(lr.mpki()) - lr.cpi()) / lr.cpi();
+        row.r2 = fit.r2();
+        rows.push_back(row);
+    }
+
+    // The paper orders benchmarks from lowest to highest perfect-error.
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return std::fabs(a.perfectErr) < std::fabs(b.perfectErr);
+    });
+
+    TableWriter table;
+    table.addColumn("Benchmark", Align::Left);
+    table.addColumn("perfect err%");
+    table.addColumn("L-TAGE err%");
+    table.addColumn("sweep r2");
+    double sum_p = 0, sum_l = 0, max_p = 0, max_l = 0;
+    for (const auto &row : rows) {
+        table.beginRow();
+        table.cell(row.name);
+        table.cell(row.perfectErr, "%+.2f");
+        table.cell(row.ltageErr, "%+.2f");
+        table.cell(row.r2, "%.3f");
+        sum_p += std::fabs(row.perfectErr);
+        sum_l += std::fabs(row.ltageErr);
+        max_p = std::max(max_p, std::fabs(row.perfectErr));
+        max_l = std::max(max_l, std::fabs(row.ltageErr));
+    }
+    table.print(std::cout);
+    std::cout << "\naverage |error|: perfect "
+              << strprintf("%.2f%%", sum_p / rows.size()) << ", L-TAGE "
+              << strprintf("%.2f%%", sum_l / rows.size())
+              << "   (paper: 1.32% and <0.3%)\n";
+    std::cout << "worst |error|:   perfect "
+              << strprintf("%.2f%%", max_p) << ", L-TAGE "
+              << strprintf("%.2f%%", max_l)
+              << "   (paper: 7.5% and <1%)\n";
+
+    if (!scale.csvPath.empty()) {
+        TableWriter csv;
+        csv.addColumn("benchmark", Align::Left);
+        csv.addColumn("perfect_err_pct");
+        csv.addColumn("ltage_err_pct");
+        csv.addColumn("sweep_r2");
+        for (const auto &row : rows) {
+            csv.beginRow();
+            csv.cell(row.name);
+            csv.cell(row.perfectErr, "%.4f");
+            csv.cell(row.ltageErr, "%.4f");
+            csv.cell(row.r2, "%.4f");
+        }
+        csv.writeCsv(scale.csvPath);
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the
+ * pieces the experiment harnesses hammer — predictor lookups, cache
+ * accesses, trace generation, linking, and a full timing run — so
+ * performance regressions in the substrate are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/factory.hh"
+#include "cache/cache.hh"
+#include "core/timing.hh"
+#include "layout/heap.hh"
+#include "layout/linker.hh"
+#include "trace/generator.hh"
+#include "util/random.hh"
+#include "workloads/builder.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace interf;
+
+void
+BM_PredictorLookup(benchmark::State &state, const char *spec)
+{
+    auto pred = bpred::makePredictor(spec);
+    Rng rng(1);
+    std::vector<Addr> pcs;
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 4096; ++i) {
+        pcs.push_back(0x400000 + (rng.next() & 0xffff));
+        outcomes.push_back(rng.bernoulli(0.7));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pred->predictAndTrain(pcs[i & 4095], outcomes[i & 4095]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_PredictorLookup, bimodal, "bimodal:2048");
+BENCHMARK_CAPTURE(BM_PredictorLookup, gshare, "gshare:8192:12");
+BENCHMARK_CAPTURE(BM_PredictorLookup, xeon_hybrid, "xeon");
+BENCHMARK_CAPTURE(BM_PredictorLookup, ltage, "ltage");
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache cache({"bm", 32 << 10, 8, 64});
+    Rng rng(2);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.next() & 0xfffff);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i & 4095]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto prog = workloads::buildProgram(
+        workloads::defaultProfile("bm"));
+    u64 insts = 0;
+    for (auto _ : state) {
+        trace::TraceGenerator gen(prog, 7);
+        auto trace = gen.makeTrace(100000);
+        insts += trace.instCount;
+        benchmark::DoNotOptimize(trace.events.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_Link(benchmark::State &state)
+{
+    auto prog = workloads::buildProgram(
+        workloads::specFor("403.gcc").profile);
+    layout::Linker linker;
+    u64 seed = 0;
+    for (auto _ : state) {
+        auto layout =
+            linker.link(prog, layout::LayoutKey{seed++, true, true});
+        benchmark::DoNotOptimize(layout.textSize());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Link);
+
+void
+BM_TimingRun(benchmark::State &state)
+{
+    auto prog = workloads::buildProgram(
+        workloads::defaultProfile("bm"));
+    trace::TraceGenerator gen(prog, 7);
+    auto trace = gen.makeTrace(100000);
+    layout::Linker linker;
+    auto code = linker.link(prog, layout::LayoutKey{1, true, true});
+    layout::HeapLayout heap(prog, layout::HeapKey::deterministic());
+    core::Machine machine(core::MachineConfig::xeonE5440());
+    u64 insts = 0;
+    for (auto _ : state) {
+        auto res = machine.run(prog, trace, code, heap);
+        insts += res.instructions;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_TimingRun)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

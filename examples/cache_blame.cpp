@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cache blame: using heap randomization (the DieHard-style allocator)
+ * together with code reordering to attribute performance variance to
+ * the memory hierarchy — the Section 1.3 / Figure 3 workflow, and a
+ * preview of the paper's "future work" on modeling caches.
+ *
+ * For each benchmark we run two campaigns over the same code layouts:
+ * one with deterministic heap placement, one with randomized placement,
+ * and compare (a) how much CPI variance appears and (b) how blame
+ * splits between branch prediction and the caches.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "interferometry/campaign.hh"
+#include "util/logging.hh"
+#include "interferometry/model.hh"
+#include "stats/descriptive.hh"
+#include "util/table.hh"
+#include "workloads/spec.hh"
+
+using namespace interf;
+using namespace interf::interferometry;
+
+int
+main(int argc, char **argv)
+{
+    u32 layouts = argc > 1 ? std::atoi(argv[1]) : 24;
+    std::vector<std::string> benchmarks{"454.calculix", "429.mcf",
+                                        "471.omnetpp", "456.hmmer"};
+
+    std::cout << "Cache blame under heap randomization (" << layouts
+              << " layouts per campaign)\n\n";
+
+    TableWriter table;
+    table.addColumn("Benchmark", Align::Left);
+    table.addColumn("heap", Align::Left);
+    table.addColumn("CPI sd%");
+    table.addColumn("branch r2");
+    table.addColumn("L1D r2");
+    table.addColumn("L2 r2");
+
+    for (const auto &name : benchmarks) {
+        for (bool randomize : {false, true}) {
+            CampaignConfig cfg;
+            cfg.instructionBudget = 300000;
+            cfg.initialLayouts = layouts;
+            cfg.maxLayouts = layouts;
+            cfg.randomizeHeap = randomize;
+            Campaign camp(workloads::specFor(name).profile, cfg);
+            auto samples = camp.measureLayouts(0, layouts);
+
+            auto cpi = column(samples, &core::Measurement::cpi);
+            auto mpki = column(samples, &core::Measurement::mpki);
+            auto l1d = column(samples, &core::Measurement::l1dMpki);
+            auto l2 = column(samples, &core::Measurement::l2Mpki);
+            double sd_pct = 100.0 * stats::sampleStdDev(cpi) /
+                            stats::mean(cpi);
+
+            stats::LinearFit branch(mpki, cpi);
+            stats::LinearFit fit_l1d(l1d, cpi);
+            stats::LinearFit fit_l2(l2, cpi);
+
+            table.beginRow();
+            table.cell(name);
+            table.cell(std::string(randomize ? "randomized"
+                                             : "deterministic"));
+            table.cell(sd_pct, "%.3f");
+            table.cell(branch.r2(), "%.3f");
+            table.cell(fit_l1d.r2(), "%.3f");
+            table.cell(fit_l2.r2(), "%.3f");
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nReading the table: with the deterministic "
+                 "allocator, data addresses never move, so L1D/L2 "
+                 "blame comes only from code-side traffic; the "
+                 "randomized allocator adds data-placement variance, "
+                 "raising total CPI variance and shifting blame toward "
+                 "the caches (Figure 3's premise).\n";
+    return 0;
+}

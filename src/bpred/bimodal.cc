@@ -1,0 +1,49 @@
+#include "bpred/bimodal.hh"
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+BimodalPredictor::BimodalPredictor(u32 entries)
+    : table_(entries, 2), mask_(entries - 1)
+{
+    INTERF_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0);
+}
+
+u32
+BimodalPredictor::indexFor(Addr pc) const
+{
+    // x86 branch addresses are byte-aligned; use the low bits directly,
+    // mixed slightly so adjacent branches spread across the table.
+    return static_cast<u32>(pc ^ (pc >> 16)) & mask_;
+}
+
+bool
+BimodalPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    u8 &ctr = table_[indexFor(pc)];
+    bool prediction = counter2::predict(ctr);
+    ctr = counter2::update(ctr, taken);
+    return prediction;
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), u8{2});
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return strprintf("bimodal-%ue", mask_ + 1);
+}
+
+u64
+BimodalPredictor::sizeBits() const
+{
+    return static_cast<u64>(mask_ + 1) * 2;
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bimodal branch predictor (Smith 1981): a PC-indexed table of 2-bit
+ * saturating counters. Half of the paper's reverse-engineered Intel
+ * hybrid, and the simplest point in the 145-configuration sweep.
+ */
+
+#ifndef INTERF_BPRED_BIMODAL_HH
+#define INTERF_BPRED_BIMODAL_HH
+
+#include <vector>
+
+#include "bpred/predictor.hh"
+
+namespace interf::bpred
+{
+
+/** PC-indexed 2-bit-counter predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param entries Table entries; must be a power of two. */
+    explicit BimodalPredictor(u32 entries);
+
+    bool predictAndTrain(Addr pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    u64 sizeBits() const override;
+
+    /** Table index used for a PC (exposed for tests). */
+    u32 indexFor(Addr pc) const;
+
+  private:
+    std::vector<u8> table_;
+    u32 mask_;
+};
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_BIMODAL_HH

@@ -1,0 +1,79 @@
+#include "bpred/btb.hh"
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+Btb::Btb(u32 sets, u32 ways) : sets_(sets), ways_(ways)
+{
+    INTERF_ASSERT(sets >= 1 && (sets & (sets - 1)) == 0);
+    INTERF_ASSERT(ways >= 1);
+    entries_.resize(static_cast<size_t>(sets) * ways);
+}
+
+u32
+Btb::setIndex(Addr pc) const
+{
+    return static_cast<u32>(pc ^ (pc >> 13)) & (sets_ - 1);
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return pc; // full tags: conflicts come from the set index only
+}
+
+BtbResult
+Btb::lookup(Addr pc) const
+{
+    const Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].tag == tagOf(pc))
+            return {true, row[w].target};
+    }
+    return {};
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];
+    ++lruClock_;
+    // Hit: refresh.
+    for (u32 w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].tag == tagOf(pc)) {
+            row[w].target = target;
+            row[w].lru = lruClock_;
+            return;
+        }
+    }
+    // Miss: replace invalid or LRU way.
+    u32 victim = 0;
+    for (u32 w = 0; w < ways_; ++w) {
+        if (!row[w].valid) {
+            victim = w;
+            break;
+        }
+        if (row[w].lru < row[victim].lru)
+            victim = w;
+    }
+    row[victim] = {true, tagOf(pc), target, lruClock_};
+}
+
+void
+Btb::reset()
+{
+    std::fill(entries_.begin(), entries_.end(), Entry());
+    lruClock_ = 0;
+}
+
+u64
+Btb::sizeBits() const
+{
+    // Tag (approx. 20 bits stored in real designs) + target (32 offset
+    // bits) per entry, as a rough budget figure.
+    return static_cast<u64>(sets_) * ways_ * (20 + 32);
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,200 @@
+#include "bpred/factory.hh"
+
+#include <bit>
+#include <cstdlib>
+
+#include "bpred/bimodal.hh"
+#include "bpred/hybrid.hh"
+#include "bpred/ltage.hh"
+#include "bpred/perceptron.hh"
+#include "bpred/perfect.hh"
+#include "bpred/twolevel.hh"
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitSpec(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    for (;;) {
+        size_t colon = spec.find(':', start);
+        if (colon == std::string::npos) {
+            parts.push_back(spec.substr(start));
+            return parts;
+        }
+        parts.push_back(spec.substr(start, colon - start));
+        start = colon + 1;
+    }
+}
+
+u32
+parseU32(const std::string &text, const std::string &spec)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0' || v == 0)
+        fatal("bad number '%s' in predictor spec '%s'", text.c_str(),
+              spec.c_str());
+    return static_cast<u32>(v);
+}
+
+/** 2-bit-counter table: entries = 4 * bytes. */
+u32
+entriesFromBytes(u32 bytes, const std::string &spec)
+{
+    u32 entries = bytes * 4;
+    if ((entries & (entries - 1)) != 0)
+        fatal("predictor spec '%s': %u bytes is not a power of two",
+              spec.c_str(), bytes);
+    return entries;
+}
+
+} // anonymous namespace
+
+PredictorPtr
+makePredictor(const std::string &spec)
+{
+    auto parts = splitSpec(spec);
+    const std::string &kind = parts[0];
+
+    if (kind == "perfect") {
+        if (parts.size() != 1)
+            fatal("predictor spec '%s': perfect takes no arguments",
+                  spec.c_str());
+        return std::make_unique<PerfectPredictor>();
+    }
+    if (kind == "ltage") {
+        if (parts.size() != 1)
+            fatal("predictor spec '%s': ltage takes no arguments",
+                  spec.c_str());
+        return std::make_unique<LtagePredictor>();
+    }
+    if (kind == "xeon") {
+        // The reverse-engineered Xeon E5440 model: a hybrid of a GAs
+        // component and a bimodal component (Section 5.4).
+        if (parts.size() != 1)
+            fatal("predictor spec '%s': xeon takes no arguments",
+                  spec.c_str());
+        return std::make_unique<HybridPredictor>(1024, 10, 2048, 2048,
+                                                 TwoLevelScheme::Gshare);
+    }
+    if (kind == "perceptron") {
+        if (parts.size() != 3)
+            fatal("predictor spec '%s': want perceptron:<rows>:<history>",
+                  spec.c_str());
+        PerceptronConfig cfg;
+        cfg.rows = parseU32(parts[1], spec);
+        cfg.historyBits = parseU32(parts[2], spec);
+        if ((cfg.rows & (cfg.rows - 1)) != 0)
+            fatal("predictor spec '%s': rows must be a power of two",
+                  spec.c_str());
+        if (cfg.historyBits > 64)
+            fatal("predictor spec '%s': history too long", spec.c_str());
+        return std::make_unique<PerceptronPredictor>(cfg);
+    }
+    if (kind == "bimodal") {
+        if (parts.size() != 2)
+            fatal("predictor spec '%s': want bimodal:<bytes>",
+                  spec.c_str());
+        return std::make_unique<BimodalPredictor>(
+            entriesFromBytes(parseU32(parts[1], spec), spec));
+    }
+    if (kind == "gas" || kind == "gshare") {
+        if (parts.size() != 3)
+            fatal("predictor spec '%s': want %s:<bytes>:<history>",
+                  spec.c_str(), kind.c_str());
+        u32 entries = entriesFromBytes(parseU32(parts[1], spec), spec);
+        u32 hist = parseU32(parts[2], spec);
+        auto scheme = kind == "gas" ? TwoLevelScheme::GAs
+                                    : TwoLevelScheme::Gshare;
+        u32 index_bits = static_cast<u32>(std::countr_zero(entries));
+        if ((scheme == TwoLevelScheme::GAs && hist >= index_bits) ||
+            hist > index_bits)
+            fatal("predictor spec '%s': history %u too long for %u "
+                  "entries", spec.c_str(), hist, entries);
+        return std::make_unique<TwoLevelPredictor>(scheme, entries, hist);
+    }
+    if (kind == "hybrid") {
+        if (parts.size() != 5)
+            fatal("predictor spec '%s': want hybrid:<gas-bytes>:"
+                  "<history>:<bimodal-bytes>:<chooser-bytes>",
+                  spec.c_str());
+        u32 gas_entries = entriesFromBytes(parseU32(parts[1], spec), spec);
+        u32 hist = parseU32(parts[2], spec);
+        u32 bim_entries = entriesFromBytes(parseU32(parts[3], spec), spec);
+        u32 cho_entries = entriesFromBytes(parseU32(parts[4], spec), spec);
+        u32 index_bits = static_cast<u32>(std::countr_zero(gas_entries));
+        if (hist >= index_bits)
+            fatal("predictor spec '%s': history %u too long for %u "
+                  "entries", spec.c_str(), hist, gas_entries);
+        return std::make_unique<HybridPredictor>(gas_entries, hist,
+                                                 bim_entries, cho_entries);
+    }
+    fatal("unknown predictor kind '%s' in spec '%s'", kind.c_str(),
+          spec.c_str());
+}
+
+std::vector<std::string>
+figureCandidateSpecs()
+{
+    return {
+        "gas:2048:10",  // 2 KB GAs
+        "gas:4096:10",  // 4 KB
+        "gas:8192:10",  // 8 KB
+        "gas:16384:10", // 16 KB
+        "ltage",
+    };
+}
+
+std::vector<std::string>
+sweepSpecs()
+{
+    std::vector<std::string> all;
+
+    // Bimodal sizes from tiny to large.
+    for (u32 bytes : {256u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u,
+                      32768u, 65536u})
+        all.push_back(strprintf("bimodal:%u", bytes));
+
+    // GAs and gshare across sizes and history lengths.
+    for (u32 bytes : {256u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+        u32 index_bits =
+            static_cast<u32>(std::countr_zero(bytes * 4));
+        for (u32 hist = 2; hist <= 12; ++hist) {
+            if (hist < index_bits)
+                all.push_back(strprintf("gas:%u:%u", bytes, hist));
+            if (hist <= index_bits)
+                all.push_back(strprintf("gshare:%u:%u", bytes, hist));
+        }
+    }
+
+    // Hybrids.
+    for (u32 bytes : {512u, 1024u, 2048u, 4096u, 8192u, 16384u})
+        for (u32 hist : {4u, 8u})
+            all.push_back(strprintf("hybrid:%u:%u:%u:%u", bytes, hist,
+                                    bytes / 4, bytes / 4));
+
+    // The paper's MASE study uses exactly 145 imperfect configurations;
+    // thin the list evenly to that count.
+    constexpr size_t target = 145;
+    INTERF_ASSERT(all.size() >= target);
+    if (all.size() == target)
+        return all;
+    std::vector<std::string> picked;
+    picked.reserve(target);
+    double stride = static_cast<double>(all.size()) / target;
+    double pos = 0.0;
+    for (size_t i = 0; i < target; ++i) {
+        picked.push_back(all[static_cast<size_t>(pos)]);
+        pos += stride;
+    }
+    return picked;
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Predictor construction from spec strings, plus the standard sets the
+ * benches use: the Figure 7/8 candidate list (GAs 2-16 KB, L-TAGE,
+ * perfect) and the 145-configuration sweep the paper runs under MASE to
+ * validate linearity (Section 3.2).
+ *
+ * Spec grammar (sizes are prediction-table bytes; 2-bit counters, so
+ * entries = 4 * bytes):
+ *   "perfect"
+ *   "bimodal:<bytes>"
+ *   "gas:<bytes>:<history-bits>"
+ *   "gshare:<bytes>:<history-bits>"
+ *   "hybrid:<gas-bytes>:<history-bits>:<bimodal-bytes>:<chooser-bytes>"
+ *   "perceptron:<rows>:<history-bits>"
+ *   "ltage"
+ *   "xeon"          (the reverse-engineered real-machine hybrid)
+ */
+
+#ifndef INTERF_BPRED_FACTORY_HH
+#define INTERF_BPRED_FACTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hh"
+
+namespace interf::bpred
+{
+
+/** Build a predictor from a spec string; fatal() on a malformed spec. */
+PredictorPtr makePredictor(const std::string &spec);
+
+/**
+ * The candidate list of Figures 7 and 8: GAs at 2, 4, 8 and 16 KB and
+ * L-TAGE. ("perfect" is handled separately since its MPKI is zero by
+ * definition.)
+ */
+std::vector<std::string> figureCandidateSpecs();
+
+/**
+ * The 145 imperfect predictor configurations used to demonstrate
+ * CPI-MPKI linearity: bimodal, GAs, gshare and hybrid designs spanning
+ * a wide accuracy range.
+ */
+std::vector<std::string> sweepSpecs();
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_FACTORY_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Global branch history registers, plain and folded.
+ *
+ * Two-level predictors index their tables with recent branch outcomes;
+ * TAGE needs the same history *folded* down to index/tag widths via
+ * circular-shift registers so very long histories stay cheap to hash.
+ */
+
+#ifndef INTERF_BPRED_HISTORY_HH
+#define INTERF_BPRED_HISTORY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf::bpred
+{
+
+/** Simple shift-register global history (newest outcome in bit 0). */
+class GlobalHistory
+{
+  public:
+    explicit GlobalHistory(u32 bits = 64);
+
+    /** Shift in one outcome. */
+    void push(bool taken);
+
+    /** The low `bits` history bits (bits <= width). */
+    u64 low(u32 bits) const;
+
+    /** Full register value. */
+    u64 value() const { return value_; }
+
+    /** Reset to all-zero history. */
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+    u32 width_;
+};
+
+/**
+ * A folded (compressed) history register as used by TAGE: maintains
+ * hash = history[0..origLen) folded by XOR into `foldedLen` bits,
+ * updated incrementally in O(1) per branch.
+ *
+ * Requires the cooperating caller to keep a byte ring of the full
+ * history so the outgoing bit is known (see LongHistory).
+ */
+class FoldedHistory
+{
+  public:
+    FoldedHistory() = default;
+
+    /** Configure for folding origLen bits down to foldedLen bits. */
+    void configure(u32 orig_len, u32 folded_len);
+
+    /** Update with the newest bit entering and the oldest leaving. */
+    void update(bool new_bit, bool old_bit);
+
+    /** Current folded value. */
+    u32 value() const { return value_; }
+
+    void reset() { value_ = 0; }
+
+  private:
+    u32 value_ = 0;
+    u32 origLen_ = 0;
+    u32 foldedLen_ = 0;
+    u32 outPoint_ = 0;
+};
+
+/**
+ * Arbitrarily long global history kept as a byte ring, with helpers to
+ * read the bit that is about to fall out of any window length.
+ */
+class LongHistory
+{
+  public:
+    explicit LongHistory(u32 capacity = 1024);
+
+    /** Shift in one outcome. */
+    void push(bool taken);
+
+    /** The outcome i branches ago (i = 0 is the most recent). */
+    bool bitAt(u32 i) const;
+
+    void reset();
+
+  private:
+    std::vector<u8> ring_;
+    u32 head_ = 0; ///< Position of the most recent bit.
+    u32 capacity_;
+};
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_HISTORY_HH

@@ -1,0 +1,61 @@
+#include "bpred/hybrid.hh"
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+HybridPredictor::HybridPredictor(u32 gas_entries, u32 gas_history,
+                                 u32 bimodal_entries, u32 chooser_entries,
+                                 TwoLevelScheme scheme)
+    : gas_(scheme, gas_entries, gas_history),
+      bimodal_(bimodal_entries),
+      chooser_(chooser_entries, 2),
+      chooserMask_(chooser_entries - 1)
+{
+    INTERF_ASSERT(chooser_entries >= 2 &&
+                  (chooser_entries & (chooser_entries - 1)) == 0);
+}
+
+bool
+HybridPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    u8 &choose = chooser_[static_cast<u32>(pc ^ (pc >> 16)) & chooserMask_];
+    bool use_gas = choose >= 2;
+
+    // Train both components; each returns its own pre-update guess.
+    bool gas_pred = gas_.predictAndTrain(pc, taken);
+    bool bim_pred = bimodal_.predictAndTrain(pc, taken);
+    bool prediction = use_gas ? gas_pred : bim_pred;
+
+    // Train the chooser only when the components disagree.
+    if (gas_pred != bim_pred) {
+        bool gas_correct = gas_pred == taken;
+        choose = counter2::update(choose, gas_correct);
+    }
+    return prediction;
+}
+
+void
+HybridPredictor::reset()
+{
+    gas_.reset();
+    bimodal_.reset();
+    std::fill(chooser_.begin(), chooser_.end(), u8{2});
+}
+
+std::string
+HybridPredictor::name() const
+{
+    return strprintf("hybrid(%s+%s)", gas_.name().c_str(),
+                     bimodal_.name().c_str());
+}
+
+u64
+HybridPredictor::sizeBits() const
+{
+    return gas_.sizeBits() + bimodal_.sizeBits() +
+           static_cast<u64>(chooserMask_ + 1) * 2;
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hybrid predictor: GAs + bimodal with a chooser (Evers/Chang/Patt
+ * style). Section 5.4 of the paper: "The branch predictor of the Intel
+ * Xeon E5440 is not documented, but through reverse-engineering
+ * experiments we have determined that it is likely to contain a hybrid
+ * of a GAs-style branch predictor and a bimodal branch predictor."
+ * This is the model the machine timing simulator uses as the "real"
+ * predictor.
+ */
+
+#ifndef INTERF_BPRED_HYBRID_HH
+#define INTERF_BPRED_HYBRID_HH
+
+#include <vector>
+
+#include "bpred/bimodal.hh"
+#include "bpred/twolevel.hh"
+
+namespace interf::bpred
+{
+
+/** Chooser-based hybrid of a GAs component and a bimodal component. */
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param gas_entries Global-component PHT entries (power of two).
+     * @param gas_history Global history bits.
+     * @param bimodal_entries Bimodal table entries (power of two).
+     * @param chooser_entries Chooser table entries (power of two).
+     * @param scheme Indexing of the global component. GAs concatenates
+     *        address and history bits; Gshare hashes them together,
+     *        which is what the Core-2-era hardware most plausibly does
+     *        (concatenation would leave too few address bits).
+     */
+    HybridPredictor(u32 gas_entries, u32 gas_history, u32 bimodal_entries,
+                    u32 chooser_entries,
+                    TwoLevelScheme scheme = TwoLevelScheme::GAs);
+
+    bool predictAndTrain(Addr pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    u64 sizeBits() const override;
+
+  private:
+    TwoLevelPredictor gas_;
+    BimodalPredictor bimodal_;
+    std::vector<u8> chooser_; ///< 2-bit: >=2 selects the GAs component.
+    u32 chooserMask_;
+};
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_HYBRID_HH

@@ -1,0 +1,360 @@
+#include "bpred/ltage.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+LtagePredictor::LtagePredictor(LtageConfig config)
+    : cfg_(config), history_(config.maxHistory + 8), allocRng_(0xdead)
+{
+    INTERF_ASSERT(cfg_.numTables >= 2 && cfg_.numTables <= 64);
+    INTERF_ASSERT(cfg_.minHistory >= 2);
+    INTERF_ASSERT(cfg_.maxHistory > cfg_.minHistory);
+
+    // Geometric history lengths L(i) = L1 * r^(i-1), r chosen so the
+    // last table reaches maxHistory.
+    histLen_.resize(cfg_.numTables);
+    double ratio = std::pow(
+        static_cast<double>(cfg_.maxHistory) / cfg_.minHistory,
+        1.0 / static_cast<double>(cfg_.numTables - 1));
+    double len = cfg_.minHistory;
+    for (u32 i = 0; i < cfg_.numTables; ++i) {
+        histLen_[i] = std::max<u32>(
+            static_cast<u32>(len + 0.5),
+            i > 0 ? histLen_[i - 1] + 1 : cfg_.minHistory);
+        len *= ratio;
+    }
+    histLen_.back() = cfg_.maxHistory;
+
+    u32 entries = u32{1} << cfg_.logTaggedEntries;
+    tables_.assign(cfg_.numTables, std::vector<TaggedEntry>(entries));
+    tagBits_.resize(cfg_.numTables);
+    indexFold_.resize(cfg_.numTables);
+    tagFold1_.resize(cfg_.numTables);
+    tagFold2_.resize(cfg_.numTables);
+    for (u32 i = 0; i < cfg_.numTables; ++i) {
+        tagBits_[i] = i < cfg_.numTables / 2 ? cfg_.tagBitsShort
+                                             : cfg_.tagBitsLong;
+        indexFold_[i].configure(histLen_[i], cfg_.logTaggedEntries);
+        tagFold1_[i].configure(histLen_[i], tagBits_[i]);
+        tagFold2_[i].configure(histLen_[i],
+                               std::max<u32>(tagBits_[i] - 1, 1));
+    }
+    bimodal_.assign(u64{1} << cfg_.logBimodalEntries, 2);
+    loop_.assign(u64{1} << cfg_.logLoopEntries, LoopEntry());
+}
+
+u32
+LtagePredictor::bimodalIndex(Addr pc) const
+{
+    u64 mask = (u64{1} << cfg_.logBimodalEntries) - 1;
+    return static_cast<u32>((pc ^ (pc >> 17)) & mask);
+}
+
+u32
+LtagePredictor::taggedIndex(Addr pc, u32 table) const
+{
+    u32 bits = cfg_.logTaggedEntries;
+    u32 mask = (u32{1} << bits) - 1;
+    u32 pc_mix = static_cast<u32>(pc ^ (pc >> bits) ^ (pc >> (2 * bits)));
+    return (pc_mix ^ indexFold_[table].value() ^ (table + 1)) & mask;
+}
+
+u32
+LtagePredictor::taggedTag(Addr pc, u32 table) const
+{
+    u32 bits = tagBits_[table];
+    u32 mask = (u32{1} << bits) - 1;
+    u32 pc_mix = static_cast<u32>(pc ^ (pc >> (bits + 3)));
+    return (pc_mix ^ tagFold1_[table].value() ^
+            (tagFold2_[table].value() << 1)) & mask;
+}
+
+bool
+LtagePredictor::loopLookup(Addr pc, Prediction &pr)
+{
+    if (!cfg_.enableLoopPredictor)
+        return false;
+    u32 mask = (u32{1} << cfg_.logLoopEntries) - 1;
+    u32 idx = static_cast<u32>(pc ^ (pc >> cfg_.logLoopEntries)) & mask;
+    u16 tag = static_cast<u16>((pc >> 4) & 0x3fff);
+    pr.loopIndex = idx;
+    const LoopEntry &e = loop_[idx];
+    if (!e.valid || e.tag != tag || e.confidence < 3)
+        return false;
+    // Predict taken while inside the loop body, not-taken on the exit
+    // iteration.
+    pr.loopPred = (e.currentIter + 1) < e.pastIter;
+    return true;
+}
+
+void
+LtagePredictor::loopUpdate(Addr pc, bool taken, const Prediction &pr,
+                           bool tage_pred)
+{
+    if (!cfg_.enableLoopPredictor)
+        return;
+    u32 idx = pr.loopIndex;
+    u16 tag = static_cast<u16>((pc >> 4) & 0x3fff);
+    LoopEntry &e = loop_[idx];
+
+    if (e.valid && e.tag == tag) {
+        if (taken) {
+            ++e.currentIter;
+            if (e.currentIter > 0x3000) {
+                // Not a constant-trip-count loop; give the entry up.
+                e.valid = false;
+                return;
+            }
+        } else {
+            u16 trip = e.currentIter + 1;
+            if (e.pastIter == trip) {
+                if (e.confidence < 3)
+                    ++e.confidence;
+                e.age = 255;
+            } else if (e.pastIter == 0) {
+                // First completed traversal: record the trip count and
+                // start building confidence on subsequent matches.
+                e.pastIter = trip;
+            } else {
+                if (e.confidence > 0) {
+                    --e.confidence;
+                    e.pastIter = trip;
+                } else {
+                    e.valid = false;
+                }
+            }
+            e.currentIter = 0;
+        }
+        // Track whether the loop predictor beats TAGE for this branch.
+        if (e.confidence >= 3 && pr.usedLoop) {
+            bool loop_correct = pr.loopPred == taken;
+            bool tage_correct = tage_pred == taken;
+            if (loop_correct != tage_correct) {
+                loopConfCtr_ += loop_correct ? 1 : -1;
+                loopConfCtr_ = std::clamp<i64>(loopConfCtr_, -8, 7);
+            }
+        }
+        return;
+    }
+
+    // Allocate on a mispredicted not-taken outcome (potential loop
+    // exit) when the slot is free or stale.
+    if (!taken && tage_pred != taken) {
+        if (!e.valid || e.age == 0) {
+            e.valid = true;
+            e.tag = tag;
+            e.pastIter = 0;
+            e.currentIter = 0;
+            e.confidence = 0;
+            e.age = 200;
+        } else if (e.age > 0) {
+            --e.age;
+        }
+    }
+}
+
+LtagePredictor::Prediction
+LtagePredictor::lookup(Addr pc)
+{
+    Prediction pr;
+    bool bim = counter2::predict(bimodal_[bimodalIndex(pc)]);
+    pr.pred = bim;
+    pr.altPred = bim;
+
+    // Find provider (longest-history tag hit) and the alternate.
+    for (int t = static_cast<int>(cfg_.numTables) - 1; t >= 0; --t) {
+        u32 idx = taggedIndex(pc, t);
+        const TaggedEntry &e = tables_[t][idx];
+        if (e.tag != taggedTag(pc, t))
+            continue;
+        if (pr.provider < 0) {
+            pr.provider = t;
+            pr.providerIndex = idx;
+        } else {
+            pr.altProvider = t;
+            pr.altIndex = idx;
+            break;
+        }
+    }
+
+    if (pr.provider >= 0) {
+        const TaggedEntry &prov = tables_[pr.provider][pr.providerIndex];
+        bool prov_pred = prov.ctr >= 0;
+        if (pr.altProvider >= 0) {
+            const TaggedEntry &alt = tables_[pr.altProvider][pr.altIndex];
+            pr.altPred = alt.ctr >= 0;
+        } else {
+            pr.altPred = bim;
+        }
+        // Newly-allocated weak entries: optionally trust the alternate.
+        bool weak = (prov.ctr == 0 || prov.ctr == -1) && prov.u == 0;
+        pr.pred = (weak && useAltOnNa_ >= 0) ? pr.altPred : prov_pred;
+    }
+    return pr;
+}
+
+void
+LtagePredictor::updateHistories(bool taken)
+{
+    bool bits_out[64];
+    // Capture outgoing bits before pushing (bitAt(len-1) leaves the
+    // window of length len once the new bit enters).
+    for (u32 t = 0; t < cfg_.numTables; ++t)
+        bits_out[t] = history_.bitAt(histLen_[t] - 1);
+    history_.push(taken);
+    for (u32 t = 0; t < cfg_.numTables; ++t) {
+        indexFold_[t].update(taken, bits_out[t]);
+        tagFold1_[t].update(taken, bits_out[t]);
+        tagFold2_[t].update(taken, bits_out[t]);
+    }
+}
+
+void
+LtagePredictor::update(Addr pc, bool taken, const Prediction &pr)
+{
+    bool correct = pr.pred == taken;
+
+    // Usefulness and use-alt bookkeeping.
+    if (pr.provider >= 0) {
+        TaggedEntry &prov = tables_[pr.provider][pr.providerIndex];
+        bool prov_pred = prov.ctr >= 0;
+        bool weak = (prov.ctr == 0 || prov.ctr == -1) && prov.u == 0;
+        if (weak && prov_pred != pr.altPred) {
+            // Track whether trusting the alternate would have helped.
+            useAltOnNa_ += (pr.altPred == taken) ? 1 : -1;
+            useAltOnNa_ = std::clamp<i64>(useAltOnNa_, -8, 7);
+        }
+        if (prov_pred != pr.altPred) {
+            if (prov_pred == taken) {
+                if (prov.u < 3)
+                    ++prov.u;
+            } else if (prov.u > 0) {
+                --prov.u;
+            }
+        }
+        prov.ctr = std::clamp<i64>(prov.ctr + (taken ? 1 : -1), -4, 3);
+        // Also train the base predictor when the provider is weak, so
+        // the bimodal stays a usable fallback.
+        if (prov.ctr == 0 || prov.ctr == -1) {
+            u8 &b = bimodal_[bimodalIndex(pc)];
+            b = counter2::update(b, taken);
+        }
+    } else {
+        u8 &b = bimodal_[bimodalIndex(pc)];
+        b = counter2::update(b, taken);
+    }
+
+    // Allocation on misprediction: claim an entry in a longer-history
+    // table with u == 0, preferring shorter of the candidates.
+    if (!correct && pr.provider < static_cast<int>(cfg_.numTables) - 1) {
+        u32 start = static_cast<u32>(pr.provider + 1);
+        // Seznec's trick: sometimes skip the first candidate so
+        // allocations spread over tables.
+        if (start + 1 < cfg_.numTables && (allocRng_.next() & 1))
+            ++start;
+        bool allocated = false;
+        for (u32 t = start; t < cfg_.numTables; ++t) {
+            u32 idx = taggedIndex(pc, t);
+            TaggedEntry &e = tables_[t][idx];
+            if (e.u == 0) {
+                e.tag = taggedTag(pc, t);
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // All candidates useful: age them so future allocations
+            // can succeed.
+            for (u32 t = start; t < cfg_.numTables; ++t) {
+                TaggedEntry &e = tables_[t][taggedIndex(pc, t)];
+                if (e.u > 0)
+                    --e.u;
+            }
+        }
+    }
+
+    // Periodic global aging of usefulness counters.
+    if (++branchCount_ % cfg_.uResetPeriod == 0) {
+        for (auto &table : tables_)
+            for (auto &e : table)
+                e.u >>= 1;
+    }
+
+    updateHistories(taken);
+}
+
+bool
+LtagePredictor::predictAndTrain(Addr pc, bool taken)
+{
+    Prediction pr = lookup(pc);
+    bool tage_pred = pr.pred;
+    bool final_pred = tage_pred;
+
+    bool loop_hit = loopLookup(pc, pr);
+    if (loop_hit && loopConfCtr_ >= 0) {
+        pr.usedLoop = true;
+        final_pred = pr.loopPred;
+    } else if (loop_hit) {
+        pr.usedLoop = true; // still track its accuracy vs TAGE
+    }
+
+    loopUpdate(pc, taken, pr, tage_pred);
+    update(pc, taken, pr);
+    return final_pred;
+}
+
+void
+LtagePredictor::reset()
+{
+    for (auto &table : tables_)
+        std::fill(table.begin(), table.end(), TaggedEntry());
+    std::fill(bimodal_.begin(), bimodal_.end(), u8{2});
+    std::fill(loop_.begin(), loop_.end(), LoopEntry());
+    for (u32 t = 0; t < cfg_.numTables; ++t) {
+        indexFold_[t].reset();
+        tagFold1_[t].reset();
+        tagFold2_[t].reset();
+    }
+    history_.reset();
+    useAltOnNa_ = 0;
+    loopConfCtr_ = 0;
+    branchCount_ = 0;
+    allocRng_ = Rng(0xdead);
+}
+
+std::string
+LtagePredictor::name() const
+{
+    return strprintf("ltage-%uT-%ue", cfg_.numTables,
+                     1u << cfg_.logTaggedEntries);
+}
+
+u64
+LtagePredictor::sizeBits() const
+{
+    u64 bits = 0;
+    for (u32 t = 0; t < cfg_.numTables; ++t) {
+        u64 entry_bits = 3 + tagBits_[t] + 2; // ctr + tag + u
+        bits += (u64{1} << cfg_.logTaggedEntries) * entry_bits;
+    }
+    bits += (u64{1} << cfg_.logBimodalEntries) * 2;
+    if (cfg_.enableLoopPredictor)
+        bits += (u64{1} << cfg_.logLoopEntries) * (14 + 14 + 14 + 2 + 8 + 1);
+    bits += cfg_.maxHistory;
+    return bits;
+}
+
+u32
+LtagePredictor::historyLength(u32 table) const
+{
+    INTERF_ASSERT(table < histLen_.size());
+    return histLen_[table];
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,89 @@
+#include "bpred/perceptron.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+PerceptronPredictor::PerceptronPredictor(PerceptronConfig config)
+    : cfg_(config),
+      threshold_(static_cast<i64>(
+          std::floor(1.93 * cfg_.historyBits + 14))),
+      weights_(static_cast<size_t>(config.rows) *
+               (config.historyBits + 1), 0),
+      history_(std::max(config.historyBits, 1u))
+{
+    INTERF_ASSERT(cfg_.rows >= 2 && (cfg_.rows & (cfg_.rows - 1)) == 0);
+    INTERF_ASSERT(cfg_.historyBits >= 1 && cfg_.historyBits <= 64);
+    INTERF_ASSERT(cfg_.weightMin < cfg_.weightMax);
+}
+
+u32
+PerceptronPredictor::rowFor(Addr pc) const
+{
+    return static_cast<u32>(pc ^ (pc >> 14)) & (cfg_.rows - 1);
+}
+
+i64
+PerceptronPredictor::dotProduct(u32 row) const
+{
+    const i64 *w =
+        &weights_[static_cast<size_t>(row) * (cfg_.historyBits + 1)];
+    i64 sum = w[0]; // bias
+    u64 hist = history_.low(cfg_.historyBits);
+    for (u32 i = 0; i < cfg_.historyBits; ++i) {
+        bool bit = (hist >> i) & 1;
+        sum += bit ? w[i + 1] : -w[i + 1];
+    }
+    return sum;
+}
+
+bool
+PerceptronPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    u32 row = rowFor(pc);
+    i64 y = dotProduct(row);
+    bool prediction = y >= 0;
+
+    // Train on mispredictions or low-confidence correct predictions.
+    if (prediction != taken || std::abs(y) <= threshold_) {
+        i64 *w =
+            &weights_[static_cast<size_t>(row) * (cfg_.historyBits + 1)];
+        i64 t = taken ? 1 : -1;
+        w[0] = std::clamp(w[0] + t, cfg_.weightMin, cfg_.weightMax);
+        u64 hist = history_.low(cfg_.historyBits);
+        for (u32 i = 0; i < cfg_.historyBits; ++i) {
+            i64 x = ((hist >> i) & 1) ? 1 : -1;
+            w[i + 1] = std::clamp(w[i + 1] + t * x, cfg_.weightMin,
+                                  cfg_.weightMax);
+        }
+    }
+    history_.push(taken);
+    return prediction;
+}
+
+void
+PerceptronPredictor::reset()
+{
+    std::fill(weights_.begin(), weights_.end(), i64{0});
+    history_.reset();
+}
+
+std::string
+PerceptronPredictor::name() const
+{
+    return strprintf("perceptron-%ur-h%u", cfg_.rows, cfg_.historyBits);
+}
+
+u64
+PerceptronPredictor::sizeBits() const
+{
+    // 8-bit weights as published, plus the history register.
+    return static_cast<u64>(cfg_.rows) * (cfg_.historyBits + 1) * 8 +
+           cfg_.historyBits;
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+ *
+ * The paper's second author co-invented this predictor, and its §7.2.3
+ * point — evaluate candidate predictors *before* spending design effort
+ * — is exactly the workflow this class supports: a fundamentally
+ * different prediction mechanism (linear threshold over history bits
+ * instead of saturating-counter tables) that drops into the same
+ * interferometry pipeline via the BranchPredictor interface.
+ *
+ * Each branch hashes to a row of signed weights; the prediction is the
+ * sign of the dot product of the weights with the global history
+ * (taken = +1, not-taken = -1) plus a bias weight. Training nudges
+ * weights toward the outcome when the prediction was wrong or the
+ * magnitude was below the threshold th = 1.93*h + 14 (the published
+ * optimum).
+ */
+
+#ifndef INTERF_BPRED_PERCEPTRON_HH
+#define INTERF_BPRED_PERCEPTRON_HH
+
+#include <vector>
+
+#include "bpred/history.hh"
+#include "bpred/predictor.hh"
+
+namespace interf::bpred
+{
+
+/** Configuration of a perceptron predictor. */
+struct PerceptronConfig
+{
+    u32 rows = 512;       ///< Weight-table rows (power of two).
+    u32 historyBits = 24; ///< History length == weights per row - 1.
+    i64 weightMin = -128; ///< 8-bit weights, as published.
+    i64 weightMax = 127;
+};
+
+/** Global-history perceptron predictor. */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    explicit PerceptronPredictor(
+        PerceptronConfig config = PerceptronConfig());
+
+    bool predictAndTrain(Addr pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    u64 sizeBits() const override;
+
+    /** The training threshold used (exposed for tests). */
+    i64 threshold() const { return threshold_; }
+
+  private:
+    u32 rowFor(Addr pc) const;
+    i64 dotProduct(u32 row) const;
+
+    PerceptronConfig cfg_;
+    i64 threshold_;
+    std::vector<i64> weights_; ///< rows * (historyBits + 1), bias first.
+    GlobalHistory history_;
+};
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_PERCEPTRON_HH

@@ -1,0 +1,4 @@
+// PerfectPredictor is header-only; this translation unit exists so the
+// module has a home in the library and a place for future out-of-line
+// members.
+#include "bpred/perfect.hh"

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Perfect (oracle) branch prediction: 0 MPKI by construction.
+ *
+ * The paper uses perfect prediction as the extrapolation target: the
+ * regression model's y-intercept is the predicted CPI at 0 MPKI, and
+ * Section 3 validates linearity by comparing that extrapolation against
+ * simulation with a perfect predictor.
+ */
+
+#ifndef INTERF_BPRED_PERFECT_HH
+#define INTERF_BPRED_PERFECT_HH
+
+#include "bpred/predictor.hh"
+
+namespace interf::bpred
+{
+
+/** Oracle predictor: always right. */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool
+    predictAndTrain(Addr /*pc*/, bool taken) override
+    {
+        return taken;
+    }
+
+    void reset() override {}
+
+    std::string name() const override { return "perfect"; }
+
+    u64 sizeBits() const override { return 0; }
+};
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_PERFECT_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Conditional branch predictor interface.
+ *
+ * Predictors are functional models: they consume the dynamic stream of
+ * (branch PC, outcome) pairs and report their prediction accuracy. The
+ * same models serve three roles in the reproduction:
+ *
+ *  1. inside the machine timing model as the "real" Intel predictor
+ *     (a hybrid of GAs and bimodal, per the paper's reverse
+ *     engineering);
+ *  2. inside the Pin-style functional simulator to measure hypothetical
+ *     predictors (GAs of several sizes, L-TAGE) on the same executables
+ *     (Section 7.1);
+ *  3. as the 145-configuration sweep used to validate CPI/MPKI
+ *     linearity (Section 3.2).
+ */
+
+#ifndef INTERF_BPRED_PREDICTOR_HH
+#define INTERF_BPRED_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "util/types.hh"
+
+namespace interf::bpred
+{
+
+/**
+ * Abstract conditional branch direction predictor.
+ *
+ * The single-call interface predicts and trains atomically: the
+ * returned value is the direction the predictor *would have guessed*
+ * before seeing the outcome, and internal state advances to include the
+ * outcome. Perfect predictors may peek at the outcome.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the branch at pc and then train with its actual outcome.
+     *
+     * @param pc Address of the branch instruction.
+     * @param taken Actual outcome.
+     * @return The predicted direction.
+     */
+    virtual bool predictAndTrain(Addr pc, bool taken) = 0;
+
+    /** Restore the power-on state. */
+    virtual void reset() = 0;
+
+    /** Human-readable name including sizing, e.g. "gas-8KB-h10". */
+    virtual std::string name() const = 0;
+
+    /** Storage budget in bits (prediction tables + histories). */
+    virtual u64 sizeBits() const = 0;
+};
+
+/** Owning handle used throughout the library. */
+using PredictorPtr = std::unique_ptr<BranchPredictor>;
+
+/** Saturating 2-bit counter helpers shared by table-based predictors. */
+namespace counter2
+{
+
+/** Update a 2-bit counter toward taken/not-taken. */
+inline u8
+update(u8 ctr, bool taken)
+{
+    if (taken)
+        return ctr < 3 ? ctr + 1 : 3;
+    return ctr > 0 ? ctr - 1 : 0;
+}
+
+/** Predicted direction of a 2-bit counter. */
+inline bool
+predict(u8 ctr)
+{
+    return ctr >= 2;
+}
+
+} // namespace counter2
+
+} // namespace interf::bpred
+
+#endif // INTERF_BPRED_PREDICTOR_HH

@@ -1,0 +1,46 @@
+#include "bpred/ras.hh"
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+ReturnAddressStack::ReturnAddressStack(u32 depth)
+    : depth_(depth), stack_(depth, 0)
+{
+    INTERF_ASSERT(depth >= 1);
+}
+
+void
+ReturnAddressStack::push(Addr return_addr)
+{
+    stack_[top_] = return_addr;
+    top_ = (top_ + 1) % depth_;
+    if (occupancy_ < depth_)
+        ++occupancy_;
+    else
+        ++overflows_; // overwrote the oldest live entry
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    ++pops_;
+    if (occupancy_ == 0)
+        return 0;
+    top_ = (top_ + depth_ - 1) % depth_;
+    --occupancy_;
+    return stack_[top_];
+}
+
+void
+ReturnAddressStack::reset()
+{
+    std::fill(stack_.begin(), stack_.end(), Addr{0});
+    top_ = 0;
+    occupancy_ = 0;
+    pops_ = 0;
+    overflows_ = 0;
+}
+
+} // namespace interf::bpred

@@ -1,0 +1,73 @@
+#include "bpred/twolevel.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace interf::bpred
+{
+
+TwoLevelPredictor::TwoLevelPredictor(TwoLevelScheme scheme, u32 entries,
+                                     u32 history_bits)
+    : scheme_(scheme),
+      table_(entries, 2),
+      mask_(entries - 1),
+      indexBits_(static_cast<u32>(std::countr_zero(entries))),
+      historyBits_(history_bits),
+      history_(std::max(history_bits, 1u))
+{
+    INTERF_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0);
+    INTERF_ASSERT(history_bits >= 1);
+    if (scheme == TwoLevelScheme::GAs)
+        INTERF_ASSERT(history_bits < indexBits_);
+    else
+        INTERF_ASSERT(history_bits <= indexBits_);
+}
+
+u32
+TwoLevelPredictor::indexFor(Addr pc) const
+{
+    u32 addr_mix = static_cast<u32>(pc ^ (pc >> 16));
+    u64 hist = history_.low(historyBits_);
+    if (scheme_ == TwoLevelScheme::GAs) {
+        // Concatenate: {addr bits, history bits}.
+        u32 addr_bits = indexBits_ - historyBits_;
+        u32 addr_part = addr_mix & ((u32{1} << addr_bits) - 1);
+        return ((addr_part << historyBits_) |
+                static_cast<u32>(hist)) & mask_;
+    }
+    // gshare: XOR.
+    return (addr_mix ^ static_cast<u32>(hist)) & mask_;
+}
+
+bool
+TwoLevelPredictor::predictAndTrain(Addr pc, bool taken)
+{
+    u8 &ctr = table_[indexFor(pc)];
+    bool prediction = counter2::predict(ctr);
+    ctr = counter2::update(ctr, taken);
+    history_.push(taken);
+    return prediction;
+}
+
+void
+TwoLevelPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), u8{2});
+    history_.reset();
+}
+
+std::string
+TwoLevelPredictor::name() const
+{
+    const char *tag = scheme_ == TwoLevelScheme::GAs ? "gas" : "gshare";
+    return strprintf("%s-%ue-h%u", tag, mask_ + 1, historyBits_);
+}
+
+u64
+TwoLevelPredictor::sizeBits() const
+{
+    return static_cast<u64>(mask_ + 1) * 2 + historyBits_;
+}
+
+} // namespace interf::bpred

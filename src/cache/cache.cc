@@ -1,0 +1,125 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace interf::cache
+{
+
+u32
+CacheConfig::numSets() const
+{
+    u64 lines = sizeBytes / lineBytes;
+    return static_cast<u32>(lines / assoc);
+}
+
+void
+CacheConfig::validate() const
+{
+    if (lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0)
+        fatal("cache '%s': line size %u is not a power of two",
+              name.c_str(), lineBytes);
+    if (assoc == 0)
+        fatal("cache '%s': associativity must be >= 1", name.c_str());
+    if (sizeBytes % (static_cast<u64>(lineBytes) * assoc) != 0)
+        fatal("cache '%s': size %llu not divisible by way size",
+              name.c_str(),
+              static_cast<unsigned long long>(sizeBytes));
+    u32 sets = numSets();
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        fatal("cache '%s': %u sets is not a power of two", name.c_str(),
+              sets);
+}
+
+Cache::Cache(const CacheConfig &config) : cfg_(config)
+{
+    cfg_.validate();
+    sets_ = cfg_.numSets();
+    lineShift_ = static_cast<u32>(std::countr_zero(cfg_.lineBytes));
+    lines_.resize(static_cast<size_t>(sets_) * cfg_.assoc);
+}
+
+u32
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<u32>(addr >> lineShift_) & (sets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++stats_.accesses;
+    Line *row = &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
+    Addr tag = tagOf(addr);
+    ++lruClock_;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].lru = lruClock_;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    row[pickVictim(row)] = {true, tag, lruClock_};
+    return false;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Line *row =
+        &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
+    Addr tag = tagOf(addr);
+    for (u32 w = 0; w < cfg_.assoc; ++w)
+        if (row[w].valid && row[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::install(Addr addr)
+{
+    Line *row = &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
+    Addr tag = tagOf(addr);
+    ++lruClock_;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].lru = lruClock_;
+            return;
+        }
+    }
+    row[pickVictim(row)] = {true, tag, lruClock_};
+}
+
+u32
+Cache::pickVictim(const Line *row)
+{
+    // Invalid ways first under either policy.
+    for (u32 w = 0; w < cfg_.assoc; ++w)
+        if (!row[w].valid)
+            return w;
+    if (cfg_.replacement == Replacement::Random)
+        return static_cast<u32>(victimRng_.uniformInt(cfg_.assoc));
+    u32 victim = 0;
+    for (u32 w = 1; w < cfg_.assoc; ++w)
+        if (row[w].lru < row[victim].lru)
+            victim = w;
+    return victim;
+}
+
+void
+Cache::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line());
+    lruClock_ = 0;
+    stats_ = CacheStats();
+    victimRng_ = Rng(0x5eed); // deterministic runs
+}
+
+} // namespace interf::cache

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generic set-associative cache model with LRU replacement.
+ *
+ * Section 4.1 of the paper: "conflict misses in the instruction cache
+ * occur when the number of blocks mapping to a particular set exceeds
+ * the associativity of the cache" — the mechanism through which code
+ * reordering perturbs the L1I, and heap randomization the L1D/L2.
+ * The model tracks hits and misses only (no data), which is all the
+ * PMU observes.
+ */
+
+#ifndef INTERF_CACHE_CACHE_HH
+#define INTERF_CACHE_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace interf::cache
+{
+
+/** Replacement policy of a cache level. */
+enum class Replacement : u8 {
+    Lru,    ///< True LRU (small L1-class caches).
+    Random, ///< Seeded random victim: models the pseudo-LRU/NRU
+            ///< approximations of large L2s, whose behaviour sits
+            ///< between LRU and random and has no sharp capacity cliff.
+};
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    u64 sizeBytes = 32 << 10;
+    u32 assoc = 8;
+    u32 lineBytes = 64;
+    Replacement replacement = Replacement::Lru;
+
+    u32 numSets() const;
+
+    /** Validate geometry (power-of-two sets/lines); fatal() if not. */
+    void validate() const;
+};
+
+/** Hit/miss statistics of one cache. */
+struct CacheStats
+{
+    Count accesses = 0;
+    Count misses = 0;
+
+    Count hits() const { return accesses - misses; }
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** A set-associative, LRU, tag-only cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access one address (a single line).
+     *
+     * @return true on hit, false on miss (the line is then installed).
+     */
+    bool access(Addr addr);
+
+    /** Probe without updating replacement state or installing. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Install a line without touching the hit/miss statistics (used for
+     * prefetches, which are not demand misses).
+     */
+    void install(Addr addr);
+
+    /** Invalidate everything and clear statistics. */
+    void reset();
+
+    /** Clear statistics only, keeping cache contents (warmup end). */
+    void clearStats() { stats_ = CacheStats(); }
+
+    const CacheConfig &config() const { return cfg_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Set index for an address (exposed for tests). */
+    u32 setIndex(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        u32 lru = 0;
+    };
+
+    Addr tagOf(Addr addr) const;
+    u32 pickVictim(const Line *row);
+
+    CacheConfig cfg_;
+    u32 sets_;
+    u32 lineShift_;
+    u32 lruClock_ = 0;
+    Rng victimRng_{0x5eed};
+    std::vector<Line> lines_; ///< sets_ * assoc, row-major by set.
+    CacheStats stats_;
+};
+
+} // namespace interf::cache
+
+#endif // INTERF_CACHE_CACHE_HH

@@ -1,0 +1,60 @@
+#include "core/config.hh"
+
+#include "util/logging.hh"
+
+namespace interf::core
+{
+
+MachineConfig
+MachineConfig::xeonE5440()
+{
+    MachineConfig cfg;
+    cfg.name = "xeon-e5440";
+    cfg.hierarchy.l1i = {"L1I", 32 << 10, 8, 64};
+    cfg.hierarchy.l1d = {"L1D", 32 << 10, 8, 64};
+    // Each E5440 chip has 12 MB of L2 shared by four cores; a single
+    // core competing with an idle neighbour effectively sees half.
+    cfg.hierarchy.l2 = {"L2", 6 << 20, 24, 64};
+    cfg.predictorSpec = "xeon";
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::withPredictor(const std::string &spec) const
+{
+    MachineConfig cfg = *this;
+    cfg.predictorSpec = spec;
+    cfg.name = name + "+" + spec;
+    return cfg;
+}
+
+void
+MachineConfig::validate() const
+{
+    if (width == 0 || width > 16)
+        fatal("machine '%s': width %u out of range", name.c_str(), width);
+    if (frontendDepth == 0 || frontendDepth > 100)
+        fatal("machine '%s': frontendDepth %u out of range", name.c_str(),
+              frontendDepth);
+    if (robSize < width)
+        fatal("machine '%s': robSize %u smaller than width", name.c_str(),
+              robSize);
+    if (maxMlp == 0)
+        fatal("machine '%s': maxMlp must be >= 1", name.c_str());
+    if (l2Latency <= l1Latency || memLatency <= l2Latency)
+        fatal("machine '%s': latencies must increase down the hierarchy",
+              name.c_str());
+    if (warmupFraction < 0.0 || warmupFraction >= 1.0)
+        fatal("machine '%s': warmupFraction %g out of [0, 1)",
+              name.c_str(), warmupFraction);
+    if (btbSets == 0 || (btbSets & (btbSets - 1)) != 0 || btbWays == 0)
+        fatal("machine '%s': bad BTB geometry", name.c_str());
+    if (rasDepth == 0)
+        fatal("machine '%s': rasDepth must be >= 1", name.c_str());
+    hierarchy.l1i.validate();
+    hierarchy.l1d.validate();
+    hierarchy.l2.validate();
+}
+
+} // namespace interf::core

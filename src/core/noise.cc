@@ -1,0 +1,44 @@
+#include "core/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace interf::core
+{
+
+NoiseConfig
+NoiseConfig::none()
+{
+    NoiseConfig cfg;
+    cfg.jitterSigma = 0.0;
+    cfg.spikeProb = 0.0;
+    cfg.spikeMax = 0.0;
+    return cfg;
+}
+
+NoiseModel::NoiseModel(const NoiseConfig &config, u64 seed)
+    : cfg_(config), seed_(seed)
+{
+}
+
+Cycle
+NoiseModel::perturbCycles(u64 run_id, Cycle cycles) const
+{
+    Rng rng = Rng(seed_).fork(run_id);
+    double sigma = cfg_.jitterSigma;
+    double spike_prob = cfg_.spikeProb;
+    double spike_max = cfg_.spikeMax;
+    if (!cfg_.quiescent) {
+        sigma *= 5.0;
+        spike_prob = std::min(1.0, spike_prob * 5.0);
+        spike_max *= 4.0;
+    }
+    double factor = 1.0 + sigma * rng.gaussian();
+    if (rng.bernoulli(spike_prob))
+        factor += spike_max * rng.nextDouble();
+    factor = std::max(factor, 0.5); // guard against absurd draws
+    double noisy = static_cast<double>(cycles) * factor;
+    return static_cast<Cycle>(std::llround(noisy));
+}
+
+} // namespace interf::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Measurement-noise model.
+ *
+ * Real measurements are not deterministic: OS ticks, interrupts, SMT
+ * neighbours and DRAM refresh perturb cycle counts even on the paper's
+ * carefully quiesced systems (Section 5.5: services stopped, taskset
+ * core pinning, stack randomization disabled). The paper counters the
+ * residual noise by running each configuration five times and keeping
+ * the median-cycle run.
+ *
+ * NoiseModel reproduces that environment: multiplicative Gaussian
+ * jitter on the cycle count plus rare positive spikes (a daemon waking
+ * up). Event counts are left exact, mirroring user-mode-only event
+ * filtering. The model is seeded, so whole campaigns stay reproducible.
+ */
+
+#ifndef INTERF_CORE_NOISE_HH
+#define INTERF_CORE_NOISE_HH
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace interf::core
+{
+
+/** Noise environment parameters. */
+struct NoiseConfig
+{
+    /** Relative sigma of per-run cycle jitter (quiesced system). */
+    double jitterSigma = 0.002;
+    /** Probability a run catches a system-activity spike. */
+    double spikeProb = 0.04;
+    /** Maximum relative cycle inflation of a spike. */
+    double spikeMax = 0.03;
+    /**
+     * Noisy-system mode: multiplies jitter and spike rates, modeling a
+     * machine that was *not* quiesced (for the methodology examples).
+     */
+    bool quiescent = true;
+
+    /** A completely noise-free environment (for tests). */
+    static NoiseConfig none();
+};
+
+/** Seeded generator of per-run cycle perturbations. */
+class NoiseModel
+{
+  public:
+    NoiseModel(const NoiseConfig &config, u64 seed);
+
+    /**
+     * Perturbed cycle count for one run.
+     *
+     * @param run_id Distinct id per physical run (layout, group, rep);
+     *        the same (seed, run_id) always yields the same noise.
+     * @param cycles The deterministic (true) cycle count.
+     */
+    Cycle perturbCycles(u64 run_id, Cycle cycles) const;
+
+  private:
+    NoiseConfig cfg_;
+    u64 seed_;
+};
+
+} // namespace interf::core
+
+#endif // INTERF_CORE_NOISE_HH

@@ -1,0 +1,262 @@
+#include "core/timing.hh"
+
+#include <algorithm>
+
+#include "bpred/factory.hh"
+#include "util/logging.hh"
+
+namespace interf::core
+{
+
+double
+RunResult::cpi() const
+{
+    INTERF_ASSERT(instructions > 0);
+    return static_cast<double>(cycles) / static_cast<double>(instructions);
+}
+
+double
+RunResult::mpki() const
+{
+    return perKilo(mispredicts);
+}
+
+double
+RunResult::perKilo(Count events) const
+{
+    INTERF_ASSERT(instructions > 0);
+    return 1000.0 * static_cast<double>(events) /
+           static_cast<double>(instructions);
+}
+
+Machine::Machine(const MachineConfig &config)
+    : cfg_(config),
+      hierarchy_(config.hierarchy),
+      predictor_(bpred::makePredictor(config.predictorSpec)),
+      btb_(config.btbSets, config.btbWays),
+      ras_(config.rasDepth)
+{
+    cfg_.validate();
+}
+
+void
+Machine::resetState()
+{
+    hierarchy_.reset();
+    predictor_->reset();
+    btb_.reset();
+    ras_.reset();
+}
+
+RunResult
+Machine::run(const trace::Program &prog, const trace::Trace &trace,
+             const layout::CodeLayout &code, const layout::HeapLayout &heap)
+{
+    return run(prog, trace, code, heap, layout::PageMap());
+}
+
+RunResult
+Machine::run(const trace::Program &prog, const trace::Trace &trace,
+             const layout::CodeLayout &code, const layout::HeapLayout &heap,
+             const layout::PageMap &pages)
+{
+    resetState();
+    RunResult res;
+
+    const u32 line_bytes = cfg_.hierarchy.l1i.lineBytes;
+    const u64 line_mask = ~static_cast<u64>(line_bytes - 1);
+
+    Cycle cycles = 0;
+    u32 slot_carry = 0;          ///< Partial-width issue remainder.
+    Addr last_fetch_line = ~Addr{0};
+
+    // Data-miss overlap state: misses within robSize retired
+    // instructions of the cluster leader share its latency (up to
+    // maxMlp outstanding).
+    u64 cluster_start_inst = 0;
+    u32 cluster_outstanding = 0;
+
+    size_t mem_cursor = 0;
+
+    auto mem_latency = [&](cache::HitLevel level) -> u32 {
+        switch (level) {
+          case cache::HitLevel::L1:
+            return cfg_.l1Latency;
+          case cache::HitLevel::L2:
+            return cfg_.l2Latency;
+          case cache::HitLevel::Memory:
+            return cfg_.memLatency;
+        }
+        panic("bad HitLevel");
+    };
+
+    // Warmup: execute the first part of the trace normally but start
+    // the counters afterwards (see MachineConfig::warmupFraction).
+    const size_t warmup_events = static_cast<size_t>(
+        static_cast<double>(trace.events.size()) * cfg_.warmupFraction);
+
+    for (size_t ev_idx = 0; ev_idx < trace.events.size(); ++ev_idx) {
+        if (ev_idx == warmup_events) {
+            res = RunResult();
+            cycles = 0;
+            slot_carry = 0;
+            cluster_start_inst = 0;
+            cluster_outstanding = 0;
+            hierarchy_.clearStats();
+        }
+        const auto &ev = trace.events[ev_idx];
+        const trace::BasicBlock &bb = prog.block(ev.proc, ev.block);
+        Addr addr = code.blockAddr(ev.proc, ev.block);
+
+        // ---- Front end: fetch the lines this block occupies.
+        Addr first_line = addr & line_mask;
+        Addr last_line = (addr + bb.bytes - 1) & line_mask;
+        for (Addr line = first_line; line <= last_line;
+             line += line_bytes) {
+            if (line == last_fetch_line)
+                continue; // same fetch group continuing
+            last_fetch_line = line;
+            cache::HitLevel level =
+                hierarchy_.fetchInst(pages.translate(line));
+            if (level != cache::HitLevel::L1) {
+                // Demand I-miss stalls fetch; the decode queue hides a
+                // few cycles of it.
+                u32 lat = mem_latency(level);
+                cycles += lat > 4 ? lat - 4 : 0;
+            }
+        }
+
+        // ---- Issue/retire: width-limited plus intrinsic dependence
+        // stalls.
+        slot_carry += bb.nInsts;
+        cycles += slot_carry / cfg_.width;
+        slot_carry %= cfg_.width;
+        cycles += bb.extraExecCycles;
+        res.instructions += bb.nInsts;
+
+        // ---- Data accesses.
+        u32 last_load_latency = 0; ///< Resolution time of the newest load.
+        for (const auto &ref : bb.memRefs) {
+            Addr daddr = heap.dataAddr(trace.memIds[mem_cursor++]);
+            cache::HitLevel level =
+                hierarchy_.accessData(pages.translate(daddr));
+            u32 lat = mem_latency(level);
+            if (!ref.isStore)
+                last_load_latency = lat;
+            if (level == cache::HitLevel::L1)
+                continue; // L1 hits are hidden by the OoO window
+            // Miss clustering: misses within the ROB reach of the
+            // cluster leader (and below the MLP limit) ride the same
+            // stall; the leader pays full latency.
+            bool overlaps =
+                res.instructions - cluster_start_inst <= cfg_.robSize &&
+                cluster_outstanding > 0 &&
+                cluster_outstanding < cfg_.maxMlp;
+            if (overlaps) {
+                ++cluster_outstanding;
+            } else {
+                cycles += lat;
+                cluster_start_inst = res.instructions;
+                cluster_outstanding = 1;
+            }
+        }
+
+        // ---- Branch.
+        const trace::StaticBranch &br = bb.branch;
+        if (!br.exists())
+            continue;
+        Addr branch_pc = code.branchAddr(ev.proc, ev.block);
+        bool mispredicted = false;
+
+        if (br.isConditional()) {
+            ++res.condBranches;
+            bool taken = ev.taken != 0;
+            bool pred = predictor_->predictAndTrain(branch_pc, taken);
+            if (pred != taken) {
+                ++res.mispredicts;
+                mispredicted = true;
+                // Penalty: front-end refill plus the branch's
+                // resolution time. A branch waiting on a missing load
+                // resolves only when the load returns.
+                u32 resolve = br.dependsOnLoad && last_load_latency > 0
+                                  ? last_load_latency
+                                  : bb.extraExecCycles + 1;
+                cycles += cfg_.frontendDepth + resolve;
+            }
+        }
+
+        // ---- Returns: predicted through the finite return-address
+        // stack; a pop that disagrees with the actual fall-back target
+        // (stack overflow on deep chains) costs a full redirect.
+        if (br.kind == trace::OpClass::Return) {
+            Addr predicted = ras_.pop();
+            Addr actual = 0;
+            if (ev_idx + 1 < trace.events.size()) {
+                const auto &next = trace.events[ev_idx + 1];
+                actual = code.blockAddr(next.proc, next.block);
+            }
+            if (actual != 0 && predicted != actual) {
+                ++res.rasMispredicts;
+                cycles += cfg_.frontendDepth;
+            }
+            last_fetch_line = ~Addr{0};
+            continue;
+        }
+
+        // ---- Target prediction (BTB) for taken redirects.
+        if (ev.taken && br.kind != trace::OpClass::Return) {
+            Addr target;
+            switch (br.kind) {
+              case trace::OpClass::Call: {
+                target = code.procBase(br.targetProc);
+                // Push the fall-through (return) address.
+                u32 next_block = static_cast<u32>(ev.block) + 1;
+                if (next_block < prog.proc(ev.proc).blocks.size())
+                    ras_.push(code.blockAddr(ev.proc, next_block));
+                break;
+              }
+              case trace::OpClass::IndirectBranch:
+                target = code.blockAddr(
+                    br.targetProc,
+                    static_cast<u32>(br.targetBlock) + ev.indirectChoice);
+                break;
+              default:
+                target = code.blockAddr(br.targetProc, br.targetBlock);
+            }
+            bpred::BtbResult hit = btb_.lookup(branch_pc);
+            bool target_ok = hit.hit && hit.target == target;
+            if (!target_ok) {
+                ++res.btbMisses;
+                // A direction mispredict already paid the full redirect;
+                // otherwise a taken branch with no (or a wrong) target
+                // costs a misfetch, and a wrong *indirect* target costs
+                // a full pipeline refill.
+                if (!mispredicted) {
+                    if (br.kind == trace::OpClass::IndirectBranch &&
+                        hit.hit) {
+                        cycles += cfg_.frontendDepth;
+                    } else {
+                        cycles += cfg_.misfetchPenalty;
+                    }
+                }
+            }
+            btb_.update(branch_pc, target);
+            // Any taken branch breaks the sequential fetch run.
+            last_fetch_line = ~Addr{0};
+        }
+    }
+
+    INTERF_ASSERT(mem_cursor == trace.memIds.size());
+
+    auto hs = hierarchy_.stats();
+    res.l1iMisses = hs.l1i.misses;
+    res.l1dMisses = hs.l1d.misses;
+    res.l2Misses = hs.l2.misses;
+    res.l2InstMisses = hs.l2InstMisses;
+    res.l2PrefMisses = hs.l2PrefMisses;
+    res.l2DataMisses = hs.l2DataMisses;
+    res.cycles = cycles;
+    return res;
+}
+
+} // namespace interf::core

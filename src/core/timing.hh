@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The machine timing model: our stand-in for the real Xeon E5440.
+ *
+ * The paper never simulates its machine — it *measures* it. We have no
+ * hardware, so this model plays the hardware's role: a deterministic,
+ * interval-analysis-style out-of-order core whose cycle count emerges
+ * from the interaction of the layout-sensitive structures:
+ *
+ *  - the front end fetches through the L1I (code layout decides which
+ *    lines conflict) and redirects through the BTB;
+ *  - the conditional branch predictor (the reverse-engineered hybrid)
+ *    is indexed with *physical branch addresses*, so layouts alias
+ *    different branch sites in its tables;
+ *  - mispredicted branches pay the front-end refill plus their
+ *    *resolution* time — a branch depending on an L2-missing load pays
+ *    hundreds of cycles, which is how some benchmarks end up with
+ *    Table-1 slopes far above the pipeline depth;
+ *  - data misses overlap up to a configurable MLP within the ROB reach,
+ *    so memory CPI is not simply misses x latency.
+ *
+ * Crucially, nothing here hard-codes CPI = a + b*MPKI: linearity (and
+ * its imperfections, Section 3) is an emergent, measured property.
+ */
+
+#ifndef INTERF_CORE_TIMING_HH
+#define INTERF_CORE_TIMING_HH
+
+#include "bpred/btb.hh"
+#include "bpred/ras.hh"
+#include "bpred/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "core/config.hh"
+#include "layout/heap.hh"
+#include "layout/pagemap.hh"
+#include "layout/linker.hh"
+#include "pmu/pmu.hh"
+#include "trace/trace.hh"
+
+namespace interf::core
+{
+
+/** Deterministic outcome of one timing run (pre-noise). */
+struct RunResult
+{
+    Cycle cycles = 0;
+    Count instructions = 0;
+    Count condBranches = 0;
+    Count mispredicts = 0; ///< Conditional direction mispredictions.
+    Count l1iMisses = 0;
+    Count l1dMisses = 0;
+    Count l2Misses = 0;
+    Count l2InstMisses = 0; ///< L2-miss breakdown: demand fetch.
+    Count l2PrefMisses = 0; ///< L2-miss breakdown: I-prefetch.
+    Count l2DataMisses = 0; ///< L2-miss breakdown: loads/stores.
+    Count btbMisses = 0; ///< Taken-branch target misses (incl. indirect).
+    Count rasMispredicts = 0; ///< Return-address-stack mispredictions.
+
+    double cpi() const;
+    double mpki() const;
+    double perKilo(Count events) const;
+};
+
+/**
+ * The machine. Owns its microarchitectural state (caches, predictor,
+ * BTB); run() executes one trace under one layout from power-on state
+ * and returns the deterministic counters.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    /**
+     * Execute a trace under a code + data layout.
+     *
+     * @param prog Static program (block geometry).
+     * @param trace Dynamic trace (layout-invariant semantics).
+     * @param code Address assignment for code.
+     * @param heap Address assignment for data.
+     */
+    RunResult run(const trace::Program &prog, const trace::Trace &trace,
+                  const layout::CodeLayout &code,
+                  const layout::HeapLayout &heap);
+
+    /**
+     * As above, with an explicit virtual-to-physical page mapping used
+     * for L2 indexing (see layout/pagemap.hh). The four-argument
+     * overload uses the identity mapping.
+     */
+    RunResult run(const trace::Program &prog, const trace::Trace &trace,
+                  const layout::CodeLayout &code,
+                  const layout::HeapLayout &heap,
+                  const layout::PageMap &pages);
+
+    const MachineConfig &config() const { return cfg_; }
+
+  private:
+    void resetState();
+
+    MachineConfig cfg_;
+    cache::MemoryHierarchy hierarchy_;
+    bpred::PredictorPtr predictor_;
+    bpred::Btb btb_;
+    bpred::ReturnAddressStack ras_;
+};
+
+} // namespace interf::core
+
+#endif // INTERF_CORE_TIMING_HH

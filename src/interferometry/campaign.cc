@@ -1,0 +1,101 @@
+#include "interferometry/campaign.hh"
+
+#include "stats/descriptive.hh"
+#include "stats/hypothesis.hh"
+#include "util/logging.hh"
+#include "workloads/builder.hh"
+
+namespace interf::interferometry
+{
+
+Campaign::Campaign(const workloads::WorkloadProfile &profile,
+                   const CampaignConfig &config)
+    : profile_(profile),
+      cfg_(config),
+      program_(workloads::buildProgram(profile)),
+      linker_(),
+      runner_(config.machine, config.runner)
+{
+    trace::TraceGenerator gen(program_, profile.behaviourSeed);
+    trace_ = gen.makeTrace(cfg_.instructionBudget);
+    trace_.validate(program_);
+}
+
+layout::CodeLayout
+Campaign::codeLayoutFor(u32 index) const
+{
+    layout::LayoutKey key;
+    key.seed = cfg_.layoutSeedBase + index;
+    return linker_.link(program_, key);
+}
+
+layout::HeapLayout
+Campaign::heapLayoutFor(u32 index) const
+{
+    layout::HeapKey key;
+    key.randomize = cfg_.randomizeHeap;
+    key.seed = cfg_.layoutSeedBase + index;
+    return layout::HeapLayout(program_, key);
+}
+
+layout::PageMap
+Campaign::pageMapFor(u32 index) const
+{
+    if (!cfg_.physicalPages)
+        return layout::PageMap(); // identity: virtually-indexed L2
+    return layout::PageMap(cfg_.layoutSeedBase + index);
+}
+
+std::vector<core::Measurement>
+Campaign::measureLayouts(u32 first, u32 count)
+{
+    std::vector<core::Measurement> out;
+    out.reserve(count);
+    for (u32 i = first; i < first + count; ++i) {
+        layout::CodeLayout code = codeLayoutFor(i);
+        layout::HeapLayout heap = heapLayoutFor(i);
+        core::Measurement m = runner_.measure(
+            program_, trace_, code, heap, pageMapFor(i),
+            cfg_.layoutSeedBase + i);
+        out.push_back(m);
+    }
+    return out;
+}
+
+CampaignResult
+Campaign::run()
+{
+    CampaignResult res;
+    u32 next = 0;
+    u32 batch = cfg_.initialLayouts;
+    while (next < cfg_.maxLayouts) {
+        u32 count = std::min(batch, cfg_.maxLayouts - next);
+        auto batch_samples = measureLayouts(next, count);
+        res.samples.insert(res.samples.end(), batch_samples.begin(),
+                           batch_samples.end());
+        next += count;
+
+        std::vector<double> mpki, cpi;
+        mpki.reserve(res.samples.size());
+        cpi.reserve(res.samples.size());
+        for (const auto &m : res.samples) {
+            mpki.push_back(m.mpki);
+            cpi.push_back(m.cpi);
+        }
+        auto test = stats::correlationTTest(mpki, cpi);
+        double mean_mpki = stats::mean(mpki);
+        double cv = mean_mpki > 0.0
+                        ? stats::sampleStdDev(mpki) / mean_mpki
+                        : 0.0;
+        res.enoughMpkiRange = cv >= cfg_.minMpkiCv;
+        res.significant =
+            test.significantAt(cfg_.alpha) && res.enoughMpkiRange;
+        if (res.significant)
+            break;
+        batch = cfg_.escalationStep;
+    }
+    res.layoutsUsed = next;
+    return res;
+}
+
+} // namespace interf::interferometry

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Interferometry campaigns: the paper's experimental loop.
+ *
+ * A campaign takes one benchmark and measures it under many random but
+ * reproducible layouts (Section 4.4): build the program once, generate
+ * its layout-invariant trace once, then for each layout seed link a new
+ * "executable" (code layout, optionally a randomized heap) and measure
+ * it with the median-of-five counter protocol.
+ *
+ * Sample-count escalation follows Section 6.3: start at 100 layouts and
+ * add batches of 100 until the CPI~MPKI correlation t-test rejects the
+ * null hypothesis or the cap (300) is reached. "We do not discard any
+ * data when building or testing our regression models."
+ */
+
+#ifndef INTERF_INTERFEROMETRY_CAMPAIGN_HH
+#define INTERF_INTERFEROMETRY_CAMPAIGN_HH
+
+#include <vector>
+
+#include "core/runner.hh"
+#include "layout/heap.hh"
+#include "layout/linker.hh"
+#include "layout/pagemap.hh"
+#include "trace/generator.hh"
+#include "workloads/profile.hh"
+
+namespace interf::interferometry
+{
+
+/** Parameters of one campaign. */
+struct CampaignConfig
+{
+    u64 instructionBudget = 1'000'000;
+    u32 initialLayouts = 100; ///< The paper's first batch.
+    u32 escalationStep = 100; ///< Added when not yet significant.
+    u32 maxLayouts = 300;     ///< The paper: "a few require 300".
+    double alpha = 0.05;
+    /**
+     * Minimum coefficient of variation of MPKI across layouts for the
+     * benchmark to count as having "enough range of MPKI to predict
+     * CPI" (Section 4.6). Below this, a t-test verdict would rest on
+     * meaninglessly small MPKI movement, so the benchmark is excluded
+     * just as the paper excludes its three.
+     */
+    double minMpkiCv = 0.0025;
+    bool randomizeHeap = false; ///< Figure-3 mode (DieHard allocator).
+    /** Model physically-indexed L2 placement (per-layout page maps).
+     *  Disable to ablate: a virtually-indexed L2 loses its placement
+     *  sensitivity entirely. */
+    bool physicalPages = true;
+    u64 layoutSeedBase = 1000;  ///< Layout i uses seed base + i.
+    core::MachineConfig machine = core::MachineConfig::xeonE5440();
+    core::RunnerConfig runner;
+};
+
+/** Outcome of a campaign. */
+struct CampaignResult
+{
+    std::vector<core::Measurement> samples;
+    bool significant = false; ///< CPI~MPKI t-test at alpha + range gate.
+    bool enoughMpkiRange = true; ///< False: "not enough range of MPKI".
+    u32 layoutsUsed = 0;
+};
+
+/**
+ * One benchmark's interferometry campaign. Owns the program, the trace
+ * and the measurement machinery; run() executes the escalation loop,
+ * measureLayouts() gives finer-grained control.
+ */
+class Campaign
+{
+  public:
+    Campaign(const workloads::WorkloadProfile &profile,
+             const CampaignConfig &config);
+
+    /** The escalation loop of Section 6.3. */
+    CampaignResult run();
+
+    /** Measure layouts [first, first + count) without any testing. */
+    std::vector<core::Measurement> measureLayouts(u32 first, u32 count);
+
+    /** The static program (built once per campaign). */
+    const trace::Program &program() const { return program_; }
+
+    /** The layout-invariant dynamic trace (generated once). */
+    const trace::Trace &trace() const { return trace_; }
+
+    /** The code layout for layout index i. */
+    layout::CodeLayout codeLayoutFor(u32 index) const;
+
+    /** The heap layout for layout index i (per config.randomizeHeap). */
+    layout::HeapLayout heapLayoutFor(u32 index) const;
+
+    /**
+     * The virtual-to-physical page mapping for layout index i. Each
+     * layout is one execution setup, and real executions get different
+     * physical pages, which is what moves lines between L2 sets.
+     */
+    layout::PageMap pageMapFor(u32 index) const;
+
+    const CampaignConfig &config() const { return cfg_; }
+
+  private:
+    workloads::WorkloadProfile profile_;
+    CampaignConfig cfg_;
+    trace::Program program_;
+    trace::Trace trace_;
+    layout::Linker linker_;
+    core::MeasurementRunner runner_;
+};
+
+} // namespace interf::interferometry
+
+#endif // INTERF_INTERFEROMETRY_CAMPAIGN_HH

@@ -1,0 +1,51 @@
+#include "interferometry/predict.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace interf::interferometry
+{
+
+PredictorEvaluator::PredictorEvaluator(const PerformanceModel &model,
+                                       double real_cpi)
+    : model_(model), realCpi_(real_cpi)
+{
+    INTERF_ASSERT(real_cpi > 0.0);
+}
+
+PredictedPoint
+PredictorEvaluator::evaluate(const std::string &name, double mpki) const
+{
+    PredictedPoint p;
+    p.predictor = name;
+    p.mpki = mpki;
+    p.cpi = model_.predictCpi(mpki);
+    p.pi = model_.predictionInterval(mpki);
+    p.improvementVsReal = (realCpi_ - p.cpi) / realCpi_;
+    // A lower CPI bound is a larger improvement: the interval flips.
+    p.improvementInterval = {(realCpi_ - p.pi.hi) / realCpi_,
+                             (realCpi_ - p.pi.lo) / realCpi_};
+    return p;
+}
+
+PredictedPoint
+PredictorEvaluator::evaluatePerfect() const
+{
+    return evaluate("perfect", 0.0);
+}
+
+double
+PredictorEvaluator::mpkiReductionForCpiGain(double cpi_gain_fraction) const
+{
+    INTERF_ASSERT(cpi_gain_fraction >= 0.0);
+    double slope = model_.branchModel().fit.slope();
+    double mean_mpki = model_.meanMpki();
+    if (slope <= 0.0 || mean_mpki <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    double delta_cpi = cpi_gain_fraction * realCpi_;
+    double delta_mpki = delta_cpi / slope;
+    return delta_mpki / mean_mpki;
+}
+
+} // namespace interf::interferometry

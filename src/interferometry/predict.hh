@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Predicting the performance of hypothetical branch predictors.
+ *
+ * Section 7 of the paper: the Pin tool measures each candidate
+ * predictor's MPKI on the same executables; plugging that MPKI into a
+ * benchmark's regression model yields the CPI the real machine would
+ * have with that predictor — with a 95% prediction interval. Section
+ * 1.4 also derives "what-if" quantities: the improvement from perfect
+ * prediction, from halving MPKI, and the misprediction reduction a
+ * given CPI improvement would require.
+ */
+
+#ifndef INTERF_INTERFEROMETRY_PREDICT_HH
+#define INTERF_INTERFEROMETRY_PREDICT_HH
+
+#include <string>
+#include <vector>
+
+#include "interferometry/model.hh"
+
+namespace interf::interferometry
+{
+
+/** Predicted operating point of one candidate predictor. */
+struct PredictedPoint
+{
+    std::string predictor;
+    double mpki = 0.0;      ///< From pinsim (0 for perfect).
+    double cpi = 0.0;       ///< Model point estimate.
+    stats::Interval pi;     ///< 95% prediction interval.
+    /** Relative CPI improvement vs the measured real predictor (+ is
+     *  faster). */
+    double improvementVsReal = 0.0;
+    stats::Interval improvementInterval; ///< From the PI bounds.
+};
+
+/** Evaluates candidate predictors against one benchmark's model. */
+class PredictorEvaluator
+{
+  public:
+    /**
+     * @param model The benchmark's performance model.
+     * @param real_cpi Measured mean CPI of the real predictor.
+     */
+    PredictorEvaluator(const PerformanceModel &model, double real_cpi);
+
+    /** Predict the operating point at a candidate's MPKI. */
+    PredictedPoint evaluate(const std::string &name, double mpki) const;
+
+    /** Shorthand for the 0-MPKI oracle. */
+    PredictedPoint evaluatePerfect() const;
+
+    /**
+     * Section 1.4, prediction 3: the fractional MPKI reduction required
+     * for a given fractional CPI improvement (e.g. 0.10 -> "a 10% CPI
+     * improvement requires a __% reduction in mispredictions").
+     * Returns +inf when the slope cannot buy the improvement.
+     */
+    double mpkiReductionForCpiGain(double cpi_gain_fraction) const;
+
+    const PerformanceModel &model() const { return model_; }
+    double realCpi() const { return realCpi_; }
+
+  private:
+    const PerformanceModel &model_;
+    double realCpi_;
+};
+
+} // namespace interf::interferometry
+
+#endif // INTERF_INTERFEROMETRY_PREDICT_HH

@@ -1,0 +1,75 @@
+#include "interferometry/report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace interf::interferometry
+{
+
+TableWriter
+makeTable1(const std::vector<Table1Row> &rows)
+{
+    TableWriter tw;
+    tw.addColumn("Benchmark", Align::Left);
+    tw.addColumn("Slope");
+    tw.addColumn("y-intercept");
+    tw.addColumn("Low");
+    tw.addColumn("High");
+    for (const auto &row : rows) {
+        if (!row.significant)
+            continue; // Table 1 lists only the significant benchmarks
+        tw.beginRow();
+        tw.cell(row.benchmark);
+        tw.cell(row.slope, "%.3f");
+        tw.cell(row.intercept, "%.3f");
+        tw.cell(row.perfectLow, "%.3f");
+        tw.cell(row.perfectHigh, "%.3f");
+    }
+    return tw;
+}
+
+std::string
+regressionLine(const PerformanceModel &model)
+{
+    const auto &fit = model.branchModel().fit;
+    return strprintf("CPI = %.5f * MPKI + %.5f  (r=%.3f, r2=%.3f, n=%zu)",
+                     fit.slope(), fit.intercept(), fit.r(), fit.r2(),
+                     model.sampleCount());
+}
+
+std::vector<std::string>
+asciiViolin(const stats::ViolinData &violin, size_t rows, size_t width)
+{
+    INTERF_ASSERT(rows >= 2);
+    INTERF_ASSERT(!violin.grid.empty());
+    double max_density = 0.0;
+    for (double d : violin.density)
+        max_density = std::max(max_density, d);
+    if (max_density <= 0.0)
+        max_density = 1.0;
+
+    std::vector<std::string> out;
+    size_t n = violin.grid.size();
+    for (size_t r = 0; r < rows; ++r) {
+        // Average the density over this row's slice of the grid.
+        size_t lo = r * n / rows;
+        size_t hi = std::max(lo + 1, (r + 1) * n / rows);
+        double d = 0.0;
+        for (size_t i = lo; i < hi; ++i)
+            d += violin.density[i];
+        d /= static_cast<double>(hi - lo);
+        double mid = 0.5 * (violin.grid[lo] + violin.grid[hi - 1]);
+        size_t half = static_cast<size_t>(
+            std::lround(d / max_density * static_cast<double>(width)));
+        std::string bar(width - half, ' ');
+        bar += std::string(half, '#');
+        bar += "|";
+        bar += std::string(half, '#');
+        out.push_back(strprintf("%9.3f  %s", mid, bar.c_str()));
+    }
+    return out;
+}
+
+} // namespace interf::interferometry

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reporting helpers shared by the bench harnesses: Table-1 style
+ * tables, ASCII violin rendering for Figure 1, and regression summary
+ * lines matching the statistics the paper quotes.
+ */
+
+#ifndef INTERF_INTERFEROMETRY_REPORT_HH
+#define INTERF_INTERFEROMETRY_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "interferometry/model.hh"
+#include "stats/kde.hh"
+#include "util/table.hh"
+
+namespace interf::interferometry
+{
+
+/** Build the Table-1 table (slope, intercept, 0-MPKI PI) from rows. */
+TableWriter makeTable1(const std::vector<Table1Row> &rows);
+
+/**
+ * One-line regression summary like the paper's
+ * "CPI = 0.02799 * MPKI + 0.51667".
+ */
+std::string regressionLine(const PerformanceModel &model);
+
+/**
+ * ASCII violin: a horizontal density profile per row (widest at the
+ * mode), for terminal inspection of Figure 1's distributions.
+ *
+ * @param violin The KDE profile.
+ * @param rows Number of text rows to compress the grid into.
+ * @param width Maximum half-width in characters.
+ * @return One string per row: "<grid value> |<bar>|".
+ */
+std::vector<std::string> asciiViolin(const stats::ViolinData &violin,
+                                     size_t rows = 15, size_t width = 24);
+
+} // namespace interf::interferometry
+
+#endif // INTERF_INTERFEROMETRY_REPORT_HH

@@ -1,0 +1,136 @@
+#include "layout/heap.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace interf::layout
+{
+
+namespace
+{
+
+constexpr Addr kGlobalBase = 0x00600000;
+constexpr Addr kHeapBase = 0x10000000;
+constexpr Addr kStackBase = 0x7fff00000000ULL;
+
+/** Smallest power-of-two size class holding `size` (min 4 KiB). */
+u64
+sizeClassOf(u64 size)
+{
+    u64 cls = 4096;
+    while (cls < size)
+        cls <<= 1;
+    return cls;
+}
+
+} // anonymous namespace
+
+HeapKey
+HeapKey::deterministic()
+{
+    HeapKey key;
+    key.randomize = false;
+    return key;
+}
+
+HeapLayout::HeapLayout(const trace::Program &prog, const HeapKey &key)
+{
+    using trace::RegionKind;
+    const auto &regions = prog.regions();
+    regionBase_.resize(regions.size(), 0);
+
+    // Globals: packed in id order, 64-byte aligned, never randomized.
+    Addr global_cursor = kGlobalBase;
+    for (const auto &r : regions) {
+        if (r.kind != RegionKind::Global)
+            continue;
+        regionBase_[r.id] = global_cursor;
+        global_cursor += (r.size + 63) & ~u64{63};
+    }
+
+    // Stack regions: fixed placement below the stack base.
+    Addr stack_cursor = kStackBase;
+    for (const auto &r : regions) {
+        if (r.kind != RegionKind::Stack)
+            continue;
+        stack_cursor -= (r.size + 63) & ~u64{63};
+        regionBase_[r.id] = stack_cursor;
+    }
+
+    // Heap regions.
+    std::vector<u32> heap_ids;
+    for (const auto &r : regions)
+        if (r.kind == RegionKind::Heap)
+            heap_ids.push_back(r.id);
+    if (heap_ids.empty())
+        return;
+
+    if (!key.randomize) {
+        // Deterministic malloc: bump allocation in id (allocation)
+        // order with 64-byte alignment.
+        Addr cursor = kHeapBase;
+        for (u32 id : heap_ids) {
+            regionBase_[id] = cursor;
+            cursor += (regions[id].size + 63) & ~u64{63};
+        }
+        heapSpan_ = cursor - kHeapBase;
+        return;
+    }
+
+    // DieHard-style: group objects by power-of-two size class; each
+    // class has an arena of expansionFactor * count slots; each object
+    // occupies a distinct uniformly-random slot.
+    INTERF_ASSERT(key.expansionFactor >= 1);
+    std::map<u64, std::vector<u32>> classes;
+    for (u32 id : heap_ids)
+        classes[sizeClassOf(regions[id].size)].push_back(id);
+
+    Rng rng(key.seed);
+    Addr arena_base = kHeapBase;
+    for (auto &[cls_size, ids] : classes) {
+        u64 slots =
+            static_cast<u64>(ids.size()) * key.expansionFactor;
+        Rng cls_rng = rng.fork(cls_size);
+        std::vector<u32> slot_perm =
+            cls_rng.permutation(static_cast<size_t>(slots));
+        // Slot pitch carries one guard line: size classes are
+        // multiples of the L1 way span, so class-aligned placement
+        // alone would never change L1 set mappings. The guard line
+        // (and the sub-slot jitter below) model the arbitrary
+        // page-offset positions of real DieHard miniheaps.
+        u64 pitch = cls_size + 64;
+        // Per-class arena phase: the miniheap itself lands at a random
+        // line-aligned offset, so even a single-object class sees many
+        // distinct placements across seeds.
+        Addr arena_phase = cls_rng.uniformInt(cls_size / 64) * 64;
+        for (size_t i = 0; i < ids.size(); ++i) {
+            Addr slot = arena_base + arena_phase +
+                static_cast<u64>(slot_perm[i]) * pitch;
+            u64 slack = (cls_size - regions[ids[i]].size) / 64;
+            Addr jitter =
+                slack > 0 ? cls_rng.uniformInt(slack + 1) * 64 : 0;
+            regionBase_[ids[i]] = slot + jitter;
+        }
+        arena_base += slots * pitch + cls_size; // phase headroom
+    }
+    heapSpan_ = arena_base - kHeapBase;
+}
+
+Addr
+HeapLayout::regionBase(u32 region_id) const
+{
+    INTERF_ASSERT(region_id < regionBase_.size());
+    return regionBase_[region_id];
+}
+
+Addr
+HeapLayout::dataAddr(u64 logical_id) const
+{
+    u32 region = trace::dataIdRegion(logical_id);
+    return regionBase(region) + trace::dataIdOffset(logical_id);
+}
+
+} // namespace interf::layout

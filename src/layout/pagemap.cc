@@ -1,0 +1,65 @@
+#include "layout/pagemap.hh"
+
+#include "util/random.hh"
+
+namespace interf::layout
+{
+
+namespace
+{
+
+/** Mix a 16-bit half with a round key (any function works in a
+ *  Feistel network). */
+inline u32
+roundFn(u32 half, u32 key)
+{
+    u32 x = half ^ key;
+    x *= 0x9e37u;
+    x ^= x >> 7;
+    x *= 0x85ebu;
+    x ^= x >> 9;
+    return x & 0xffffu;
+}
+
+} // anonymous namespace
+
+PageMap::PageMap() = default;
+
+PageMap::PageMap(u64 seed) : identity_(false), seed_(seed)
+{
+    u64 s = seed;
+    for (auto &k : keys_)
+        k = static_cast<u32>(splitmix64(s) & 0xffffu);
+}
+
+u32
+PageMap::permutePage(u32 vpn) const
+{
+    // 4-round Feistel over a 32-bit page number: bijective by
+    // construction, so distinct virtual pages never collide.
+    u32 left = vpn >> 16;
+    u32 right = vpn & 0xffffu;
+    for (u32 round = 0; round < 4; ++round) {
+        u32 next_left = right;
+        right = left ^ roundFn(right, keys_[round]);
+        left = next_left;
+    }
+    return (left << 16) | right;
+}
+
+Addr
+PageMap::translate(Addr vaddr) const
+{
+    if (identity_)
+        return vaddr;
+    // The permutation covers the low 16 TiB (32-bit page numbers) that
+    // all text/data/heap images live in; anything above (e.g. stack
+    // pages) passes through unchanged, like OS-pinned mappings.
+    if (vaddr >> (pageBits + 32))
+        return vaddr;
+    Addr offset = vaddr & ((Addr{1} << pageBits) - 1);
+    u32 vpn = static_cast<u32>(vaddr >> pageBits);
+    return (static_cast<Addr>(permutePage(vpn)) << pageBits) | offset;
+}
+
+} // namespace interf::layout

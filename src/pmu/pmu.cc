@@ -1,0 +1,83 @@
+#include "pmu/pmu.hh"
+
+#include "util/logging.hh"
+
+namespace interf::pmu
+{
+
+const char *
+eventName(Event ev)
+{
+    switch (ev) {
+      case Event::Cycles:
+        return "cycles";
+      case Event::RetiredInsts:
+        return "retired-instructions";
+      case Event::RetiredBranches:
+        return "retired-branches";
+      case Event::MispredBranches:
+        return "mispredicted-branches";
+      case Event::L1IMisses:
+        return "l1i-misses";
+      case Event::L1DMisses:
+        return "l1d-misses";
+      case Event::L2Misses:
+        return "l2-misses";
+      case Event::BtbMisses:
+        return "btb-misses";
+      case Event::NumEvents:
+        break;
+    }
+    panic("bad Event %d", static_cast<int>(ev));
+}
+
+bool
+isFixedEvent(Event ev)
+{
+    return ev == Event::Cycles || ev == Event::RetiredInsts;
+}
+
+std::vector<EventGroup>
+standardGroups()
+{
+    return {
+        {Event::MispredBranches, Event::RetiredBranches},
+        {Event::L1IMisses, Event::L1DMisses},
+        {Event::L2Misses, Event::BtbMisses},
+    };
+}
+
+Pmu::Pmu() : group_{Event::MispredBranches, Event::RetiredBranches} {}
+
+void
+Pmu::program(const EventGroup &group)
+{
+    if (isFixedEvent(group.a) || isFixedEvent(group.b))
+        fatal("fixed events need not occupy a programmable counter");
+    group_ = group;
+    programmed_ = true;
+}
+
+bool
+Pmu::readable(Event ev) const
+{
+    if (isFixedEvent(ev))
+        return true;
+    return programmed_ && (ev == group_.a || ev == group_.b);
+}
+
+u64
+Pmu::read(Event ev) const
+{
+    if (!readable(ev))
+        fatal("event '%s' is not programmed on this run", eventName(ev));
+    return raw_[static_cast<size_t>(ev)];
+}
+
+void
+Pmu::zero()
+{
+    raw_.fill(0);
+}
+
+} // namespace interf::pmu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Performance monitoring unit model.
+ *
+ * Section 5.5 of the paper: "The Intel Xeon processor allows up to two
+ * user-defined microarchitectural events to be counted simultaneously.
+ * We are interested in more than two events, so we make multiple runs
+ * of each benchmark ... We group the counters into three sets of two."
+ *
+ * The Pmu models exactly that constraint: fixed counters (cycles,
+ * retired instructions) are always available; at most two programmable
+ * events count per run. The MeasurementRunner (core/runner) performs
+ * the three-group x five-run median protocol on top of this model.
+ */
+
+#ifndef INTERF_PMU_PMU_HH
+#define INTERF_PMU_PMU_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf::pmu
+{
+
+/** Countable microarchitectural events. */
+enum class Event : u8 {
+    Cycles,           ///< Fixed counter.
+    RetiredInsts,     ///< Fixed counter.
+    RetiredBranches,  ///< Programmable.
+    MispredBranches,  ///< Programmable.
+    L1IMisses,        ///< Programmable.
+    L1DMisses,        ///< Programmable.
+    L2Misses,         ///< Programmable.
+    BtbMisses,        ///< Programmable.
+    NumEvents,
+};
+
+/** Human-readable event name. */
+const char *eventName(Event ev);
+
+/** True for the always-available fixed counters. */
+bool isFixedEvent(Event ev);
+
+/** A pair of programmable events measured together in one run. */
+struct EventGroup
+{
+    Event a;
+    Event b;
+};
+
+/**
+ * The paper's three groups of two programmable events (plus the fixed
+ * cycles/instructions counted in every run): branches, L1 misses,
+ * L2/BTB misses.
+ */
+std::vector<EventGroup> standardGroups();
+
+/**
+ * The PMU: raw event tallies for one run plus the programmable-counter
+ * windowing that decides which tallies a measurement may legally read.
+ *
+ * The timing model increments *all* events (the hardware does occur);
+ * read() enforces that only fixed events and the two programmed events
+ * are observable, modeling the two-counter limit.
+ */
+class Pmu
+{
+  public:
+    Pmu();
+
+    /** Select the two programmable events for this run. */
+    void program(const EventGroup &group);
+
+    /** Increment an event (timing-model side). */
+    void
+    count(Event ev, u64 n = 1)
+    {
+        raw_[static_cast<size_t>(ev)] += n;
+    }
+
+    /**
+     * Read a counter (measurement side). Fixed events always read;
+     * programmable events only if selected by program(); otherwise
+     * fatal(), since reading an unprogrammed counter is a harness bug
+     * the real perfex would also reject.
+     */
+    u64 read(Event ev) const;
+
+    /** Whether the event is readable in the current programming. */
+    bool readable(Event ev) const;
+
+    /** Raw access for tests and whole-run validation (not "hardware"). */
+    u64 rawCount(Event ev) const
+    {
+        return raw_[static_cast<size_t>(ev)];
+    }
+
+    /** Clear all tallies (new run), keeping the programming. */
+    void zero();
+
+  private:
+    std::array<u64, static_cast<size_t>(Event::NumEvents)> raw_{};
+    EventGroup group_;
+    bool programmed_ = false;
+};
+
+} // namespace interf::pmu
+
+#endif // INTERF_PMU_PMU_HH

@@ -1,0 +1,126 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace interf::stats
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(!xs.empty());
+    double sum = std::accumulate(xs.begin(), xs.end(), 0.0);
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleVariance(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(xs.size() >= 2);
+    double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        double d = x - m;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+double
+sampleStdDev(const std::vector<double> &xs)
+{
+    return std::sqrt(sampleVariance(xs));
+}
+
+double
+median(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(!xs.empty());
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    size_t n = sorted.size();
+    if (n % 2 == 1)
+        return sorted[n / 2];
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+size_t
+medianIndex(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(!xs.empty());
+    std::vector<size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+    return order[(xs.size() - 1) / 2];
+}
+
+double
+percentile(const std::vector<double> &xs, double p)
+{
+    INTERF_ASSERT(!xs.empty());
+    INTERF_ASSERT(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted[0];
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+minValue(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxValue(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    INTERF_ASSERT(xs.size() == ys.size());
+    INTERF_ASSERT(xs.size() >= 2);
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0; // a constant variable has no linear correlation
+    return sxy / std::sqrt(sxx * syy);
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(!xs.empty());
+    Summary s;
+    s.n = xs.size();
+    s.mean = mean(xs);
+    s.stdDev = xs.size() >= 2 ? sampleStdDev(xs) : 0.0;
+    s.min = minValue(xs);
+    s.max = maxValue(xs);
+    s.median = median(xs);
+    return s;
+}
+
+} // namespace interf::stats

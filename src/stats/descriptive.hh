@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Descriptive statistics: means, variances, medians, percentiles.
+ *
+ * These are the building blocks for the paper's measurement protocol
+ * (take the run with the median cycle count of five) and for summarizing
+ * campaigns (average CPI over 100 reorderings, etc.).
+ */
+
+#ifndef INTERF_STATS_DESCRIPTIVE_HH
+#define INTERF_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace interf::stats
+{
+
+/** Arithmetic mean; panics on an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance (divides by n-1); panics when n < 2. */
+double sampleVariance(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation. */
+double sampleStdDev(const std::vector<double> &xs);
+
+/** Median (average of the middle two for even n); panics when empty. */
+double median(const std::vector<double> &xs);
+
+/**
+ * Index of the element holding the median. For even n returns the index
+ * of the lower-middle order statistic. This mirrors the measurement
+ * protocol: of five runs we keep *the run* whose cycle count is the
+ * median, so we need its index, not an interpolated value.
+ */
+size_t medianIndex(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolation percentile, p in [0, 100]; panics when empty.
+ */
+double percentile(const std::vector<double> &xs, double p);
+
+/** Minimum element; panics when empty. */
+double minValue(const std::vector<double> &xs);
+
+/** Maximum element; panics when empty. */
+double maxValue(const std::vector<double> &xs);
+
+/** Pearson correlation coefficient r; panics unless sizes match, n >= 2. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Summary bundle for one variable. */
+struct Summary
+{
+    size_t n = 0;
+    double mean = 0.0;
+    double stdDev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/** Compute the full Summary for a sample; panics when n < 1. */
+Summary summarize(const std::vector<double> &xs);
+
+} // namespace interf::stats
+
+#endif // INTERF_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,212 @@
+#include "stats/distributions.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace interf::stats
+{
+
+namespace
+{
+
+/**
+ * Continued-fraction evaluation for the incomplete beta function
+ * (Numerical-Recipes-style modified Lentz algorithm).
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int max_iterations = 300;
+    constexpr double epsilon = 3.0e-14;
+    constexpr double fpmin = 1.0e-300;
+
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iterations; ++m) {
+        double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < epsilon)
+            return h;
+    }
+    warn("incomplete beta continued fraction did not converge "
+         "(a=%g b=%g x=%g)", a, b, x);
+    return h;
+}
+
+} // anonymous namespace
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    INTERF_ASSERT(a > 0.0 && b > 0.0);
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                      a * std::log(x) + b * std::log1p(-x);
+    double front = std::exp(ln_front);
+    // Use the symmetry relation to keep the continued fraction in its
+    // fast-converging regime.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double
+normalQuantile(double p)
+{
+    INTERF_ASSERT(p > 0.0 && p < 1.0);
+
+    // Acklam's rational approximation.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00, 2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    constexpr double p_low = 0.02425;
+    double x;
+    if (p < p_low) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - p_low) {
+        double q = p - 0.5;
+        double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        double q = std::sqrt(-2.0 * std::log1p(-p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step pushes the error near machine epsilon.
+    double e = normalCdf(x) - p;
+    double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+double
+studentTCdf(double t, double nu)
+{
+    INTERF_ASSERT(nu > 0.0);
+    if (std::isinf(t))
+        return t > 0 ? 1.0 : 0.0;
+    double x = nu / (nu + t * t);
+    double tail = 0.5 * incompleteBeta(nu / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double
+studentTQuantile(double p, double nu)
+{
+    INTERF_ASSERT(p > 0.0 && p < 1.0);
+    INTERF_ASSERT(nu > 0.0);
+    if (p == 0.5)
+        return 0.0;
+
+    // Start from the normal quantile and refine with bisection+Newton on
+    // the exact CDF. Robust over all nu, fast enough for our usage.
+    double lo = -1e10, hi = 1e10;
+    double x = normalQuantile(p);
+    if (nu < 30.0) {
+        // Heavy tails: widen the initial guess.
+        x *= std::sqrt(nu / std::max(nu - 2.0, 0.5));
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+        double cdf = studentTCdf(x, nu);
+        double err = cdf - p;
+        if (std::fabs(err) < 1e-14)
+            break;
+        if (err > 0)
+            hi = x;
+        else
+            lo = x;
+        // t density at x
+        double ln_pdf = std::lgamma((nu + 1.0) / 2.0) -
+                        std::lgamma(nu / 2.0) -
+                        0.5 * std::log(nu * M_PI) -
+                        (nu + 1.0) / 2.0 * std::log1p(x * x / nu);
+        double pdf = std::exp(ln_pdf);
+        double step = pdf > 0 ? err / pdf : 0.0;
+        double next = x - step;
+        if (!(next > lo && next < hi))
+            next = 0.5 * (lo + hi); // fall back to bisection
+        if (next == x)
+            break;
+        x = next;
+    }
+    return x;
+}
+
+double
+studentTTwoSidedP(double t, double nu)
+{
+    double abs_t = std::fabs(t);
+    return 2.0 * (1.0 - studentTCdf(abs_t, nu));
+}
+
+double
+fCdf(double f, double d1, double d2)
+{
+    INTERF_ASSERT(d1 > 0.0 && d2 > 0.0);
+    if (f <= 0.0)
+        return 0.0;
+    double x = d1 * f / (d1 * f + d2);
+    return incompleteBeta(d1 / 2.0, d2 / 2.0, x);
+}
+
+double
+fUpperTailP(double f, double d1, double d2)
+{
+    return 1.0 - fCdf(f, d1, d2);
+}
+
+} // namespace interf::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Probability distributions needed by the regression machinery.
+ *
+ * The paper's statistics (Section 5.8) rely on Student's t distribution
+ * (correlation t-tests, confidence/prediction intervals) and the F
+ * distribution (significance of the combined multi-linear model). Both
+ * reduce to the regularized incomplete beta function, implemented here
+ * with the standard continued-fraction expansion (Lentz's method).
+ */
+
+#ifndef INTERF_STATS_DISTRIBUTIONS_HH
+#define INTERF_STATS_DISTRIBUTIONS_HH
+
+namespace interf::stats
+{
+
+/**
+ * Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+ * x in [0, 1].
+ */
+double incompleteBeta(double a, double b, double x);
+
+/** Standard normal cumulative distribution function. */
+double normalCdf(double z);
+
+/**
+ * Standard normal quantile function (inverse CDF) for p in (0, 1).
+ * Uses the Acklam rational approximation refined with one Halley step.
+ */
+double normalQuantile(double p);
+
+/** Student's t CDF with nu degrees of freedom. */
+double studentTCdf(double t, double nu);
+
+/**
+ * Student's t quantile for p in (0, 1) and nu > 0 degrees of freedom.
+ * t such that P(T <= t) = p.
+ */
+double studentTQuantile(double p, double nu);
+
+/**
+ * Two-sided p-value for an observed t statistic with nu degrees of
+ * freedom, i.e. P(|T| >= |t|).
+ */
+double studentTTwoSidedP(double t, double nu);
+
+/** F distribution CDF with (d1, d2) degrees of freedom. */
+double fCdf(double f, double d1, double d2);
+
+/** Upper-tail p-value P(F >= f) with (d1, d2) degrees of freedom. */
+double fUpperTailP(double f, double d1, double d2);
+
+} // namespace interf::stats
+
+#endif // INTERF_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,56 @@
+#include "stats/hypothesis.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hh"
+#include "stats/distributions.hh"
+#include "util/logging.hh"
+
+namespace interf::stats
+{
+
+TestResult
+correlationTTest(double r, size_t n)
+{
+    INTERF_ASSERT(n >= 3);
+    TestResult res;
+    double r2 = r * r;
+    if (r2 >= 1.0) {
+        res.statistic = std::numeric_limits<double>::infinity();
+        res.pValue = 0.0;
+        return res;
+    }
+    double nu = static_cast<double>(n - 2);
+    res.statistic = r * std::sqrt(nu / (1.0 - r2));
+    res.pValue = studentTTwoSidedP(res.statistic, nu);
+    return res;
+}
+
+TestResult
+correlationTTest(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    return correlationTTest(pearson(xs, ys), xs.size());
+}
+
+TestResult
+regressionFTest(double r2, size_t n, size_t k)
+{
+    INTERF_ASSERT(k >= 1);
+    INTERF_ASSERT(n >= k + 2);
+    TestResult res;
+    if (r2 >= 1.0) {
+        res.statistic = std::numeric_limits<double>::infinity();
+        res.pValue = 0.0;
+        return res;
+    }
+    if (r2 < 0.0)
+        r2 = 0.0;
+    double kk = static_cast<double>(k);
+    double dof2 = static_cast<double>(n - k - 1);
+    res.statistic = (r2 / kk) / ((1.0 - r2) / dof2);
+    res.pValue = fUpperTailP(res.statistic, kk, dof2);
+    return res;
+}
+
+} // namespace interf::stats

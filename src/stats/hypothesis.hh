@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Hypothesis tests used to gate the regression models.
+ *
+ * Section 4.6 of the paper: "For each type of prediction we would like to
+ * make for a given benchmark, we first determine whether there is
+ * significant correlation between the dependent variable and independent
+ * variables. We use Student's t-test with the null hypothesis 'there is
+ * no correlation'." The combined multi-linear model uses the F-test
+ * instead (Section 6.2).
+ */
+
+#ifndef INTERF_STATS_HYPOTHESIS_HH
+#define INTERF_STATS_HYPOTHESIS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace interf::stats
+{
+
+/** Result of a significance test. */
+struct TestResult
+{
+    double statistic = 0.0; ///< t or F statistic.
+    double pValue = 1.0;    ///< Two-sided (t) or upper-tail (F) p-value.
+
+    /** True when the null hypothesis is rejected at level alpha. */
+    bool significantAt(double alpha = 0.05) const { return pValue <= alpha; }
+};
+
+/**
+ * Student's t-test for H0: "there is no correlation" given a sample
+ * Pearson r over n observations. Uses t = r * sqrt((n-2) / (1-r^2)) with
+ * n-2 degrees of freedom.
+ */
+TestResult correlationTTest(double r, size_t n);
+
+/** Convenience overload computing r from the paired samples first. */
+TestResult correlationTTest(const std::vector<double> &xs,
+                            const std::vector<double> &ys);
+
+/**
+ * F-test for H0: "all slope coefficients are zero" in a multiple
+ * regression with k predictors, n observations and coefficient of
+ * determination r2.
+ */
+TestResult regressionFTest(double r2, size_t n, size_t k);
+
+} // namespace interf::stats
+
+#endif // INTERF_STATS_HYPOTHESIS_HH

@@ -1,0 +1,75 @@
+#include "stats/kde.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace interf::stats
+{
+
+double
+ViolinData::mode() const
+{
+    INTERF_ASSERT(!grid.empty());
+    size_t best = 0;
+    for (size_t i = 1; i < density.size(); ++i)
+        if (density[i] > density[best])
+            best = i;
+    return grid[best];
+}
+
+double
+silvermanBandwidth(const std::vector<double> &xs)
+{
+    INTERF_ASSERT(xs.size() >= 2);
+    double sd = sampleStdDev(xs);
+    double iqr = percentile(xs, 75.0) - percentile(xs, 25.0);
+    double spread = sd;
+    if (iqr > 0.0)
+        spread = std::min(sd, iqr / 1.349);
+    if (spread <= 0.0)
+        spread = std::max(sd, 1e-9);
+    double n = static_cast<double>(xs.size());
+    return 0.9 * spread * std::pow(n, -0.2);
+}
+
+ViolinData
+kernelDensity(const std::vector<double> &xs, size_t grid_points, double pad)
+{
+    INTERF_ASSERT(xs.size() >= 2);
+    INTERF_ASSERT(grid_points >= 2);
+
+    double lo = minValue(xs);
+    double hi = maxValue(xs);
+    double range = hi - lo;
+    if (range <= 0.0)
+        range = std::max(std::fabs(lo), 1.0) * 1e-6;
+    lo -= pad * range;
+    hi += pad * range;
+
+    double h = silvermanBandwidth(xs);
+    if (h <= 0.0)
+        h = range / static_cast<double>(grid_points);
+
+    ViolinData out;
+    out.grid.resize(grid_points);
+    out.density.resize(grid_points);
+    double step = (hi - lo) / static_cast<double>(grid_points - 1);
+    double norm = 1.0 /
+        (static_cast<double>(xs.size()) * h * std::sqrt(2.0 * M_PI));
+    for (size_t i = 0; i < grid_points; ++i) {
+        double g = lo + step * static_cast<double>(i);
+        double acc = 0.0;
+        for (double x : xs) {
+            double z = (g - x) / h;
+            acc += std::exp(-0.5 * z * z);
+        }
+        out.grid[i] = g;
+        out.density[i] = acc * norm;
+    }
+    return out;
+}
+
+} // namespace interf::stats

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Gaussian kernel density estimation for violin plots.
+ *
+ * Figure 1 of the paper shows violin plots of percentage CPI variation
+ * under code reordering: "the thickness at each CPI value is proportional
+ * to the number of CPIs observed in that neighborhood". ViolinData is
+ * exactly that thickness profile, evaluated on a regular grid.
+ */
+
+#ifndef INTERF_STATS_KDE_HH
+#define INTERF_STATS_KDE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace interf::stats
+{
+
+/** Density profile of one violin: density[i] estimated at grid[i]. */
+struct ViolinData
+{
+    std::vector<double> grid;
+    std::vector<double> density;
+
+    /** Grid value with the highest density (the violin's widest point). */
+    double mode() const;
+};
+
+/**
+ * Gaussian KDE with Silverman's rule-of-thumb bandwidth.
+ *
+ * @param xs Sample (at least 2 points).
+ * @param grid_points Number of evaluation points.
+ * @param pad Fraction of the data range added on each side of the grid.
+ * @return Density evaluated on the grid; integrates to ~1.
+ */
+ViolinData kernelDensity(const std::vector<double> &xs,
+                         size_t grid_points = 64, double pad = 0.15);
+
+/** Silverman's rule-of-thumb bandwidth for a sample. */
+double silvermanBandwidth(const std::vector<double> &xs);
+
+} // namespace interf::stats
+
+#endif // INTERF_STATS_KDE_HH

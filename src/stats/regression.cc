@@ -1,0 +1,257 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hh"
+#include "stats/distributions.hh"
+#include "util/logging.hh"
+
+namespace interf::stats
+{
+
+LinearFit::LinearFit(const std::vector<double> &xs,
+                     const std::vector<double> &ys)
+{
+    INTERF_ASSERT(xs.size() == ys.size());
+    INTERF_ASSERT(xs.size() >= 3);
+    n_ = xs.size();
+
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n_; ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    xMean_ = mx;
+    sxx_ = sxx;
+    if (sxx == 0.0) {
+        // Degenerate: x is constant. Model the mean and report zero
+        // correlation; slope inference is meaningless and slopeT() will
+        // reflect that with a zero statistic.
+        slope_ = 0.0;
+        intercept_ = my;
+        r_ = 0.0;
+        double sse = syy;
+        s_ = n_ > 2 ? std::sqrt(sse / static_cast<double>(n_ - 2)) : 0.0;
+        return;
+    }
+    slope_ = sxy / sxx;
+    intercept_ = my - slope_ * mx;
+    r_ = (syy == 0.0) ? 0.0 : sxy / std::sqrt(sxx * syy);
+    double sse = syy - slope_ * sxy;
+    if (sse < 0.0)
+        sse = 0.0; // numerical guard
+    s_ = std::sqrt(sse / static_cast<double>(n_ - 2));
+}
+
+double
+LinearFit::slopeStdError() const
+{
+    if (sxx_ == 0.0)
+        return 0.0;
+    return s_ / std::sqrt(sxx_);
+}
+
+double
+LinearFit::interceptStdError() const
+{
+    if (sxx_ == 0.0)
+        return s_ / std::sqrt(static_cast<double>(n_));
+    double n = static_cast<double>(n_);
+    return s_ * std::sqrt(1.0 / n + xMean_ * xMean_ / sxx_);
+}
+
+double
+LinearFit::slopeT() const
+{
+    double se = slopeStdError();
+    if (se == 0.0)
+        return 0.0;
+    return slope_ / se;
+}
+
+double
+LinearFit::halfWidth(double x, double confidence, bool prediction) const
+{
+    INTERF_ASSERT(confidence > 0.0 && confidence < 1.0);
+    double nu = static_cast<double>(n_ - 2);
+    double t = studentTQuantile(0.5 + confidence / 2.0, nu);
+    double n = static_cast<double>(n_);
+    double lever = (sxx_ == 0.0)
+                       ? 1.0 / n
+                       : 1.0 / n + (x - xMean_) * (x - xMean_) / sxx_;
+    double var_factor = prediction ? 1.0 + lever : lever;
+    return t * s_ * std::sqrt(var_factor);
+}
+
+Interval
+LinearFit::confidenceInterval(double x, double confidence) const
+{
+    double y = predict(x);
+    double h = halfWidth(x, confidence, false);
+    return {y - h, y + h};
+}
+
+Interval
+LinearFit::predictionInterval(double x, double confidence) const
+{
+    double y = predict(x);
+    double h = halfWidth(x, confidence, true);
+    return {y - h, y + h};
+}
+
+namespace
+{
+
+/**
+ * Solve the symmetric positive-definite system A x = b in place with
+ * Cholesky decomposition. Dimensions are tiny (<= 4), so simplicity wins
+ * over numerics-library dependencies. Returns false when A is not
+ * positive definite (collinear predictors).
+ */
+bool
+choleskySolve(std::vector<std::vector<double>> &a, std::vector<double> &b)
+{
+    size_t n = a.size();
+    // Decompose A = L L^T, storing L in the lower triangle.
+    for (size_t j = 0; j < n; ++j) {
+        double d = a[j][j];
+        for (size_t k = 0; k < j; ++k)
+            d -= a[j][k] * a[j][k];
+        if (d <= 0.0)
+            return false;
+        a[j][j] = std::sqrt(d);
+        for (size_t i = j + 1; i < n; ++i) {
+            double v = a[i][j];
+            for (size_t k = 0; k < j; ++k)
+                v -= a[i][k] * a[j][k];
+            a[i][j] = v / a[j][j];
+        }
+    }
+    // Forward substitution: L y = b.
+    for (size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (size_t k = 0; k < i; ++k)
+            v -= a[i][k] * b[k];
+        b[i] = v / a[i][i];
+    }
+    // Back substitution: L^T x = y.
+    for (size_t ii = n; ii-- > 0;) {
+        double v = b[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            v -= a[k][ii] * b[k];
+        b[ii] = v / a[ii][ii];
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+MultiFit::MultiFit(const std::vector<std::vector<double>> &columns,
+                   const std::vector<double> &ys)
+{
+    INTERF_ASSERT(!columns.empty());
+    size_t n = ys.size();
+    size_t k = columns.size();
+    for (const auto &col : columns)
+        INTERF_ASSERT(col.size() == n);
+    INTERF_ASSERT(n >= k + 2);
+    n_ = n;
+
+    // Build the (k+1)x(k+1) normal-equation matrix X^T X and X^T y with
+    // an implicit leading column of ones.
+    size_t dim = k + 1;
+    std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+    std::vector<double> xty(dim, 0.0);
+    auto col_value = [&](size_t j, size_t row) {
+        return j == 0 ? 1.0 : columns[j - 1][row];
+    };
+    for (size_t row = 0; row < n; ++row) {
+        for (size_t i = 0; i < dim; ++i) {
+            double xi = col_value(i, row);
+            xty[i] += xi * ys[row];
+            for (size_t j = 0; j <= i; ++j)
+                xtx[i][j] += xi * col_value(j, row);
+        }
+    }
+    for (size_t i = 0; i < dim; ++i)
+        for (size_t j = i + 1; j < dim; ++j)
+            xtx[i][j] = xtx[j][i];
+
+    // Tiny ridge term keeps near-collinear predictor sets solvable; its
+    // magnitude is far below measurement noise.
+    std::vector<double> beta = xty;
+    auto a = xtx;
+    for (size_t i = 1; i < dim; ++i)
+        a[i][i] += 1e-12 * (xtx[i][i] > 0 ? xtx[i][i] : 1.0);
+    if (!choleskySolve(a, beta)) {
+        warn("multiple regression: singular normal equations; "
+             "falling back to intercept-only model");
+        beta.assign(dim, 0.0);
+        beta[0] = mean(ys);
+    }
+    beta_ = beta;
+
+    // r^2 from residuals.
+    double my = mean(ys);
+    double sse = 0.0, sst = 0.0;
+    for (size_t row = 0; row < n; ++row) {
+        double yhat = beta_[0];
+        for (size_t j = 0; j < k; ++j)
+            yhat += beta_[j + 1] * columns[j][row];
+        double res = ys[row] - yhat;
+        sse += res * res;
+        double dev = ys[row] - my;
+        sst += dev * dev;
+    }
+    r2_ = (sst == 0.0) ? 0.0 : 1.0 - sse / sst;
+    if (r2_ < 0.0)
+        r2_ = 0.0;
+}
+
+double
+MultiFit::predict(const std::vector<double> &xs) const
+{
+    INTERF_ASSERT(xs.size() == k());
+    double y = beta_[0];
+    for (size_t j = 0; j < xs.size(); ++j)
+        y += beta_[j + 1] * xs[j];
+    return y;
+}
+
+double
+MultiFit::adjustedR2() const
+{
+    double n = static_cast<double>(n_);
+    double kk = static_cast<double>(k());
+    if (n - kk - 1.0 <= 0.0)
+        return r2_;
+    return 1.0 - (1.0 - r2_) * (n - 1.0) / (n - kk - 1.0);
+}
+
+double
+MultiFit::fStatistic() const
+{
+    double n = static_cast<double>(n_);
+    double kk = static_cast<double>(k());
+    if (r2_ >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return (r2_ / kk) / ((1.0 - r2_) / (n - kk - 1.0));
+}
+
+double
+MultiFit::fPValue() const
+{
+    double f = fStatistic();
+    if (std::isinf(f))
+        return 0.0;
+    return fUpperTailP(f, static_cast<double>(k()),
+                       static_cast<double>(n_ - k() - 1));
+}
+
+} // namespace interf::stats

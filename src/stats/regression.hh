@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Least-squares regression with the inference machinery the paper uses.
+ *
+ * Simple linear regression (CPI = m * MPKI + b) produces the slope,
+ * intercept, Pearson r, r^2, the t statistic for the slope, and 95%
+ * confidence and prediction intervals at arbitrary x — exactly the
+ * quantities behind Figures 2/3/5, Table 1, and the Section 1.4 claims.
+ *
+ * Multiple linear regression (CPI ~ MPKI + L1I + L2) produces the
+ * combined model of Section 6.1 with its F statistic for Section 6.2's
+ * significance test.
+ */
+
+#ifndef INTERF_STATS_REGRESSION_HH
+#define INTERF_STATS_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace interf::stats
+{
+
+/** A two-sided interval [lo, hi]. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    double width() const { return hi - lo; }
+    double center() const { return 0.5 * (lo + hi); }
+    bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/**
+ * Fitted simple linear regression y = slope * x + intercept, with all the
+ * sufficient statistics needed for interval estimation.
+ */
+class LinearFit
+{
+  public:
+    /**
+     * Fit by ordinary least squares.
+     *
+     * @param xs Independent variable (e.g. MPKI), at least 3 points.
+     * @param ys Dependent variable (e.g. CPI), same length as xs.
+     */
+    LinearFit(const std::vector<double> &xs, const std::vector<double> &ys);
+
+    /** @{ Fitted coefficients. */
+    double slope() const { return slope_; }
+    double intercept() const { return intercept_; }
+    /** @} */
+
+    /** Pearson correlation coefficient of the data. */
+    double r() const { return r_; }
+
+    /** Coefficient of determination (fraction of variance explained). */
+    double r2() const { return r_ * r_; }
+
+    /** Number of observations. */
+    size_t n() const { return n_; }
+
+    /** Residual standard error s = sqrt(SSE / (n - 2)). */
+    double residualStdError() const { return s_; }
+
+    /** Standard error of the slope estimate. */
+    double slopeStdError() const;
+
+    /** Standard error of the intercept estimate. */
+    double interceptStdError() const;
+
+    /** t statistic for H0: slope == 0. */
+    double slopeT() const;
+
+    /** Point prediction at x. */
+    double predict(double x) const { return slope_ * x + intercept_; }
+
+    /**
+     * Confidence interval for the *mean response* at x: the band that
+     * contains the true regression line with the given confidence.
+     */
+    Interval confidenceInterval(double x, double confidence = 0.95) const;
+
+    /**
+     * Prediction interval at x: the (wider) band that contains a future
+     * *observation* at x with the given confidence.
+     */
+    Interval predictionInterval(double x, double confidence = 0.95) const;
+
+    /** Mean of the x sample (the regression pivot). */
+    double xMean() const { return xMean_; }
+
+    /** Sum of squared x deviations, Sxx. */
+    double sxx() const { return sxx_; }
+
+  private:
+    double halfWidth(double x, double confidence, bool prediction) const;
+
+    size_t n_;
+    double slope_;
+    double intercept_;
+    double r_;
+    double s_;     // residual standard error
+    double xMean_;
+    double sxx_;
+};
+
+/**
+ * Fitted multiple linear regression y = b0 + b1*x1 + ... + bk*xk,
+ * solved via the normal equations with Cholesky decomposition (k is
+ * small here: at most three predictors).
+ */
+class MultiFit
+{
+  public:
+    /**
+     * @param columns One vector per predictor, all the same length.
+     * @param ys Dependent variable; length must match the columns.
+     */
+    MultiFit(const std::vector<std::vector<double>> &columns,
+             const std::vector<double> &ys);
+
+    /** Coefficients; index 0 is the intercept, then one per predictor. */
+    const std::vector<double> &coefficients() const { return beta_; }
+
+    /** Point prediction for one observation (xs.size() == k). */
+    double predict(const std::vector<double> &xs) const;
+
+    /** Coefficient of determination. */
+    double r2() const { return r2_; }
+
+    /** Adjusted r^2 (penalizes extra predictors). */
+    double adjustedR2() const;
+
+    /** Number of observations. */
+    size_t n() const { return n_; }
+
+    /** Number of predictors (excluding the intercept). */
+    size_t k() const { return beta_.size() - 1; }
+
+    /** F statistic for H0: all slope coefficients are zero. */
+    double fStatistic() const;
+
+    /** Upper-tail p-value of the F statistic. */
+    double fPValue() const;
+
+  private:
+    std::vector<double> beta_;
+    double r2_;
+    size_t n_;
+};
+
+} // namespace interf::stats
+
+#endif // INTERF_STATS_REGRESSION_HH

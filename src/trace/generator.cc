@@ -1,0 +1,288 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace interf::trace
+{
+
+TraceGenerator::TraceGenerator(const Program &prog, u64 seed,
+                               GeneratorLimits limits)
+    : prog_(prog), seed_(seed), limits_(limits), rng_(seed)
+{
+    // Index every block so per-site dynamic state is a flat array.
+    siteIndexBase_.resize(prog.procedures().size());
+    u32 next = 0;
+    for (size_t p = 0; p < prog.procedures().size(); ++p) {
+        siteIndexBase_[p] = next;
+        next += static_cast<u32>(prog.procedures()[p].blocks.size());
+    }
+    siteState_.resize(next);
+
+    u32 max_gen = 0;
+    for (const auto &proc : prog.procedures())
+        for (const auto &bb : proc.blocks)
+            for (const auto &m : bb.memRefs)
+                max_gen = std::max(max_gen, m.genId + 1);
+    memPos_.resize(max_gen, 0);
+    reset();
+}
+
+void
+TraceGenerator::reset()
+{
+    rng_ = Rng(seed_);
+    history_ = 0;
+    std::fill(siteState_.begin(), siteState_.end(), SiteState());
+    std::fill(memPos_.begin(), memPos_.end(), u64{0});
+}
+
+void
+TraceGenerator::pushHistory(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1u : 0u);
+}
+
+bool
+TraceGenerator::decideConditional(u32 proc_id, u32 block_id,
+                                  const StaticBranch &br)
+{
+    SiteState &st = siteState_[siteIndexBase_[proc_id] + block_id];
+    bool taken = false;
+    switch (br.pattern) {
+      case BranchPattern::Biased:
+        taken = rng_.bernoulli(br.takenProb);
+        break;
+      case BranchPattern::Periodic:
+        INTERF_ASSERT(br.period >= 2);
+        ++st.periodicPos;
+        taken = (st.periodicPos % br.period) != 0;
+        break;
+      case BranchPattern::HistoryParity: {
+        u64 mask = (br.historyBits >= 64)
+                       ? ~u64{0}
+                       : ((u64{1} << br.historyBits) - 1);
+        taken = (__builtin_parityll(history_ & mask) != 0);
+        break;
+      }
+      case BranchPattern::Random:
+        taken = rng_.bernoulli(0.5);
+        break;
+      case BranchPattern::None:
+        panic("conditional branch with pattern None at proc %u block %u",
+              proc_id, block_id);
+    }
+    // Safety valve against unbounded loops (e.g. a HistoryParity
+    // back-edge stuck at taken): force an exit after too many
+    // consecutive taken outcomes.
+    if (taken) {
+        if (++st.consecTaken >= limits_.maxLoopIterations) {
+            taken = false;
+            st.consecTaken = 0;
+        }
+    } else {
+        st.consecTaken = 0;
+    }
+    return taken;
+}
+
+void
+TraceGenerator::emitMemRefs(const BasicBlock &bb, Trace &trace)
+{
+    for (const auto &m : bb.memRefs) {
+        const DataRegion &region = prog_.region(m.regionId);
+        u64 slots = std::max<u64>(region.size / 8, 1);
+        u64 offset = 0;
+        switch (m.pattern) {
+          case MemPattern::Stride: {
+            // Strided walks tile the region in bounded windows (like
+            // blocked array code): laps complete quickly, so the
+            // references are periodic rather than endlessly compulsory.
+            constexpr u64 stride_window = 32 << 10;
+            u64 span = std::min<u64>(region.size, stride_window);
+            u64 pos = memPos_[m.genId]++;
+            offset = (pos * m.stride) % span;
+            offset &= ~u64{7};
+            break;
+          }
+          case MemPattern::Random:
+            offset = rng_.uniformInt(slots) * 8;
+            break;
+          case MemPattern::Churn: {
+            // Uniform within a bounded window: sized to defeat the L1
+            // but fit the L2 by default; profiles may widen it past L2
+            // capacity (pointer-chasing over a big working set).
+            u64 span_slots =
+                std::min<u64>(std::max<u64>(m.churnSpan / 8, 8), slots);
+            offset = rng_.uniformInt(span_slots) * 8;
+            break;
+          }
+          case MemPattern::Hot:
+          case MemPattern::HotWide: {
+            // Hot concentrates on a small subset; HotWide on half the
+            // region (recurring working sets near L2 capacity). The 3%
+            // spill over the whole region models occasional cold
+            // touches without coupon-collector-dominated miss counts.
+            u64 divisor = m.pattern == MemPattern::Hot ? 16 : 2;
+            u64 hot_slots = std::max<u64>(slots / divisor, 8);
+            hot_slots = std::min(hot_slots, slots);
+            if (rng_.bernoulli(0.97))
+                offset = rng_.uniformInt(hot_slots) * 8;
+            else
+                offset = rng_.uniformInt(slots) * 8;
+            break;
+          }
+        }
+        if (offset >= region.size)
+            offset = region.size - 8;
+        trace.memIds.push_back(makeDataId(m.regionId, offset));
+        if (m.isStore)
+            ++trace.stores;
+        else
+            ++trace.loads;
+    }
+}
+
+void
+TraceGenerator::runMain(Trace &trace)
+{
+    struct Frame
+    {
+        u32 proc;
+        u32 block;
+    };
+    std::vector<Frame> stack;
+    stack.reserve(limits_.maxCallDepth);
+
+    u32 proc = 0;
+    u32 block = 0;
+    u64 events = 0;
+
+    for (;;) {
+        const BasicBlock &bb = prog_.block(proc, block);
+        trace.instCount += bb.nInsts;
+        emitMemRefs(bb, trace);
+
+        const StaticBranch &br = bb.branch;
+        u8 taken = 0;
+        u8 indirect_choice = 0;
+        u32 nproc = proc;
+        u32 nblock = block + 1;
+        bool finished = false;
+
+        switch (br.kind) {
+          case OpClass::IntAlu: // no terminator: fall through
+            if (nblock >= prog_.proc(proc).blocks.size()) {
+                // Defensive implicit return; builders always end
+                // procedures with an explicit Return.
+                if (stack.empty()) {
+                    finished = true;
+                } else {
+                    nproc = stack.back().proc;
+                    nblock = stack.back().block;
+                    stack.pop_back();
+                }
+            }
+            break;
+          case OpClass::CondBranch: {
+            ++trace.condBranches;
+            bool t = decideConditional(proc, block, br);
+            pushHistory(t);
+            if (t) {
+                taken = 1;
+                nproc = br.targetProc;
+                nblock = br.targetBlock;
+            }
+            break;
+          }
+          case OpClass::UncondBranch:
+            taken = 1;
+            nproc = br.targetProc;
+            nblock = br.targetBlock;
+            break;
+          case OpClass::Call:
+            taken = 1;
+            if (stack.size() < limits_.maxCallDepth &&
+                nblock < prog_.proc(proc).blocks.size()) {
+                stack.push_back({proc, nblock});
+                nproc = br.targetProc;
+                nblock = 0;
+            }
+            // else: treat as a skipped call; fall through to next block
+            break;
+          case OpClass::Return:
+            taken = 1;
+            if (stack.empty()) {
+                finished = true;
+            } else {
+                nproc = stack.back().proc;
+                nblock = stack.back().block;
+                stack.pop_back();
+            }
+            break;
+          case OpClass::IndirectBranch: {
+            taken = 1;
+            u32 n = br.indirectTargets;
+            INTERF_ASSERT(n > 0);
+            // Skewed target distribution: each site favours one target
+            // (derived from its static identity) with geometric decay
+            // over the rest, like virtual-dispatch call sites.
+            u64 favourite = (siteIndexBase_[proc] + block) % n;
+            u64 g = rng_.geometric(0.6);
+            indirect_choice = static_cast<u8>((favourite + g) % n);
+            nproc = br.targetProc;
+            nblock = br.targetBlock + indirect_choice;
+            break;
+          }
+          case OpClass::Load:
+          case OpClass::Store:
+          case OpClass::FpAlu:
+            panic("invalid terminator kind %d", static_cast<int>(br.kind));
+        }
+        if (taken)
+            ++trace.takenBranches;
+
+        trace.events.push_back({static_cast<u16>(proc),
+                                static_cast<u16>(block), taken,
+                                indirect_choice, 0});
+        if (finished)
+            return;
+        proc = nproc;
+        block = nblock;
+
+        if (++events >= limits_.maxEventsPerMain) {
+            warn("trace generation hit the per-main event limit; "
+                 "truncating this invocation");
+            return;
+        }
+    }
+}
+
+u64
+TraceGenerator::instructionsPerMainCall()
+{
+    if (cachedInstsPerMain_ == 0) {
+        reset();
+        Trace probe;
+        runMain(probe);
+        cachedInstsPerMain_ = probe.instCount;
+        INTERF_ASSERT(cachedInstsPerMain_ > 0);
+    }
+    return cachedInstsPerMain_;
+}
+
+Trace
+TraceGenerator::makeTrace(u64 inst_budget)
+{
+    reset();
+    Trace trace;
+    trace.reserveFor(std::max(inst_budget, u64{1024}));
+    // Whole main() invocations only: the Camino-style run-length rule
+    // guarantees every layout retires the same instruction count.
+    while (trace.instCount < inst_budget)
+        runMain(trace);
+    return trace;
+}
+
+} // namespace interf::trace

@@ -1,0 +1,150 @@
+#include "trace/io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace interf::trace
+{
+
+namespace
+{
+
+constexpr u64 kMagic = 0x494e544652545243ULL; // "INTFRTRC"
+constexpr u32 kVersion = 1;
+
+void
+mix(u64 &state, u64 value)
+{
+    state ^= value + 0x9e3779b97f4a7c15ULL + (state << 6) + (state >> 2);
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+} // anonymous namespace
+
+u64
+programChecksum(const Program &prog)
+{
+    u64 h = 0x1f0e3dad99158a12ULL;
+    mix(h, prog.procedures().size());
+    mix(h, prog.regions().size());
+    for (const auto &region : prog.regions()) {
+        mix(h, static_cast<u64>(region.kind));
+        mix(h, region.size);
+    }
+    for (const auto &proc : prog.procedures()) {
+        mix(h, proc.blocks.size());
+        for (const auto &bb : proc.blocks) {
+            mix(h, bb.bytes);
+            mix(h, bb.nInsts);
+            mix(h, static_cast<u64>(bb.branch.kind));
+            mix(h, bb.branch.targetProc);
+            mix(h, bb.branch.targetBlock);
+            mix(h, bb.memRefs.size());
+            for (const auto &ref : bb.memRefs) {
+                mix(h, ref.regionId);
+                mix(h, static_cast<u64>(ref.pattern));
+            }
+        }
+    }
+    return h;
+}
+
+void
+saveTrace(std::ostream &os, const Program &prog, const Trace &trace)
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writePod(os, programChecksum(prog));
+    writePod(os, trace.instCount);
+    writePod(os, trace.condBranches);
+    writePod(os, trace.takenBranches);
+    writePod(os, trace.loads);
+    writePod(os, trace.stores);
+    u64 n_events = trace.events.size();
+    u64 n_mem = trace.memIds.size();
+    writePod(os, n_events);
+    writePod(os, n_mem);
+    os.write(reinterpret_cast<const char *>(trace.events.data()),
+             static_cast<std::streamsize>(n_events * sizeof(BlockEvent)));
+    os.write(reinterpret_cast<const char *>(trace.memIds.data()),
+             static_cast<std::streamsize>(n_mem * sizeof(u64)));
+    if (!os)
+        fatal("trace serialization failed (stream error)");
+}
+
+void
+saveTrace(const std::string &path, const Program &prog, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    saveTrace(out, prog, trace);
+}
+
+Trace
+loadTrace(std::istream &is, const Program &prog)
+{
+    u64 magic = 0;
+    u32 version = 0;
+    u64 checksum = 0;
+    readPod(is, magic);
+    readPod(is, version);
+    readPod(is, checksum);
+    if (!is || magic != kMagic)
+        fatal("not a trace file (bad magic)");
+    if (version != kVersion)
+        fatal("unsupported trace version %u", version);
+    if (checksum != programChecksum(prog))
+        fatal("trace was generated from a different program "
+              "(checksum mismatch)");
+
+    Trace trace;
+    readPod(is, trace.instCount);
+    readPod(is, trace.condBranches);
+    readPod(is, trace.takenBranches);
+    readPod(is, trace.loads);
+    readPod(is, trace.stores);
+    u64 n_events = 0, n_mem = 0;
+    readPod(is, n_events);
+    readPod(is, n_mem);
+    if (!is)
+        fatal("truncated trace header");
+    trace.events.resize(n_events);
+    trace.memIds.resize(n_mem);
+    is.read(reinterpret_cast<char *>(trace.events.data()),
+            static_cast<std::streamsize>(n_events * sizeof(BlockEvent)));
+    is.read(reinterpret_cast<char *>(trace.memIds.data()),
+            static_cast<std::streamsize>(n_mem * sizeof(u64)));
+    if (!is)
+        fatal("truncated trace body");
+    trace.validate(prog);
+    return trace;
+}
+
+Trace
+loadTrace(const std::string &path, const Program &prog)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return loadTrace(in, prog);
+}
+
+} // namespace interf::trace

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Traces are deterministic given (profile, seed, budget), but long ones
+ * take time to generate; saving them lets harnesses snapshot a
+ * campaign's exact input or move it between machines. The format embeds
+ * a structural checksum of the program so a trace cannot silently be
+ * replayed against the wrong binary — the interferometry invariant
+ * (same semantics, different addresses) only holds for the program the
+ * trace was generated from.
+ */
+
+#ifndef INTERF_TRACE_IO_HH
+#define INTERF_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/program.hh"
+#include "trace/trace.hh"
+
+namespace interf::trace
+{
+
+/**
+ * Structural checksum of a program (procedures, block geometry, branch
+ * sites, memory sites). Identical programs hash identically on any
+ * platform.
+ */
+u64 programChecksum(const Program &prog);
+
+/** Serialize a trace to a stream. */
+void saveTrace(std::ostream &os, const Program &prog, const Trace &trace);
+
+/** Serialize a trace to a file; fatal() on I/O failure. */
+void saveTrace(const std::string &path, const Program &prog,
+               const Trace &trace);
+
+/**
+ * Deserialize a trace from a stream; fatal() on corrupt input or on a
+ * program-checksum mismatch.
+ */
+Trace loadTrace(std::istream &is, const Program &prog);
+
+/** Deserialize a trace from a file; fatal() on failure. */
+Trace loadTrace(const std::string &path, const Program &prog);
+
+} // namespace interf::trace
+
+#endif // INTERF_TRACE_IO_HH

@@ -1,0 +1,169 @@
+#include "trace/program.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace interf::trace
+{
+
+u16
+BasicBlock::loads() const
+{
+    u16 n = 0;
+    for (const auto &m : memRefs)
+        if (!m.isStore)
+            ++n;
+    return n;
+}
+
+u16
+BasicBlock::stores() const
+{
+    u16 n = 0;
+    for (const auto &m : memRefs)
+        if (m.isStore)
+            ++n;
+    return n;
+}
+
+u32
+Procedure::bytes() const
+{
+    u32 total = 0;
+    for (const auto &b : blocks)
+        total += b.bytes;
+    return total;
+}
+
+u32
+Program::addProcedure(Procedure proc)
+{
+    proc.id = static_cast<u32>(procs_.size());
+    procs_.push_back(std::move(proc));
+    return procs_.back().id;
+}
+
+u32
+Program::addFile(const std::string &name)
+{
+    files_.push_back({name, {}});
+    return static_cast<u32>(files_.size() - 1);
+}
+
+void
+Program::placeInFile(u32 file_index, u32 proc_id)
+{
+    INTERF_ASSERT(file_index < files_.size());
+    INTERF_ASSERT(proc_id < procs_.size());
+    files_[file_index].procIds.push_back(proc_id);
+    procs_[proc_id].fileIndex = file_index;
+}
+
+u32
+Program::addRegion(RegionKind kind, u64 size)
+{
+    DataRegion region;
+    region.id = static_cast<u32>(regions_.size());
+    region.kind = kind;
+    region.size = size;
+    regions_.push_back(region);
+    return region.id;
+}
+
+const Procedure &
+Program::proc(u32 id) const
+{
+    INTERF_ASSERT(id < procs_.size());
+    return procs_[id];
+}
+
+const BasicBlock &
+Program::block(u32 proc_id, u32 block_id) const
+{
+    const Procedure &p = proc(proc_id);
+    INTERF_ASSERT(block_id < p.blocks.size());
+    return p.blocks[block_id];
+}
+
+const DataRegion &
+Program::region(u32 id) const
+{
+    INTERF_ASSERT(id < regions_.size());
+    return regions_[id];
+}
+
+u64
+Program::totalCodeBytes() const
+{
+    u64 total = 0;
+    for (const auto &p : procs_)
+        total += p.bytes();
+    return total;
+}
+
+u64
+Program::totalBlocks() const
+{
+    u64 total = 0;
+    for (const auto &p : procs_)
+        total += p.blocks.size();
+    return total;
+}
+
+u64
+Program::condBranchSites() const
+{
+    u64 total = 0;
+    for (const auto &p : procs_)
+        for (const auto &b : p.blocks)
+            if (b.branch.isConditional())
+                ++total;
+    return total;
+}
+
+void
+Program::validate() const
+{
+    std::vector<u8> seen(procs_.size(), 0);
+    for (const auto &file : files_) {
+        for (u32 pid : file.procIds) {
+            INTERF_ASSERT(pid < procs_.size());
+            if (seen[pid])
+                panic("procedure %u appears in multiple object files", pid);
+            seen[pid] = 1;
+        }
+    }
+    for (size_t i = 0; i < seen.size(); ++i)
+        if (!seen[i])
+            panic("procedure %zu is not in any object file", i);
+
+    for (const auto &p : procs_) {
+        INTERF_ASSERT(!p.blocks.empty());
+        INTERF_ASSERT(p.align > 0 && (p.align & (p.align - 1)) == 0);
+        for (const auto &b : p.blocks) {
+            INTERF_ASSERT(b.bytes > 0);
+            INTERF_ASSERT(b.nInsts > 0);
+            const StaticBranch &br = b.branch;
+            if (!br.exists())
+                continue;
+            INTERF_ASSERT(br.targetProc < procs_.size());
+            const Procedure &tp = procs_[br.targetProc];
+            if (br.kind == OpClass::IndirectBranch) {
+                INTERF_ASSERT(br.indirectTargets > 0);
+                INTERF_ASSERT(br.targetBlock +
+                                  static_cast<u32>(br.indirectTargets) <=
+                              tp.blocks.size());
+            } else if (br.kind != OpClass::Return) {
+                INTERF_ASSERT(br.targetBlock < tp.blocks.size());
+            }
+            if (br.isConditional())
+                INTERF_ASSERT(br.pattern != BranchPattern::None);
+        }
+        for (const auto &b : p.blocks)
+            for (const auto &m : b.memRefs)
+                INTERF_ASSERT(m.regionId < regions_.size());
+    }
+}
+
+} // namespace interf::trace

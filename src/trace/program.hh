@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Static program representation: the workload IR.
+ *
+ * The paper perturbs real SPEC executables; we model the parts of an
+ * executable that program interferometry actually manipulates and
+ * observes:
+ *
+ *   - a Program is a set of ObjectFiles, each containing Procedures,
+ *     each a sequence of BasicBlocks with byte sizes, instruction
+ *     counts, memory references and a terminating branch;
+ *   - the *authored* order of procedures within files and of files
+ *     within the link line is what the Linker permutes (Section 5.3);
+ *   - DataRegions describe global/heap/stack storage whose placement the
+ *     randomizing allocator perturbs (Section 1.3).
+ *
+ * Semantics (the dynamic trace) never depend on layout; only addresses
+ * do. That invariant is the core of interferometry.
+ */
+
+#ifndef INTERF_TRACE_PROGRAM_HH
+#define INTERF_TRACE_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf::trace
+{
+
+/** Instruction classes relevant to the timing and predictor models. */
+enum class OpClass : u8 {
+    IntAlu,
+    FpAlu,
+    Load,
+    Store,
+    CondBranch,
+    UncondBranch,
+    IndirectBranch,
+    Call,
+    Return,
+};
+
+/** Outcome-generation pattern of a conditional branch site. */
+enum class BranchPattern : u8 {
+    None,          ///< Block has no conditional terminator.
+    Biased,        ///< Taken with a fixed per-site probability.
+    Periodic,      ///< Loop-style: taken (period-1) times, then not.
+    HistoryParity, ///< Outcome = parity of the last h global outcomes.
+    Random,        ///< Unpredictable 50/50.
+};
+
+/**
+ * Static description of a block's terminating branch. kind ==
+ * OpClass::IntAlu (sentinel) means the block falls through with no
+ * branch.
+ */
+struct StaticBranch
+{
+    OpClass kind = OpClass::IntAlu; ///< Branch class or IntAlu sentinel.
+    BranchPattern pattern = BranchPattern::None;
+    float takenProb = 0.5f; ///< For Biased.
+    u16 period = 0;         ///< For Periodic.
+    u8 historyBits = 0;     ///< For HistoryParity.
+    /**
+     * When true the branch's condition depends on the most recent load
+     * in the block, so its resolution waits for that load's data —
+     * the mechanism behind the large Table-1 slopes (zeusmp, GemsFDTD).
+     */
+    bool dependsOnLoad = false;
+    u16 targetProc = 0;  ///< Callee proc (Call) or target proc.
+    u16 targetBlock = 0; ///< Taken-path block within targetProc.
+    u8 indirectTargets = 0; ///< For IndirectBranch: number of targets
+                            ///< (blocks targetBlock..targetBlock+n-1).
+
+    bool exists() const { return kind != OpClass::IntAlu; }
+    bool isConditional() const { return kind == OpClass::CondBranch; }
+};
+
+/** Dynamic-address pattern of a static memory reference. */
+enum class MemPattern : u8 {
+    Stride, ///< Blocked sequential walk with a fixed byte stride.
+    Random, ///< Uniform over the whole region (streaming/cold).
+    Hot,    ///< Concentrated on a small hot subset of the region.
+    HotWide,///< Concentrated on half the region: builds recurring
+            ///< working sets near L2 capacity, where physical page
+            ///< placement decides which sets thrash.
+    Churn,  ///< Uniform over an L1-defeating but L2-resident window.
+};
+
+/** One static load or store inside a basic block. */
+struct MemRef
+{
+    u32 regionId = 0;
+    bool isStore = false;
+    MemPattern pattern = MemPattern::Stride;
+    u32 stride = 8;  ///< Byte stride for MemPattern::Stride.
+    u32 churnSpan = 96 << 10; ///< Window bytes for MemPattern::Churn.
+    u32 genId = 0;   ///< Index of this site's dynamic position state.
+};
+
+/** A straight-line code block ending in (at most) one branch. */
+struct BasicBlock
+{
+    u32 bytes = 0;          ///< Code size in bytes.
+    u16 nInsts = 0;         ///< Instructions, including the branch.
+    u8 extraExecCycles = 0; ///< Intrinsic dependence-chain stall cycles
+                            ///< per execution beyond width-limited issue.
+    StaticBranch branch;
+    std::vector<MemRef> memRefs; ///< Loads/stores in program order.
+
+    u16 loads() const;
+    u16 stores() const;
+};
+
+/** A procedure: an aligned, contiguous run of basic blocks. */
+struct Procedure
+{
+    std::string name;
+    u32 id = 0;        ///< Global procedure id (index in Program).
+    u32 fileIndex = 0; ///< Object file this procedure is authored in.
+    u32 align = 16;    ///< Linker alignment in bytes.
+    std::vector<BasicBlock> blocks;
+
+    /** Total code bytes (blocks are contiguous, no padding inside). */
+    u32 bytes() const;
+};
+
+/** An object file: the unit the linker reorders on the command line. */
+struct ObjectFile
+{
+    std::string name;
+    std::vector<u32> procIds; ///< Authored order of procedures.
+};
+
+/** Kinds of data storage; only Heap placement is randomized. */
+enum class RegionKind : u8 { Global, Heap, Stack };
+
+/** A contiguous logical data region (array, heap arena, stack frame). */
+struct DataRegion
+{
+    u32 id = 0;
+    RegionKind kind = RegionKind::Global;
+    u64 size = 0; ///< Bytes.
+};
+
+/**
+ * Encode a (region, offset) pair as the 64-bit logical data id stored in
+ * traces. Layout objects map logical ids to virtual addresses.
+ */
+constexpr u64
+makeDataId(u32 region, u64 offset)
+{
+    return (static_cast<u64>(region) << 40) | (offset & ((1ULL << 40) - 1));
+}
+
+/** Extract the region id from a logical data id. */
+constexpr u32
+dataIdRegion(u64 id)
+{
+    return static_cast<u32>(id >> 40);
+}
+
+/** Extract the intra-region offset from a logical data id. */
+constexpr u64
+dataIdOffset(u64 id)
+{
+    return id & ((1ULL << 40) - 1);
+}
+
+/**
+ * A complete static program: procedures, their grouping into object
+ * files, and the data regions the code touches.
+ */
+class Program
+{
+  public:
+    /** Append a procedure; sets its id and returns it. */
+    u32 addProcedure(Procedure proc);
+
+    /** Append an (empty) object file; returns its index. */
+    u32 addFile(const std::string &name);
+
+    /** Record that procedure procId is authored in file fileIndex. */
+    void placeInFile(u32 file_index, u32 proc_id);
+
+    /** Append a data region; sets its id and returns it. */
+    u32 addRegion(RegionKind kind, u64 size);
+
+    /** @{ Read access. */
+    const std::vector<Procedure> &procedures() const { return procs_; }
+    const std::vector<ObjectFile> &files() const { return files_; }
+    const std::vector<DataRegion> &regions() const { return regions_; }
+    const Procedure &proc(u32 id) const;
+    const BasicBlock &block(u32 proc_id, u32 block_id) const;
+    const DataRegion &region(u32 id) const;
+    /** @} */
+
+    /** Total code bytes across all procedures (without alignment). */
+    u64 totalCodeBytes() const;
+
+    /** Total number of basic blocks. */
+    u64 totalBlocks() const;
+
+    /** Number of static conditional branch sites. */
+    u64 condBranchSites() const;
+
+    /**
+     * Sanity-check internal consistency (targets in range, files cover
+     * all procedures exactly once); panics on violation.
+     */
+    void validate() const;
+
+  private:
+    std::vector<Procedure> procs_;
+    std::vector<ObjectFile> files_;
+    std::vector<DataRegion> regions_;
+};
+
+} // namespace interf::trace
+
+#endif // INTERF_TRACE_PROGRAM_HH

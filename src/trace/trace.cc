@@ -1,0 +1,69 @@
+#include "trace/trace.hh"
+
+#include "util/logging.hh"
+
+namespace interf::trace
+{
+
+void
+Trace::reserveFor(u64 expected_insts)
+{
+    // Typical synthetic blocks average ~5 instructions and ~1 memory
+    // reference; reserving avoids reallocation churn during generation.
+    events.reserve(expected_insts / 4);
+    memIds.reserve(expected_insts / 3);
+}
+
+void
+Trace::recount(const Program &prog)
+{
+    instCount = 0;
+    condBranches = 0;
+    takenBranches = 0;
+    loads = 0;
+    stores = 0;
+    for (const auto &ev : events) {
+        const BasicBlock &bb = prog.block(ev.proc, ev.block);
+        instCount += bb.nInsts;
+        loads += bb.loads();
+        stores += bb.stores();
+        if (bb.branch.isConditional())
+            ++condBranches;
+        if (ev.taken)
+            ++takenBranches;
+    }
+}
+
+void
+Trace::validate(const Program &prog) const
+{
+    u64 expected_mem = 0;
+    for (const auto &ev : events) {
+        INTERF_ASSERT(ev.proc < prog.procedures().size());
+        const Procedure &p = prog.proc(ev.proc);
+        INTERF_ASSERT(ev.block < p.blocks.size());
+        const BasicBlock &bb = p.blocks[ev.block];
+        expected_mem += bb.memRefs.size();
+        if (!bb.branch.exists())
+            INTERF_ASSERT(!ev.taken);
+        if (bb.branch.kind == OpClass::IndirectBranch)
+            INTERF_ASSERT(ev.indirectChoice < bb.branch.indirectTargets);
+    }
+    if (expected_mem != memIds.size())
+        panic("trace memory stream has %zu ids, blocks reference %llu",
+              memIds.size(),
+              static_cast<unsigned long long>(expected_mem));
+    for (u64 id : memIds) {
+        u32 region = dataIdRegion(id);
+        INTERF_ASSERT(region < prog.regions().size());
+        INTERF_ASSERT(dataIdOffset(id) < prog.region(region).size);
+    }
+}
+
+u64
+Trace::memoryBytes() const
+{
+    return events.size() * sizeof(BlockEvent) + memIds.size() * sizeof(u64);
+}
+
+} // namespace interf::trace

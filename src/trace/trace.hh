@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic execution traces.
+ *
+ * A Trace is the layout-invariant record of one program execution: the
+ * sequence of basic blocks executed (with each terminating branch's
+ * outcome) plus the stream of logical data ids touched by loads and
+ * stores. Running the same Trace under two different layouts models the
+ * paper's semantically-equivalent executables: identical retired
+ * instructions, different addresses.
+ */
+
+#ifndef INTERF_TRACE_TRACE_HH
+#define INTERF_TRACE_TRACE_HH
+
+#include <vector>
+
+#include "trace/program.hh"
+#include "util/types.hh"
+
+namespace interf::trace
+{
+
+/** One executed basic block. Memory ids are consumed from the shared
+ *  stream in program order (block.memRefs order). */
+struct BlockEvent
+{
+    u16 proc = 0;
+    u16 block = 0;
+    u8 taken = 0; ///< 1 if the terminator redirected fetch.
+    u8 indirectChoice = 0; ///< For IndirectBranch: chosen target index.
+    u16 pad = 0;
+};
+
+static_assert(sizeof(BlockEvent) == 8, "BlockEvent should stay compact");
+
+/** The dynamic trace of one complete run. */
+class Trace
+{
+  public:
+    /** Executed blocks in order. */
+    std::vector<BlockEvent> events;
+
+    /** Logical data ids consumed by loads/stores across all events. */
+    std::vector<u64> memIds;
+
+    /** @{ Aggregate counts, filled by the generator. */
+    u64 instCount = 0;
+    u64 condBranches = 0;
+    u64 takenBranches = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    /** @} */
+
+    /** Reserve storage for an expected instruction budget. */
+    void reserveFor(u64 expected_insts);
+
+    /** Recompute the aggregate counts from the event stream. */
+    void recount(const Program &prog);
+
+    /**
+     * Verify internal consistency against the static program: event ids
+     * in range, memory-id stream length matches the blocks' static
+     * reference counts. Panics on violation.
+     */
+    void validate(const Program &prog) const;
+
+    /** Approximate storage footprint in bytes. */
+    u64 memoryBytes() const;
+};
+
+} // namespace interf::trace
+
+#endif // INTERF_TRACE_TRACE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Two error functions with distinct purposes:
+ *   - panic(): something happened that should never happen regardless of
+ *     what the user does, i.e. a library bug. Calls std::abort().
+ *   - fatal(): the run cannot continue because of a user error (bad
+ *     configuration, invalid arguments). Calls std::exit(1).
+ *
+ * warn() and inform() report conditions without stopping execution.
+ *
+ * All functions accept printf-style format strings; formatting is done
+ * with vsnprintf (GCC 12 in this environment lacks <format>).
+ */
+
+#ifndef INTERF_UTIL_LOGGING_HH
+#define INTERF_UTIL_LOGGING_HH
+
+#include <string>
+
+namespace interf
+{
+
+/**
+ * Format a printf-style message into a std::string.
+ *
+ * @param fmt printf-style format string.
+ * @return The formatted message.
+ */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a library bug and abort. Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Runtime-checkable invariant: panics with the stringified condition when
+ * the condition is false. Active in all build types, unlike assert().
+ */
+#define INTERF_ASSERT(cond)                                                 \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::interf::panic("assertion failed: %s (%s:%d)", #cond,          \
+                            __FILE__, __LINE__);                            \
+    } while (0)
+
+} // namespace interf
+
+#endif // INTERF_UTIL_LOGGING_HH

@@ -1,0 +1,190 @@
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace interf
+{
+
+OptionParser::OptionParser(std::string program_name, std::string description)
+    : programName_(std::move(program_name)),
+      description_(std::move(description))
+{
+}
+
+void
+OptionParser::addInt(const std::string &name, i64 def,
+                     const std::string &help)
+{
+    Option opt;
+    opt.kind = Kind::Int;
+    opt.help = help;
+    opt.intValue = def;
+    opt.defaultText = std::to_string(def);
+    options_[name] = opt;
+    order_.push_back(name);
+}
+
+void
+OptionParser::addDouble(const std::string &name, double def,
+                        const std::string &help)
+{
+    Option opt;
+    opt.kind = Kind::Double;
+    opt.help = help;
+    opt.doubleValue = def;
+    opt.defaultText = strprintf("%g", def);
+    options_[name] = opt;
+    order_.push_back(name);
+}
+
+void
+OptionParser::addString(const std::string &name, const std::string &def,
+                        const std::string &help)
+{
+    Option opt;
+    opt.kind = Kind::String;
+    opt.help = help;
+    opt.stringValue = def;
+    opt.defaultText = def.empty() ? "\"\"" : def;
+    options_[name] = opt;
+    order_.push_back(name);
+}
+
+void
+OptionParser::addFlag(const std::string &name, const std::string &help)
+{
+    Option opt;
+    opt.kind = Kind::Flag;
+    opt.help = help;
+    opt.defaultText = "off";
+    options_[name] = opt;
+    order_.push_back(name);
+}
+
+void
+OptionParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected argument '%s' (options start with --)",
+                  arg.c_str());
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown option '--%s' (try --help)", name.c_str());
+        Option &opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (have_value)
+                fatal("flag '--%s' does not take a value", name.c_str());
+            opt.flagValue = true;
+            continue;
+        }
+        if (!have_value) {
+            if (i + 1 >= argc)
+                fatal("option '--%s' requires a value", name.c_str());
+            value = argv[++i];
+        }
+        char *end = nullptr;
+        switch (opt.kind) {
+          case Kind::Int:
+            opt.intValue = std::strtoll(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                fatal("option '--%s' expects an integer, got '%s'",
+                      name.c_str(), value.c_str());
+            break;
+          case Kind::Double:
+            opt.doubleValue = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                fatal("option '--%s' expects a number, got '%s'",
+                      name.c_str(), value.c_str());
+            break;
+          case Kind::String:
+            opt.stringValue = value;
+            break;
+          case Kind::Flag:
+            break; // handled above
+        }
+    }
+}
+
+const OptionParser::Option &
+OptionParser::find(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panic("option '%s' was never declared", name.c_str());
+    if (it->second.kind != kind)
+        panic("option '%s' accessed with the wrong type", name.c_str());
+    return it->second;
+}
+
+i64
+OptionParser::getInt(const std::string &name) const
+{
+    return find(name, Kind::Int).intValue;
+}
+
+double
+OptionParser::getDouble(const std::string &name) const
+{
+    return find(name, Kind::Double).doubleValue;
+}
+
+const std::string &
+OptionParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).stringValue;
+}
+
+bool
+OptionParser::getFlag(const std::string &name) const
+{
+    return find(name, Kind::Flag).flagValue;
+}
+
+std::string
+OptionParser::usage() const
+{
+    std::ostringstream os;
+    os << programName_ << ": " << description_ << "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const Option &opt = options_.at(name);
+        os << "  --" << name;
+        switch (opt.kind) {
+          case Kind::Int:
+            os << " <int>";
+            break;
+          case Kind::Double:
+            os << " <num>";
+            break;
+          case Kind::String:
+            os << " <str>";
+            break;
+          case Kind::Flag:
+            break;
+        }
+        os << "\n      " << opt.help << " (default: " << opt.defaultText
+           << ")\n";
+    }
+    os << "  --help\n      show this message\n";
+    return os.str();
+}
+
+} // namespace interf

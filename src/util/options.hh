@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal command-line option parser for the bench and example binaries.
+ *
+ * Supports --name value, --name=value, and boolean --flag forms. Every
+ * option has a default so that all binaries run with no arguments; the
+ * benches use this to offer paper-scale runs behind flags (e.g.
+ * --layouts 100 --instructions 4000000) while keeping the default run
+ * quick.
+ */
+
+#ifndef INTERF_UTIL_OPTIONS_HH
+#define INTERF_UTIL_OPTIONS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf
+{
+
+/** Declarative command-line option set with typed accessors. */
+class OptionParser
+{
+  public:
+    /**
+     * @param program_name Shown in the usage banner.
+     * @param description One-line summary of what the binary does.
+     */
+    OptionParser(std::string program_name, std::string description);
+
+    /** Declare an integer option with a default value. */
+    void addInt(const std::string &name, i64 def, const std::string &help);
+
+    /** Declare a floating-point option with a default value. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Declare a string option with a default value. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (default false; presence sets it true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. On --help prints usage and exits(0); on malformed
+     * input calls fatal(). Unknown options are fatal errors.
+     */
+    void parse(int argc, char **argv);
+
+    /** @{ Typed accessors; fatal() on name or type mismatch. */
+    i64 getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+    /** @} */
+
+    /** Render the usage text (also printed by --help). */
+    std::string usage() const;
+
+  private:
+    enum class Kind { Int, Double, String, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string help;
+        i64 intValue = 0;
+        double doubleValue = 0.0;
+        std::string stringValue;
+        bool flagValue = false;
+        std::string defaultText;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string programName_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace interf
+
+#endif // INTERF_UTIL_OPTIONS_HH

@@ -1,0 +1,161 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace interf
+{
+
+u64
+splitmix64(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(u64 seed) : seed_(seed)
+{
+    u64 sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(state_[1] * 5, 7) * 9;
+    u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+u64
+Rng::uniformInt(u64 bound)
+{
+    INTERF_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    u64 threshold = (~bound + 1) % bound; // == 2^64 mod bound
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+i64
+Rng::uniformRange(i64 lo, i64 hi)
+{
+    INTERF_ASSERT(lo <= hi);
+    u64 span = static_cast<u64>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<i64>(next());
+    return lo + static_cast<i64>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+double
+Rng::exponential(double lambda)
+{
+    INTERF_ASSERT(lambda > 0.0);
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+}
+
+u64
+Rng::geometric(double p)
+{
+    INTERF_ASSERT(p > 0.0 && p <= 1.0);
+    if (p >= 1.0)
+        return 0;
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return static_cast<u64>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<u32>
+Rng::permutation(size_t n)
+{
+    std::vector<u32> p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = static_cast<u32>(i);
+    shuffle(p);
+    return p;
+}
+
+Rng
+Rng::fork(u64 stream_id) const
+{
+    // Mix the parent's seed with the stream id through SplitMix64 so
+    // children with different ids are decorrelated from each other and
+    // from the parent.
+    u64 s = seed_ ^ (0x6a09e667f3bcc909ULL + stream_id * 0x9e3779b97f4a7c15ULL);
+    u64 mixed = splitmix64(s);
+    return Rng(mixed ^ stream_id);
+}
+
+} // namespace interf

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Seeded, reproducible pseudo-random number generation.
+ *
+ * Program interferometry depends on reproducibility: the paper's Camino
+ * toolchain "accepts a seed to a pseudorandom number generator to generate
+ * pseudo-random but reproducible orderings of procedures and object
+ * files". Every stochastic component of this library (layout permutation,
+ * heap placement, trace generation, measurement noise) draws from an
+ * explicitly seeded Rng so that a given key always reproduces the same
+ * experiment.
+ *
+ * The generator is xoshiro256** seeded through SplitMix64, which gives
+ * high-quality 64-bit output, cheap construction, and cheap independent
+ * substreams via fork().
+ */
+
+#ifndef INTERF_UTIL_RANDOM_HH
+#define INTERF_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf
+{
+
+/**
+ * SplitMix64 step: used for seeding and for deriving substream seeds.
+ *
+ * @param state Seed state; advanced in place.
+ * @return The next 64-bit output.
+ */
+u64 splitmix64(u64 &state);
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ *
+ * All methods are deterministic functions of the seed and the call
+ * sequence. Copying an Rng copies its state; fork() derives an
+ * independent stream keyed by a caller-chosen stream id, so unrelated
+ * components never perturb each other's sequences.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is fine). */
+    explicit Rng(u64 seed = 0);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    u64 uniformInt(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    i64 uniformRange(i64 lo, i64 hi);
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Standard normal draw (Box-Muller with caching). */
+    double gaussian();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Exponential draw with the given rate lambda (> 0). */
+    double exponential(double lambda);
+
+    /**
+     * Geometric-like integer draw: number of failures before the first
+     * success with success probability p in (0, 1].
+     */
+    u64 geometric(double p);
+
+    /** Fisher-Yates shuffle of an arbitrary vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** A random permutation of [0, n). */
+    std::vector<u32> permutation(size_t n);
+
+    /**
+     * Derive an independent child generator.
+     *
+     * @param stream_id Caller-chosen identifier; the same (seed,
+     *        stream_id) pair always yields the same child stream.
+     */
+    Rng fork(u64 stream_id) const;
+
+  private:
+    std::array<u64, 4> state_;
+    u64 seed_;
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace interf
+
+#endif // INTERF_UTIL_RANDOM_HH

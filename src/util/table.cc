@@ -1,0 +1,137 @@
+#include "util/table.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace interf
+{
+
+void
+TableWriter::addColumn(const std::string &header, Align align)
+{
+    INTERF_ASSERT(rows_.empty());
+    columns_.push_back({header, align});
+}
+
+void
+TableWriter::beginRow()
+{
+    if (!rows_.empty() && rows_.back().size() != columns_.size())
+        panic("table row has %zu cells, expected %zu", rows_.back().size(),
+              columns_.size());
+    rows_.emplace_back();
+    rows_.back().reserve(columns_.size());
+}
+
+void
+TableWriter::cell(const std::string &text)
+{
+    INTERF_ASSERT(!rows_.empty());
+    INTERF_ASSERT(rows_.back().size() < columns_.size());
+    rows_.back().push_back(text);
+}
+
+void
+TableWriter::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TableWriter::cell(double value, const char *fmt)
+{
+    cell(strprintf(fmt, value));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].header.size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_cell = [&](const std::string &text, size_t c) {
+        size_t pad = widths[c] - text.size();
+        if (columns_[c].align == Align::Right)
+            os << std::string(pad, ' ') << text;
+        else
+            os << text << std::string(pad, ' ');
+    };
+
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        if (c)
+            os << "  ";
+        emit_cell(columns_[c].header, c);
+    }
+    os << '\n';
+    size_t total = 0;
+    for (size_t c = 0; c < columns_.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            emit_cell(row[c], c);
+        }
+        os << '\n';
+    }
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &text)
+{
+    bool needs_quotes = text.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return text;
+    std::string out = "\"";
+    for (char ch : text) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        if (c)
+            os << ',';
+        os << csvEscape(columns_[c].header);
+    }
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+void
+TableWriter::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open '%s' for writing; skipping CSV", path.c_str());
+        return;
+    }
+    printCsv(out);
+}
+
+} // namespace interf

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Aligned text-table and CSV rendering used by the bench harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * TableWriter produces the human-readable rows on stdout and, optionally,
+ * machine-readable CSV next to them so plots can be regenerated.
+ */
+
+#ifndef INTERF_UTIL_TABLE_HH
+#define INTERF_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace interf
+{
+
+/** Column alignment inside a rendered text table. */
+enum class Align { Left, Right };
+
+/**
+ * Accumulates rows of strings and renders them as an aligned text table
+ * or as CSV. Numeric convenience setters format through printf-style
+ * specifications so benches control the displayed precision.
+ */
+class TableWriter
+{
+  public:
+    /** Declare a column. Call for all columns before adding rows. */
+    void addColumn(const std::string &header, Align align = Align::Right);
+
+    /** Begin a new (empty) row. */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append an integer cell. */
+    void cell(long long value);
+
+    /** Append a floating-point cell with the given printf format. */
+    void cell(double value, const char *fmt = "%.3f");
+
+    /** Number of data rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render as an aligned text table (with header and rule). */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header row first). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to a file path; warn()s and continues on failure. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    struct Column
+    {
+        std::string header;
+        Align align;
+    };
+
+    std::vector<Column> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace interf
+
+#endif // INTERF_UTIL_TABLE_HH

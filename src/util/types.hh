@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout the library.
+ *
+ * The conventions follow simulator practice: an Addr is a 64-bit virtual
+ * address, a Cycle is an absolute or relative clock-cycle count, and a
+ * Count is a saturating-free 64-bit event tally.
+ */
+
+#ifndef INTERF_UTIL_TYPES_HH
+#define INTERF_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace interf
+{
+
+/** A 64-bit virtual address (code or data). */
+using Addr = std::uint64_t;
+
+/** A clock-cycle count. */
+using Cycle = std::uint64_t;
+
+/** A generic 64-bit event count (instructions, misses, ...). */
+using Count = std::uint64_t;
+
+/** Convenience shorthands for fixed-width integers. */
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+} // namespace interf
+
+#endif // INTERF_UTIL_TYPES_HH

@@ -1,0 +1,413 @@
+#include "workloads/builder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace interf::workloads
+{
+
+using trace::BasicBlock;
+using trace::BranchPattern;
+using trace::DataRegion;
+using trace::MemPattern;
+using trace::MemRef;
+using trace::OpClass;
+using trace::Procedure;
+using trace::Program;
+using trace::RegionKind;
+using trace::StaticBranch;
+
+namespace
+{
+
+/** Per-tier region ids created for the profile's three working sets. */
+struct Tiers
+{
+    std::vector<u32> l1;
+    std::vector<u32> l2;
+    std::vector<u32> mem;
+};
+
+Tiers
+makeRegions(Program &prog, const WorkloadProfile &p, Rng &rng)
+{
+    Tiers tiers;
+    auto make_tier = [&](u64 total, std::vector<u32> &out,
+                         u32 count_override = 0) {
+        if (total == 0)
+            return;
+        u32 count = count_override ? count_override : p.regionsPerTier;
+        u64 each = std::max<u64>(total / count, 1024);
+        for (u32 i = 0; i < count; ++i) {
+            RegionKind kind = rng.bernoulli(p.heapFraction)
+                                  ? RegionKind::Heap
+                                  : RegionKind::Global;
+            // Jitter sizes so regions are not all identical, keeping the
+            // tier total roughly as requested.
+            u64 size = each;
+            double jitter = 0.7 + 0.6 * rng.nextDouble();
+            size = std::max<u64>(
+                1024, static_cast<u64>(static_cast<double>(size) * jitter));
+            size = (size + 63) & ~u64{63}; // line-align sizes
+            out.push_back(prog.addRegion(kind, size));
+        }
+    };
+    make_tier(p.l1WorkingSet, tiers.l1);
+    make_tier(p.l2WorkingSet, tiers.l2, p.regionsL2Tier);
+    if (p.fracMem > 0.0)
+        make_tier(p.memWorkingSet, tiers.mem);
+    return tiers;
+}
+
+/** Draw a block's instruction count around the profile mean. */
+u16
+drawInsts(const WorkloadProfile &p, Rng &rng)
+{
+    u32 mean = p.meanInstsPerBlock;
+    u32 lo = std::max<u32>(1, mean / 2);
+    u32 hi = mean + mean / 2 + 1;
+    return static_cast<u16>(rng.uniformRange(lo, hi));
+}
+
+/** Total byte size for a block with n instructions (x86-ish 2-6 B). */
+u32
+drawBytes(u16 n_insts, Rng &rng)
+{
+    u32 bytes = 0;
+    for (u16 i = 0; i < n_insts; ++i)
+        bytes += static_cast<u32>(rng.uniformRange(2, 6));
+    return bytes;
+}
+
+/** Pick a branch behaviour pattern from the profile mix. */
+BranchPattern
+drawPattern(const WorkloadProfile &p, Rng &rng)
+{
+    double u = rng.nextDouble();
+    if ((u -= p.fracBiased) < 0)
+        return BranchPattern::Biased;
+    if ((u -= p.fracPeriodic) < 0)
+        return BranchPattern::Periodic;
+    if ((u -= p.fracHistory) < 0)
+        return BranchPattern::HistoryParity;
+    if ((u -= p.fracRandom) < 0)
+        return BranchPattern::Random;
+    return BranchPattern::Biased; // remainder defaults to biased
+}
+
+void
+fillPatternParams(StaticBranch &br, const WorkloadProfile &p, Rng &rng)
+{
+    switch (br.pattern) {
+      case BranchPattern::Biased:
+        br.takenProb = static_cast<float>(
+            p.biasMin + (p.biasMax - p.biasMin) * rng.nextDouble());
+        break;
+      case BranchPattern::Periodic:
+        br.period = static_cast<u16>(
+            rng.uniformRange(p.periodMin, p.periodMax));
+        break;
+      case BranchPattern::HistoryParity:
+        br.historyBits = static_cast<u8>(
+            rng.uniformRange(p.historyBitsMin, p.historyBitsMax));
+        break;
+      default:
+        break;
+    }
+}
+
+/** Populate a block's memory references and bump the global site id. */
+void
+addMemRefs(BasicBlock &bb, const WorkloadProfile &p, const Tiers &tiers,
+           Rng &rng, u32 &next_gen_id)
+{
+    double tier_total = p.fracL1 + p.fracL2 + p.fracMem;
+    auto draw_region = [&](bool &is_mem_tier) -> u32 {
+        is_mem_tier = false;
+        double u = rng.nextDouble() * std::max(tier_total, 1e-9);
+        if ((u -= p.fracL1) < 0 || tiers.l2.empty())
+            return tiers.l1[rng.uniformInt(tiers.l1.size())];
+        if ((u -= p.fracL2) < 0 || tiers.mem.empty())
+            return tiers.l2[rng.uniformInt(tiers.l2.size())];
+        is_mem_tier = true;
+        return tiers.mem[rng.uniformInt(tiers.mem.size())];
+    };
+
+    u16 n_loads = 0, n_stores = 0;
+    for (u16 i = 0; i < bb.nInsts; ++i) {
+        if (rng.bernoulli(p.loadsPerInst))
+            ++n_loads;
+        else if (rng.bernoulli(p.storesPerInst))
+            ++n_stores;
+    }
+    for (u16 i = 0; i < n_loads + n_stores; ++i) {
+        MemRef ref;
+        ref.isStore = i >= n_loads;
+        bool is_mem_tier = false;
+        ref.regionId = draw_region(is_mem_tier);
+        bool is_l2_tier = !is_mem_tier &&
+                          !tiers.l2.empty() &&
+                          ref.regionId >= tiers.l2.front() &&
+                          ref.regionId <= tiers.l2.back();
+        if (is_mem_tier) {
+            ref.pattern = MemPattern::Random;
+        } else {
+            double u = rng.nextDouble();
+            if (u < 0.4 && !(is_l2_tier && p.l2TierWide)) {
+                ref.pattern = MemPattern::Stride;
+                ref.stride = static_cast<u32>(rng.uniformRange(1, 8)) * 8;
+            } else if (is_l2_tier && p.l2TierWide) {
+                ref.pattern = MemPattern::HotWide;
+            } else {
+                ref.pattern = MemPattern::Hot;
+            }
+        }
+        ref.genId = next_gen_id++;
+        bb.memRefs.push_back(ref);
+    }
+}
+
+/**
+ * Build one non-main procedure body.
+ *
+ * @param proc_id This procedure's id.
+ * @param callee_lo/callee_hi Range of legal callee ids (DAG: > proc_id);
+ *        empty range disables calls.
+ */
+Procedure
+buildProcedure(const WorkloadProfile &p, u32 proc_id, u32 callee_lo,
+               u32 callee_hi, const Tiers &tiers, Rng &rng,
+               u32 &next_gen_id)
+{
+    Procedure proc;
+    proc.name = strprintf("proc_%03u", proc_id);
+
+    u32 mean = p.meanBlocksPerProc;
+    u32 n_blocks = static_cast<u32>(
+        rng.uniformRange(std::max<u32>(3, mean / 2), mean + mean / 2));
+
+    // Plan loop ranges first (disjoint, non-nested). Calls are kept
+    // outside loop bodies so the expected dynamic call tree stays
+    // subcritical and trace lengths remain bounded; loop nesting in the
+    // workload comes from calls *between* procedures instead.
+    struct Loop
+    {
+        u32 header;
+        u32 backedge;
+        u16 period;
+    };
+    std::vector<Loop> loops;
+    {
+        u32 cursor = 1;
+        u32 want = static_cast<u32>(rng.uniformRange(1, 2));
+        while (loops.size() < want && cursor + 3 <= n_blocks - 1) {
+            u32 header = cursor + static_cast<u32>(rng.uniformInt(2));
+            u32 body = 1 + static_cast<u32>(rng.uniformInt(3));
+            u32 backedge = header + body;
+            if (backedge >= n_blocks - 1)
+                break;
+            u16 period = static_cast<u16>(
+                rng.uniformRange(p.periodMin, p.periodMax));
+            loops.push_back({header, backedge, period});
+            cursor = backedge + 2;
+        }
+    }
+    auto loop_ending_at = [&](u32 b) -> const Loop * {
+        for (const auto &l : loops)
+            if (l.backedge == b)
+                return &l;
+        return nullptr;
+    };
+    auto in_loop_body = [&](u32 b) {
+        for (const auto &l : loops)
+            if (b >= l.header && b < l.backedge)
+                return true;
+        return false;
+    };
+
+    for (u32 b = 0; b < n_blocks; ++b) {
+        BasicBlock bb;
+        bb.nInsts = drawInsts(p, rng);
+        bb.bytes = drawBytes(bb.nInsts, rng);
+        double extra = rng.exponential(
+            1.0 / std::max(p.meanExtraExecCycles, 1e-6));
+        bb.extraExecCycles = static_cast<u8>(std::min(extra, 20.0));
+        addMemRefs(bb, p, tiers, rng, next_gen_id);
+
+        StaticBranch &br = bb.branch;
+        bool is_last = (b + 1 == n_blocks);
+        const Loop *loop = loop_ending_at(b);
+        if (is_last) {
+            br.kind = OpClass::Return;
+        } else if (loop != nullptr) {
+            br.kind = OpClass::CondBranch;
+            br.targetProc = static_cast<u16>(proc_id);
+            br.targetBlock = static_cast<u16>(loop->header);
+            br.pattern = BranchPattern::Periodic;
+            br.period = loop->period;
+        } else {
+            double u = rng.nextDouble();
+            bool in_body = in_loop_body(b);
+            bool can_call = callee_lo < callee_hi && !in_body;
+            bool can_indirect = b + 3 < n_blocks && !in_body;
+            if (can_call && u < p.callDensity) {
+                br.kind = OpClass::Call;
+                br.targetProc = static_cast<u16>(rng.uniformRange(
+                    callee_lo, callee_hi - 1));
+                br.targetBlock = 0;
+            } else if (can_indirect &&
+                       u < p.callDensity + p.indirectDensity) {
+                br.kind = OpClass::IndirectBranch;
+                u32 max_targets =
+                    std::min<u32>(5, n_blocks - 1 - (b + 1));
+                u32 n_targets = static_cast<u32>(
+                    rng.uniformRange(2, std::max<u32>(2, max_targets)));
+                br.indirectTargets = static_cast<u8>(n_targets);
+                br.targetProc = static_cast<u16>(proc_id);
+                br.targetBlock = static_cast<u16>(b + 1);
+            } else if (u < p.callDensity + p.indirectDensity +
+                               p.condFraction) {
+                // Forward conditional: taken skips the next block (but
+                // never jumps out of an enclosing loop body).
+                br.kind = OpClass::CondBranch;
+                br.targetProc = static_cast<u16>(proc_id);
+                u32 target = std::min(b + 2, n_blocks - 1);
+                if (in_body) {
+                    for (const auto &l : loops)
+                        if (b >= l.header && b < l.backedge)
+                            target = std::min(target, l.backedge);
+                }
+                br.targetBlock = static_cast<u16>(target);
+                br.pattern = drawPattern(p, rng);
+                fillPatternParams(br, p, rng);
+            }
+            // else: plain fall-through.
+        }
+        if (br.isConditional() && bb.loads() > 0) {
+            br.dependsOnLoad = rng.bernoulli(p.branchLoadDepProb);
+            if (br.dependsOnLoad && rng.bernoulli(p.depLoadSlowTier)) {
+                // Route the feeding load to a slow tier so the branch
+                // resolves behind a cache miss (the zeusmp/GemsFDTD
+                // large-slope mechanism).
+                bool to_mem = !tiers.mem.empty();
+                const std::vector<u32> &tier = to_mem ? tiers.mem
+                                                      : tiers.l2;
+                for (auto it = bb.memRefs.rbegin();
+                     it != bb.memRefs.rend(); ++it) {
+                    if (!it->isStore) {
+                        it->regionId =
+                            tier[rng.uniformInt(tier.size())];
+                        // Mem tier: truly cold (Random). L2 tier:
+                        // L1-defeating but L2-resident (Churn), so the
+                        // branch resolves behind an L2 access.
+                        it->pattern = to_mem ? MemPattern::Random
+                                             : MemPattern::Churn;
+                        it->churnSpan = p.churnWindow;
+                        break;
+                    }
+                }
+            }
+        }
+        proc.blocks.push_back(std::move(bb));
+    }
+    return proc;
+}
+
+/** Build main: an outer loop of call blocks over the hot procedures. */
+Procedure
+buildMain(const WorkloadProfile &p, const Tiers &tiers, Rng &rng,
+          u32 &next_gen_id)
+{
+    Procedure main_proc;
+    main_proc.name = "main";
+
+    u32 n_calls = std::min<u32>(p.hotProcedures, 24);
+    // Entry block.
+    {
+        BasicBlock bb;
+        bb.nInsts = drawInsts(p, rng);
+        bb.bytes = drawBytes(bb.nInsts, rng);
+        addMemRefs(bb, p, tiers, rng, next_gen_id);
+        main_proc.blocks.push_back(std::move(bb));
+    }
+    // One call block per directly-driven hot procedure.
+    for (u32 i = 0; i < n_calls; ++i) {
+        BasicBlock bb;
+        bb.nInsts = drawInsts(p, rng);
+        bb.bytes = drawBytes(bb.nInsts, rng);
+        addMemRefs(bb, p, tiers, rng, next_gen_id);
+        bb.branch.kind = OpClass::Call;
+        bb.branch.targetProc = static_cast<u16>(1 + i);
+        bb.branch.targetBlock = 0;
+        main_proc.blocks.push_back(std::move(bb));
+    }
+    // Outer loop back to the first call block.
+    {
+        BasicBlock bb;
+        bb.nInsts = drawInsts(p, rng);
+        bb.bytes = drawBytes(bb.nInsts, rng);
+        bb.branch.kind = OpClass::CondBranch;
+        bb.branch.targetProc = 0;
+        bb.branch.targetBlock = 1;
+        bb.branch.pattern = BranchPattern::Periodic;
+        bb.branch.period = 4; // iterations per main() invocation
+        main_proc.blocks.push_back(std::move(bb));
+    }
+    // Return block.
+    {
+        BasicBlock bb;
+        bb.nInsts = 2;
+        bb.bytes = drawBytes(bb.nInsts, rng);
+        bb.branch.kind = OpClass::Return;
+        main_proc.blocks.push_back(std::move(bb));
+    }
+    return main_proc;
+}
+
+} // anonymous namespace
+
+Program
+buildProgram(const WorkloadProfile &p)
+{
+    p.validate();
+    Rng rng(p.structureSeed);
+    Program prog;
+
+    Tiers tiers = makeRegions(prog, p, rng);
+    u32 next_gen_id = 0;
+
+    // main first (id 0), then hot procedures 1..hot, then cold ones.
+    prog.addProcedure(buildMain(p, tiers, rng, next_gen_id));
+    for (u32 id = 1; id < p.procedures; ++id) {
+        bool hot = id <= p.hotProcedures;
+        // DAG calls: hot procedures call hotter-numbered hot procedures;
+        // cold procedures never execute, so their call targets just need
+        // to be valid (point them at later cold procedures).
+        u32 callee_lo = id + 1;
+        u32 callee_hi = hot ? std::min(p.hotProcedures + 1, p.procedures)
+                            : p.procedures;
+        if (callee_lo >= callee_hi) {
+            callee_lo = 0;
+            callee_hi = 0; // no calls possible
+        }
+        prog.addProcedure(buildProcedure(p, id, callee_lo, callee_hi,
+                                         tiers, rng, next_gen_id));
+    }
+
+    // Distribute procedures over object files in a shuffled authored
+    // order, interleaving hot and cold code the way real projects do.
+    std::vector<u32> order = rng.permutation(p.procedures);
+    for (u32 f = 0; f < p.objectFiles; ++f)
+        prog.addFile(strprintf("%s_%02u.o", p.name.c_str(), f));
+    for (size_t i = 0; i < order.size(); ++i)
+        prog.placeInFile(static_cast<u32>(i % p.objectFiles), order[i]);
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace interf::workloads

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ProgramBuilder: turn a WorkloadProfile into a concrete static Program.
+ *
+ * The builder plays the role of the paper's compiler front end: it fixes
+ * the program's procedures, basic blocks, branch sites (with their
+ * behaviour patterns), memory reference sites and data regions. The
+ * construction is fully determined by profile.structureSeed, so a
+ * benchmark's static shape — like a real compiled binary — is identical
+ * across all experiments; only the *link order* (handled by the Linker)
+ * and *heap placement* (HeapLayout) vary per layout key.
+ */
+
+#ifndef INTERF_WORKLOADS_BUILDER_HH
+#define INTERF_WORKLOADS_BUILDER_HH
+
+#include "trace/program.hh"
+#include "workloads/profile.hh"
+
+namespace interf::workloads
+{
+
+/**
+ * Build the static program for a profile.
+ *
+ * Structural guarantees:
+ *  - procedure 0 is main, whose outer loop drives the hot procedures;
+ *  - procedures 1..hotProcedures are hot (reachable), the rest are cold
+ *    library-like code that only occupies address space;
+ *  - the call graph is a DAG (callee id > caller id), so every trace
+ *    walk terminates;
+ *  - every procedure ends in a Return block;
+ *  - the program passes Program::validate().
+ */
+trace::Program buildProgram(const WorkloadProfile &profile);
+
+} // namespace interf::workloads
+
+#endif // INTERF_WORKLOADS_BUILDER_HH

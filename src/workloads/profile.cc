@@ -1,0 +1,100 @@
+#include "workloads/profile.hh"
+
+#include "util/logging.hh"
+
+namespace interf::workloads
+{
+
+namespace
+{
+
+void
+checkFraction(double value, const char *what, const std::string &name)
+{
+    if (value < 0.0 || value > 1.0)
+        fatal("profile '%s': %s must be in [0,1], got %g", name.c_str(),
+              what, value);
+}
+
+} // anonymous namespace
+
+void
+WorkloadProfile::validate() const
+{
+    if (name.empty())
+        fatal("profile has an empty name");
+    if (procedures < 2)
+        fatal("profile '%s': needs at least main and one callee",
+              name.c_str());
+    if (hotProcedures == 0 || hotProcedures >= procedures)
+        fatal("profile '%s': hotProcedures must be in [1, procedures)",
+              name.c_str());
+    if (objectFiles == 0 || objectFiles > procedures)
+        fatal("profile '%s': objectFiles must be in [1, procedures]",
+              name.c_str());
+    if (meanBlocksPerProc < 2)
+        fatal("profile '%s': meanBlocksPerProc must be >= 2", name.c_str());
+    if (meanInstsPerBlock < 1)
+        fatal("profile '%s': meanInstsPerBlock must be >= 1", name.c_str());
+    checkFraction(callDensity, "callDensity", name);
+    checkFraction(indirectDensity, "indirectDensity", name);
+    checkFraction(condFraction, "condFraction", name);
+    checkFraction(fracBiased, "fracBiased", name);
+    checkFraction(fracPeriodic, "fracPeriodic", name);
+    checkFraction(fracHistory, "fracHistory", name);
+    checkFraction(fracRandom, "fracRandom", name);
+    double mix = fracBiased + fracPeriodic + fracHistory + fracRandom;
+    if (mix > 1.0 + 1e-9)
+        fatal("profile '%s': branch pattern fractions sum to %g > 1",
+              name.c_str(), mix);
+    if (biasMin < 0.0 || biasMax > 1.0 || biasMin > biasMax)
+        fatal("profile '%s': invalid bias range [%g, %g]", name.c_str(),
+              biasMin, biasMax);
+    if (periodMin < 2 || periodMin > periodMax)
+        fatal("profile '%s': invalid period range [%u, %u]", name.c_str(),
+              periodMin, periodMax);
+    if (historyBitsMin < 1 || historyBitsMin > historyBitsMax ||
+        historyBitsMax > 32)
+        fatal("profile '%s': invalid history-bits range [%u, %u]",
+              name.c_str(), historyBitsMin, historyBitsMax);
+    checkFraction(branchLoadDepProb, "branchLoadDepProb", name);
+    checkFraction(depLoadSlowTier, "depLoadSlowTier", name);
+    if (loadsPerInst < 0.0 || loadsPerInst > 1.0 || storesPerInst < 0.0 ||
+        storesPerInst > 1.0)
+        fatal("profile '%s': loads/stores per instruction out of range",
+              name.c_str());
+    checkFraction(fracL1, "fracL1", name);
+    checkFraction(fracL2, "fracL2", name);
+    checkFraction(fracMem, "fracMem", name);
+    double tier = fracL1 + fracL2 + fracMem;
+    if (tier > 1.0 + 1e-9)
+        fatal("profile '%s': memory tier fractions sum to %g > 1",
+              name.c_str(), tier);
+    if (l1WorkingSet < 4096)
+        fatal("profile '%s': l1WorkingSet must be >= 4096 bytes",
+              name.c_str());
+    if (l2WorkingSet < 4096)
+        fatal("profile '%s': l2WorkingSet must be >= 4096 bytes",
+              name.c_str());
+    if (fracMem > 0.0 && memWorkingSet < 4096)
+        fatal("profile '%s': fracMem > 0 needs memWorkingSet >= 4096",
+              name.c_str());
+    checkFraction(heapFraction, "heapFraction", name);
+    if (regionsPerTier == 0)
+        fatal("profile '%s': regionsPerTier must be >= 1", name.c_str());
+    if (meanExtraExecCycles < 0.0)
+        fatal("profile '%s': meanExtraExecCycles must be >= 0",
+              name.c_str());
+    checkFraction(fpFraction, "fpFraction", name);
+}
+
+WorkloadProfile
+defaultProfile(const std::string &name)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.validate();
+    return p;
+}
+
+} // namespace interf::workloads

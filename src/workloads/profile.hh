@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Behaviour profiles for the synthetic benchmark suite.
+ *
+ * We cannot ship SPEC CPU 2006, so each of the paper's 23 compiling
+ * benchmarks is modeled by a WorkloadProfile: a parameter vector that
+ * the ProgramBuilder turns into a concrete Program (code structure,
+ * branch-site behaviours, data regions) and that the TraceGenerator
+ * turns into a deterministic dynamic trace. The parameters are chosen
+ * per benchmark so the interferometry pipeline sees data with the same
+ * qualitative structure the paper reports (Table 1 intercepts/slopes,
+ * Figure 7 MPKI levels, Figure 6 blame splits).
+ */
+
+#ifndef INTERF_WORKLOADS_PROFILE_HH
+#define INTERF_WORKLOADS_PROFILE_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace interf::workloads
+{
+
+/** All knobs of one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name;      ///< e.g. "400.perlbench".
+    u64 structureSeed = 1; ///< Seeds the static program construction.
+    u64 behaviourSeed = 2; ///< Seeds the dynamic trace generation.
+
+    /** @{ Code structure. */
+    u32 objectFiles = 12;      ///< Object files on the link line.
+    u32 procedures = 60;       ///< Total procedures (incl. main).
+    u32 hotProcedures = 24;    ///< Procedures the main loop exercises.
+    u32 meanBlocksPerProc = 10;
+    u32 meanInstsPerBlock = 5;
+    double callDensity = 0.08; ///< P(block terminator is a call).
+    double indirectDensity = 0.0; ///< P(block ends in indirect branch).
+    /** @} */
+
+    /** @{ Conditional-branch behaviour mix (fractions sum to <= 1;
+     *     the remainder of blocks fall through or loop). */
+    double condFraction = 0.45;  ///< P(block ends in a cond branch).
+    double fracBiased = 0.45;    ///< Of cond sites: fixed-bias.
+    double fracPeriodic = 0.30;  ///< Of cond sites: loop-periodic.
+    double fracHistory = 0.15;   ///< Of cond sites: history-correlated.
+    double fracRandom = 0.10;    ///< Of cond sites: 50/50 noise.
+    double biasMin = 0.70;       ///< Biased sites: taken prob range.
+    double biasMax = 0.98;
+    u32 periodMin = 3;           ///< Periodic sites: period range.
+    u32 periodMax = 24;
+    u32 historyBitsMin = 3;      ///< HistoryParity sites: depth range.
+    u32 historyBitsMax = 10;
+    /** P(cond branch's resolution depends on a load in its block) —
+     *  drives the benchmark's misprediction penalty (Table 1 slope). */
+    double branchLoadDepProb = 0.15;
+    /** Of load-dependent branches: P(the feeding load is routed to a
+     *  slow tier) — mem tier if the profile has one, else the L2 tier.
+     *  This is the zeusmp/GemsFDTD mechanism: mispredictions resolving
+     *  behind cache misses, giving slopes far above pipeline depth. */
+    double depLoadSlowTier = 0.35;
+    /** @} */
+
+    /** @{ Memory behaviour. */
+    double loadsPerInst = 0.22;
+    double storesPerInst = 0.08;
+    u64 l1WorkingSet = 16 << 10;   ///< Hot tier (fits L1D).
+    u64 l2WorkingSet = 512 << 10;  ///< Warm tier (fits L2).
+    u64 memWorkingSet = 0;         ///< Cold tier (misses L2); 0 = none.
+    double fracL1 = 0.87;          ///< Access mix over the three tiers.
+    double fracL2 = 0.13;
+    double fracMem = 0.0;
+    double heapFraction = 0.5;     ///< Fraction of regions heap-allocated.
+    u32 regionsPerTier = 8;        ///< Regions each tier is split into.
+    u32 regionsL2Tier = 0;         ///< Override for the L2 tier (0 = use
+                                   ///< regionsPerTier).
+    /** Use wide (half-region) hot sets on the L2 tier, building a
+     *  recurring working set near L2 capacity whose conflict misses
+     *  depend on physical page placement (the Figure 3(b) mechanism). */
+    bool l2TierWide = false;
+    /** Window (bytes) of Churn-pattern dependent loads; the default
+     *  defeats the L1 but stays L2-resident. Widen past L2 capacity to
+     *  create placement-sensitive steady-state L2 misses. */
+    u32 churnWindow = 96 << 10;
+    /** @} */
+
+    /** @{ Intrinsic ILP: extra dependence-stall cycles per block. */
+    double meanExtraExecCycles = 1.0;
+    double fpFraction = 0.0; ///< Flavour only (FP vs integer mix).
+    /** @} */
+
+    /**
+     * Sanity-check ranges (fractions in [0,1], counts nonzero);
+     * calls fatal() on an invalid profile since profiles are user input.
+     */
+    void validate() const;
+};
+
+/** A sensible default profile for quick experiments ("toy"). */
+WorkloadProfile defaultProfile(const std::string &name = "toy");
+
+} // namespace interf::workloads
+
+#endif // INTERF_WORKLOADS_PROFILE_HH

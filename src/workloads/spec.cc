@@ -1,0 +1,736 @@
+#include "workloads/spec.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace interf::workloads
+{
+
+namespace
+{
+
+/**
+ * Base profile all suite entries start from; individual benchmarks
+ * override the traits that define their character. Seeds derive from
+ * the benchmark's position so every benchmark is structurally distinct.
+ */
+WorkloadProfile
+base(const char *name, u64 index)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.structureSeed = 0x5bec0000 + index * 7919;
+    p.behaviourSeed = 0xbeea0000 + index * 104729;
+    return p;
+}
+
+std::vector<BenchmarkSpec>
+makeSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    u64 i = 0;
+
+    // --- 400.perlbench: branchy interpreter, indirect dispatch,
+    //     moderate memory. Table 1: slope .028, intercept .517.
+    {
+        auto p = base("400.perlbench", ++i);
+        p.procedures = 140;
+        p.hotProcedures = 70;
+        p.objectFiles = 20;
+        p.condFraction = 0.50;
+        p.indirectDensity = 0.03;
+        p.fracBiased = 0.42;
+        p.fracPeriodic = 0.534;
+        p.fracHistory = 0.042;
+        p.fracRandom = 0.0021;
+        p.biasMin = 0.9931;
+        p.biasMax = 0.9983;
+        p.loadsPerInst = 0.24;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 768 << 10;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.branchLoadDepProb = 0;
+        p.meanExtraExecCycles = 1.159;
+        suite.push_back({p, true});
+    }
+    // --- 401.bzip2: integer compression; mixed predictability.
+    {
+        auto p = base("401.bzip2", ++i);
+        p.branchLoadDepProb = 0;
+        p.procedures = 60;
+        p.hotProcedures = 24;
+        p.objectFiles = 8;
+        p.condFraction = 0.52;
+        p.fracBiased = 0.34;
+        p.fracPeriodic = 0.501;
+        p.fracHistory = 0.136;
+        p.fracRandom = 0.02;
+        p.biasMin = 0.9642;
+        p.biasMax = 0.9867;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.11;
+        p.l1WorkingSet = 28 << 10;
+        p.l2WorkingSet = 2 << 20;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.meanExtraExecCycles = 1.468;
+        suite.push_back({p, true});
+    }
+    // --- 403.gcc: huge code footprint (I-cache pressure), pointer data.
+    {
+        auto p = base("403.gcc", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 14;
+        p.procedures = 320;
+        p.hotProcedures = 180;
+        p.objectFiles = 40;
+        p.meanBlocksPerProc = 16;
+        p.condFraction = 0.50;
+        p.indirectDensity = 0.02;
+        p.fracBiased = 0.44;
+        p.fracPeriodic = 0.53;
+        p.fracHistory = 0.025;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.12;
+        p.l1WorkingSet = 30 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 48ULL << 20;
+        p.fracL1 = 0.73;
+        p.fracL2 = 0.24;
+        p.fracMem = 0.03;
+        p.meanExtraExecCycles = 4.17;
+        suite.push_back({p, true});
+    }
+    // --- 416.gamess: FP chemistry; few, predictable branches.
+    {
+        auto p = base("416.gamess", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.depLoadSlowTier = 0.8;
+        p.procedures = 90;
+        p.hotProcedures = 30;
+        p.objectFiles = 12;
+        p.condFraction = 0.30;
+        p.fracBiased = 0.40;
+        p.fracPeriodic = 0.446;
+        p.fracHistory = 0.15;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.periodMin = 16;
+        p.periodMax = 64;
+        p.loadsPerInst = 0.24;
+        p.storesPerInst = 0.08;
+        p.l1WorkingSet = 20 << 10;
+        p.l2WorkingSet = 1 << 20;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.branchLoadDepProb = 0.45;
+        p.meanExtraExecCycles = 0.05;
+        p.fpFraction = 0.6;
+        suite.push_back({p, true});
+    }
+    // --- 429.mcf: memory-bound pointer chasing; CPI ~4.7.
+    {
+        auto p = base("429.mcf", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.depLoadSlowTier = 0.5;
+        p.procedures = 60;
+        p.hotProcedures = 30;
+        p.objectFiles = 6;
+        p.condFraction = 0.48;
+        p.fracBiased = 0.40;
+        p.fracPeriodic = 0.434;
+        p.fracHistory = 0.089;
+        p.fracRandom = 0.0749;
+        p.biasMin = 0.9223;
+        p.biasMax = 0.9655;
+        p.loadsPerInst = 0.30;
+        p.storesPerInst = 0.08;
+        p.l1WorkingSet = 16 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 256ULL << 20;
+        p.fracL1 = 0.6;
+        p.fracL2 = 0.18;
+        p.fracMem = 0.22;
+        p.heapFraction = 0.9;
+        p.branchLoadDepProb = 0.05;
+        p.meanExtraExecCycles = 4.345;
+        suite.push_back({p, true});
+    }
+    // --- 433.milc: FP lattice QCD; streaming, branch-insensitive to
+    //     layout. One of our three t-test failures.
+    {
+        auto p = base("433.milc", ++i);
+        p.procedures = 90;
+        p.hotProcedures = 24;
+        p.objectFiles = 8;
+        p.condFraction = 0.14;
+        p.fracBiased = 0.20;
+        p.fracPeriodic = 0.796;
+        p.fracHistory = 0;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.periodMin = 32;
+        p.periodMax = 128;
+        p.loadsPerInst = 0.30;
+        p.storesPerInst = 0.14;
+        p.l1WorkingSet = 16 << 10;
+        p.l2WorkingSet = 2 << 20;
+        p.memWorkingSet = 64ULL << 20;
+        p.fracL1 = 0.7295;
+        p.fracL2 = 0.27;
+        p.fracMem = 0.0005;
+        p.meanExtraExecCycles = 8;
+        p.fpFraction = 0.8;
+        suite.push_back({p, false});
+    }
+    // --- 434.zeusmp: FP CFD; rare mispredictions but each waits on a
+    //     missing load -> Table 1 slope 0.373.
+    {
+        auto p = base("434.zeusmp", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.depLoadSlowTier = 1.0;
+        p.procedures = 70;
+        p.hotProcedures = 20;
+        p.objectFiles = 10;
+        p.condFraction = 0.12;
+        p.fracBiased = 0.34;
+        p.fracPeriodic = 0.619;
+        p.fracHistory = 0.037;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.periodMin = 24;
+        p.periodMax = 96;
+        p.loadsPerInst = 0.28;
+        p.storesPerInst = 0.12;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 3 << 20;
+        p.memWorkingSet = 32ULL << 20;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0;
+        p.branchLoadDepProb = 0.85;
+        p.meanExtraExecCycles = 1.707;
+        p.fpFraction = 0.8;
+        suite.push_back({p, true});
+    }
+    // --- 435.gromacs: FP molecular dynamics; modest everything.
+    {
+        auto p = base("435.gromacs", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.periodMin = 24;
+        p.periodMax = 96;
+        p.procedures = 80;
+        p.hotProcedures = 26;
+        p.objectFiles = 12;
+        p.condFraction = 0.32;
+        p.fracBiased = 0.40;
+        p.fracPeriodic = 0.37;
+        p.fracHistory = 0.177;
+        p.fracRandom = 0.05;
+        p.biasMin = 0.97;
+        p.biasMax = 0.99;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 1 << 20;
+        p.fracL1 = 0.93;
+        p.fracL2 = 0.07;
+        p.fracMem = 0.0;
+        p.branchLoadDepProb = 0.20;
+        p.meanExtraExecCycles = 1.305;
+        p.fpFraction = 0.7;
+        suite.push_back({p, true});
+    }
+    // --- 436.cactusADM: FP stencil; near-zero branch variance.
+    //     Second t-test failure.
+    {
+        auto p = base("436.cactusADM", ++i);
+        p.procedures = 40;
+        p.hotProcedures = 8;
+        p.objectFiles = 6;
+        p.condFraction = 0.10;
+        p.fracBiased = 0.10;
+        p.fracPeriodic = 0.896;
+        p.fracHistory = 0;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.periodMin = 32;
+        p.periodMax = 128;
+        p.loadsPerInst = 0.32;
+        p.storesPerInst = 0.16;
+        p.l1WorkingSet = 20 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 24ULL << 20;
+        p.fracL1 = 0.7525;
+        p.fracL2 = 0.24;
+        p.fracMem = 0.0075;
+        p.meanExtraExecCycles = 1.34;
+        p.fpFraction = 0.9;
+        suite.push_back({p, false});
+    }
+    // --- 444.namd: FP; well-predicted branches, lean memory.
+    {
+        auto p = base("444.namd", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.periodMin = 24;
+        p.periodMax = 96;
+        p.procedures = 70;
+        p.hotProcedures = 22;
+        p.objectFiles = 10;
+        p.condFraction = 0.4;
+        p.fracBiased = 0.44;
+        p.fracPeriodic = 0.409;
+        p.fracHistory = 0.147;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.loadsPerInst = 0.24;
+        p.storesPerInst = 0.08;
+        p.l1WorkingSet = 20 << 10;
+        p.l2WorkingSet = 768 << 10;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.branchLoadDepProb = 0.18;
+        p.meanExtraExecCycles = 1.086;
+        p.fpFraction = 0.7;
+        suite.push_back({p, true});
+    }
+    // --- 445.gobmk: Go engine; the branchiest benchmark, high MPKI.
+    {
+        auto p = base("445.gobmk", ++i);
+        p.branchLoadDepProb = 0;
+        p.procedures = 200;
+        p.hotProcedures = 110;
+        p.objectFiles = 26;
+        p.condFraction = 0.56;
+        p.fracBiased = 0.30;
+        p.fracPeriodic = 0.4;
+        p.fracHistory = 0.257;
+        p.fracRandom = 0.0413;
+        p.biasMin = 0.9246;
+        p.biasMax = 0.971;
+        p.loadsPerInst = 0.22;
+        p.storesPerInst = 0.08;
+        p.l1WorkingSet = 26 << 10;
+        p.l2WorkingSet = 1 << 20;
+        p.fracL1 = 0.93;
+        p.fracL2 = 0.07;
+        p.fracMem = 0.0;
+        p.meanExtraExecCycles = 0.972;
+        suite.push_back({p, true});
+    }
+    // --- 450.soplex: FP linear programming over big sparse data.
+    {
+        auto p = base("450.soplex", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.periodMin = 16;
+        p.periodMax = 64;
+        p.procedures = 140;
+        p.hotProcedures = 60;
+        p.objectFiles = 12;
+        p.condFraction = 0.38;
+        p.fracBiased = 0.40;
+        p.fracPeriodic = 0.426;
+        p.fracHistory = 0.16;
+        p.fracRandom = 0.012;
+        p.biasMin = 0.985;
+        p.biasMax = 0.997;
+        p.loadsPerInst = 0.28;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 20 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 64ULL << 20;
+        p.fracL1 = 0.72;
+        p.fracL2 = 0.22;
+        p.fracMem = 0.06;
+        p.heapFraction = 0.8;
+        p.meanExtraExecCycles = 1.996;
+        p.fpFraction = 0.6;
+        suite.push_back({p, true});
+    }
+    // --- 454.calculix: FP structural mechanics; the Figure 3 cache
+    //     study subject: L1/L2-conflict-sensitive heap data.
+    {
+        auto p = base("454.calculix", ++i);
+        p.structureSeed += 2;
+        p.churnWindow = 8 << 20;
+        p.regionsL2Tier = 1;
+        p.l2TierWide = false;
+        p.memWorkingSet = 0;
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.periodMin = 24;
+        p.periodMax = 96;
+        p.depLoadSlowTier = 0.6;
+        p.procedures = 80;
+        p.hotProcedures = 24;
+        p.objectFiles = 12;
+        p.condFraction = 0.30;
+        p.fracBiased = 0.42;
+        p.fracPeriodic = 0.522;
+        p.fracHistory = 0.054;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.loadsPerInst = 0.30;
+        p.storesPerInst = 0.12;
+        p.l1WorkingSet = 36 << 10;  // straddles L1D capacity
+        p.l2WorkingSet = 19 << 20;   // straddles L2 capacity
+        p.fracL1 = 0.96;
+        p.fracL2 = 0.04;
+        p.fracMem = 0.0;
+        p.heapFraction = 0.95;
+        p.regionsPerTier = 24;      // many heap objects -> placement
+                                    // conflicts vary with the heap seed
+        p.branchLoadDepProb = 0.35;
+        p.meanExtraExecCycles = 0.05;
+        p.fpFraction = 0.8;
+        suite.push_back({p, true});
+    }
+    // --- 456.hmmer: profile HMM search; high ILP, branchy inner loop.
+    {
+        auto p = base("456.hmmer", ++i);
+        p.branchLoadDepProb = 0;
+        p.procedures = 50;
+        p.hotProcedures = 14;
+        p.objectFiles = 8;
+        p.condFraction = 0.54;
+        p.fracBiased = 0.52;
+        p.fracPeriodic = 0.465;
+        p.fracHistory = 0.011;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.9975;
+        p.biasMax = 0.9993;
+        p.loadsPerInst = 0.24;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 16 << 10;
+        p.l2WorkingSet = 512 << 10;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.meanExtraExecCycles = 0.05; // very high ILP
+        suite.push_back({p, true});
+    }
+    // --- 459.GemsFDTD: FP electromagnetics; the other huge slope
+    //     (0.516): mispredictions resolve behind L2 misses.
+    {
+        auto p = base("459.GemsFDTD", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.depLoadSlowTier = 1.0;
+        p.procedures = 60;
+        p.hotProcedures = 16;
+        p.objectFiles = 10;
+        p.condFraction = 0.1;
+        p.fracBiased = 0.30;
+        p.fracPeriodic = 0.643;
+        p.fracHistory = 0.053;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.periodMin = 32;
+        p.periodMax = 128;
+        p.loadsPerInst = 0.30;
+        p.storesPerInst = 0.14;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 5 << 20;
+        p.memWorkingSet = 96ULL << 20;
+        p.fracL1 = 0.784;
+        p.fracL2 = 0.216;
+        p.fracMem = 0;
+        p.branchLoadDepProb = 0.9;
+        p.meanExtraExecCycles = 1.948;
+        p.fpFraction = 0.9;
+        suite.push_back({p, true});
+    }
+    // --- 462.libquantum: quantum simulation; streaming with one hot
+    //     loop branch. The paper: 84.2% of CPI variance is branches.
+    {
+        auto p = base("462.libquantum", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.periodMin = 32;
+        p.periodMax = 128;
+        p.meanBlocksPerProc = 12;
+        p.procedures = 80;
+        p.hotProcedures = 32;
+        p.objectFiles = 5;
+        p.condFraction = 0.46;
+        p.fracBiased = 0.36;
+        p.fracPeriodic = 0.446;
+        p.fracHistory = 0.163;
+        p.fracRandom = 0.0205;
+        p.biasMin = 0.9653;
+        p.biasMax = 0.9913;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.12;
+        p.l1WorkingSet = 16 << 10;
+        p.l2WorkingSet = 1 << 20;
+        p.memWorkingSet = 32ULL << 20;
+        p.fracL1 = 0.8317;
+        p.fracL2 = 0.14;
+        p.fracMem = 0.0283;
+        p.meanExtraExecCycles = 2.849;
+        suite.push_back({p, true});
+    }
+    // --- 464.h264ref: video encoder; mixed, moderately predictable.
+    {
+        auto p = base("464.h264ref", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 14;
+        p.periodMin = 12;
+        p.periodMax = 48;
+        p.procedures = 110;
+        p.hotProcedures = 40;
+        p.objectFiles = 16;
+        p.condFraction = 0.44;
+        p.fracBiased = 0.46;
+        p.fracPeriodic = 0.501;
+        p.fracHistory = 0.035;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.12;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 1 << 20;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.meanExtraExecCycles = 0.636;
+        suite.push_back({p, true});
+    }
+    // --- 465.tonto: FP quantum chemistry.
+    {
+        auto p = base("465.tonto", ++i);
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 12;
+        p.periodMin = 16;
+        p.periodMax = 64;
+        p.procedures = 160;
+        p.hotProcedures = 70;
+        p.objectFiles = 16;
+        p.condFraction = 0.32;
+        p.fracBiased = 0.42;
+        p.fracPeriodic = 0.505;
+        p.fracHistory = 0.07;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 1 << 20;
+        p.fracL1 = 0.98;
+        p.fracL2 = 0.02;
+        p.fracMem = 0.0;
+        p.branchLoadDepProb = 0.20;
+        p.meanExtraExecCycles = 0.835;
+        p.fpFraction = 0.7;
+        suite.push_back({p, true});
+    }
+    // --- 470.lbm: lattice Boltzmann; almost branch-free streaming.
+    //     Third t-test failure.
+    {
+        auto p = base("470.lbm", ++i);
+        p.procedures = 20;
+        p.hotProcedures = 4;
+        p.objectFiles = 3;
+        p.condFraction = 0.08;
+        p.fracBiased = 0.06;
+        p.fracPeriodic = 0.936;
+        p.fracHistory = 0;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.periodMin = 48;
+        p.periodMax = 160;
+        p.loadsPerInst = 0.34;
+        p.storesPerInst = 0.18;
+        p.l1WorkingSet = 16 << 10;
+        p.l2WorkingSet = 2 << 20;
+        p.memWorkingSet = 128ULL << 20;
+        p.fracL1 = 0.7568;
+        p.fracL2 = 0.23;
+        p.fracMem = 0.0132;
+        p.meanExtraExecCycles = 2.66;
+        p.fpFraction = 0.95;
+        suite.push_back({p, false});
+    }
+    // --- 471.omnetpp: discrete-event simulation; virtual dispatch,
+    //     pointer-heavy heap, CPI ~1.9.
+    {
+        auto p = base("471.omnetpp", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.procedures = 160;
+        p.hotProcedures = 80;
+        p.objectFiles = 22;
+        p.condFraction = 0.48;
+        p.indirectDensity = 0.05;
+        p.fracBiased = 0.38;
+        p.fracPeriodic = 0.472;
+        p.fracHistory = 0.131;
+        p.fracRandom = 0.0142;
+        p.biasMin = 0.9734;
+        p.biasMax = 0.99;
+        p.loadsPerInst = 0.28;
+        p.storesPerInst = 0.12;
+        p.l1WorkingSet = 28 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 64ULL << 20;
+        p.fracL1 = 0.74;
+        p.fracL2 = 0.21;
+        p.fracMem = 0.05;
+        p.heapFraction = 0.95;
+        p.meanExtraExecCycles = 3.669;
+        suite.push_back({p, true});
+    }
+    // --- 473.astar: path finding; high MPKI and memory pressure.
+    {
+        auto p = base("473.astar", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.procedures = 40;
+        p.hotProcedures = 14;
+        p.objectFiles = 6;
+        p.condFraction = 0.54;
+        p.fracBiased = 0.19;
+        p.fracPeriodic = 0.281;
+        p.fracHistory = 0.429;
+        p.fracRandom = 0.0974;
+        p.biasMin = 0.8549;
+        p.biasMax = 0.9442;
+        p.loadsPerInst = 0.28;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 20 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 96ULL << 20;
+        p.fracL1 = 0.7002;
+        p.fracL2 = 0.23;
+        p.fracMem = 0.0698;
+        p.heapFraction = 0.9;
+        p.meanExtraExecCycles = 0.72;
+        suite.push_back({p, true});
+    }
+    // --- 482.sphinx3: speech recognition; FP with branchy scoring.
+    {
+        auto p = base("482.sphinx3", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.procedures = 80;
+        p.hotProcedures = 28;
+        p.objectFiles = 12;
+        p.condFraction = 0.44;
+        p.fracBiased = 0.40;
+        p.fracPeriodic = 0.411;
+        p.fracHistory = 0.161;
+        p.fracRandom = 0.0253;
+        p.biasMin = 0.9629;
+        p.biasMax = 0.9886;
+        p.loadsPerInst = 0.28;
+        p.storesPerInst = 0.08;
+        p.l1WorkingSet = 24 << 10;
+        p.l2WorkingSet = 2 << 20;
+        p.fracL1 = 0.88;
+        p.fracL2 = 0.12;
+        p.fracMem = 0.0;
+        p.meanExtraExecCycles = 3.177;
+        p.fpFraction = 0.6;
+        suite.push_back({p, true});
+    }
+    // --- 483.xalancbmk: XSLT processor; big code, indirect dispatch.
+    {
+        auto p = base("483.xalancbmk", ++i);
+        p.branchLoadDepProb = 0.05;
+        p.historyBitsMin = 6;
+        p.historyBitsMax = 14;
+        p.periodMin = 8;
+        p.periodMax = 32;
+        p.procedures = 260;
+        p.hotProcedures = 140;
+        p.objectFiles = 34;
+        p.meanBlocksPerProc = 11;
+        p.condFraction = 0.48;
+        p.indirectDensity = 0.04;
+        p.fracBiased = 0.44;
+        p.fracPeriodic = 0.526;
+        p.fracHistory = 0.03;
+        p.fracRandom = 0.002;
+        p.biasMin = 0.999;
+        p.biasMax = 1;
+        p.loadsPerInst = 0.26;
+        p.storesPerInst = 0.10;
+        p.l1WorkingSet = 28 << 10;
+        p.l2WorkingSet = 4 << 20;
+        p.memWorkingSet = 32ULL << 20;
+        p.fracL1 = 0.75;
+        p.fracL2 = 0.21;
+        p.fracMem = 0.04;
+        p.heapFraction = 0.9;
+        p.meanExtraExecCycles = 5.095;
+        suite.push_back({p, true});
+    }
+
+    for (auto &entry : suite)
+        entry.profile.validate();
+    return suite;
+}
+
+} // anonymous namespace
+
+const std::vector<BenchmarkSpec> &
+specSuite()
+{
+    static const std::vector<BenchmarkSpec> suite = makeSuite();
+    return suite;
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &entry : specSuite())
+        names.push_back(entry.profile.name);
+    return names;
+}
+
+const BenchmarkSpec &
+specFor(const std::string &name)
+{
+    for (const auto &entry : specSuite())
+        if (entry.profile.name == name)
+            return entry;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+bool
+isSuiteBenchmark(const std::string &name)
+{
+    for (const auto &entry : specSuite())
+        if (entry.profile.name == name)
+            return true;
+    return false;
+}
+
+} // namespace interf::workloads

@@ -1,0 +1,132 @@
+/** @file Tests for the bimodal predictor and 2-bit counter helpers. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::bpred;
+
+TEST(Counter2, SaturatesBothEnds)
+{
+    u8 c = 3;
+    c = counter2::update(c, true);
+    EXPECT_EQ(c, 3);
+    c = 0;
+    c = counter2::update(c, false);
+    EXPECT_EQ(c, 0);
+}
+
+TEST(Counter2, HysteresisNeedsTwoFlips)
+{
+    u8 c = 3; // strongly taken
+    c = counter2::update(c, false);
+    EXPECT_TRUE(counter2::predict(c)); // still predicts taken
+    c = counter2::update(c, false);
+    EXPECT_FALSE(counter2::predict(c));
+}
+
+TEST(Bimodal, LearnsAlwaysTakenBranch)
+{
+    BimodalPredictor pred(1024);
+    Addr pc = 0x400123;
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += pred.predictAndTrain(pc, true) != true;
+    EXPECT_LE(wrong, 1); // init weakly-taken: at most warmup error
+}
+
+TEST(Bimodal, LearnsAlwaysNotTaken)
+{
+    BimodalPredictor pred(1024);
+    Addr pc = 0x400321;
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += pred.predictAndTrain(pc, false) != false;
+    EXPECT_LE(wrong, 2);
+}
+
+TEST(Bimodal, LoopExitMispredictedOncePerIteration)
+{
+    BimodalPredictor pred(1024);
+    Addr pc = 0x400500;
+    // Warm up.
+    for (int i = 0; i < 16; ++i)
+        pred.predictAndTrain(pc, true);
+    int wrong = 0;
+    // 10 loops of period 8: 7 taken + 1 not-taken.
+    for (int loop = 0; loop < 10; ++loop) {
+        for (int it = 0; it < 7; ++it)
+            wrong += pred.predictAndTrain(pc, true) != true;
+        wrong += pred.predictAndTrain(pc, false) != false;
+    }
+    // Bimodal misses each exit exactly once (hysteresis protects the
+    // body).
+    EXPECT_EQ(wrong, 10);
+}
+
+TEST(Bimodal, CannotLearnAlternating)
+{
+    BimodalPredictor pred(1024);
+    Addr pc = 0x400700;
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i)
+        wrong += pred.predictAndTrain(pc, i % 2 == 0) != (i % 2 == 0);
+    EXPECT_GT(wrong, 80); // ~50% or worse
+}
+
+TEST(Bimodal, AliasingInterferes)
+{
+    // Two branches mapping to the same entry with opposite behaviour
+    // destroy each other; with a large table they do not collide.
+    BimodalPredictor small(2);
+    Addr a = 0x1000, b = 0x3000; // identical index in a 2-entry table
+    int wrong_small = 0;
+    for (int i = 0; i < 200; ++i) {
+        wrong_small += small.predictAndTrain(a, true) != true;
+        wrong_small += small.predictAndTrain(b, false) != false;
+    }
+    BimodalPredictor big(1u << 16);
+    int wrong_big = 0;
+    for (int i = 0; i < 200; ++i) {
+        wrong_big += big.predictAndTrain(a, true) != true;
+        wrong_big += big.predictAndTrain(b, false) != false;
+    }
+    EXPECT_GT(wrong_small, wrong_big + 50);
+}
+
+TEST(Bimodal, IndexWithinTable)
+{
+    BimodalPredictor pred(256);
+    for (Addr pc = 0x400000; pc < 0x400400; pc += 7)
+        EXPECT_LT(pred.indexFor(pc), 256u);
+}
+
+TEST(Bimodal, ResetRestoresColdBehaviour)
+{
+    BimodalPredictor pred(128);
+    Addr pc = 0x400100;
+    for (int i = 0; i < 50; ++i)
+        pred.predictAndTrain(pc, false);
+    EXPECT_FALSE(pred.predictAndTrain(pc, false));
+    pred.reset();
+    // Power-on state is weakly taken.
+    EXPECT_TRUE(pred.predictAndTrain(pc, true));
+}
+
+TEST(Bimodal, SizeBitsAndName)
+{
+    BimodalPredictor pred(4096);
+    EXPECT_EQ(pred.sizeBits(), 8192u);
+    EXPECT_EQ(pred.name(), "bimodal-4096e");
+}
+
+TEST(BimodalDeathTest, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH(BimodalPredictor(100), "assertion");
+}
+
+} // anonymous namespace

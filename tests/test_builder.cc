@@ -1,0 +1,202 @@
+/** @file Tests for the ProgramBuilder (workloads/builder). */
+
+#include <gtest/gtest.h>
+
+#include "workloads/builder.hh"
+#include "workloads/profile.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::workloads;
+using namespace interf::trace;
+
+TEST(Builder, StructureMatchesProfileCounts)
+{
+    auto profile = defaultProfile("t");
+    auto prog = buildProgram(profile);
+    EXPECT_EQ(prog.procedures().size(), profile.procedures);
+    EXPECT_EQ(prog.files().size(), profile.objectFiles);
+    EXPECT_EQ(prog.proc(0).name, "main");
+}
+
+TEST(Builder, DeterministicForSameSeed)
+{
+    auto profile = defaultProfile("t");
+    auto a = buildProgram(profile);
+    auto b = buildProgram(profile);
+    ASSERT_EQ(a.procedures().size(), b.procedures().size());
+    EXPECT_EQ(a.totalCodeBytes(), b.totalCodeBytes());
+    EXPECT_EQ(a.condBranchSites(), b.condBranchSites());
+    for (size_t p = 0; p < a.procedures().size(); ++p) {
+        ASSERT_EQ(a.proc(p).blocks.size(), b.proc(p).blocks.size());
+        EXPECT_EQ(a.proc(p).bytes(), b.proc(p).bytes());
+    }
+}
+
+TEST(Builder, DifferentSeedsDifferentStructure)
+{
+    auto p1 = defaultProfile("t");
+    auto p2 = p1;
+    p2.structureSeed += 1;
+    auto a = buildProgram(p1);
+    auto b = buildProgram(p2);
+    EXPECT_NE(a.totalCodeBytes(), b.totalCodeBytes());
+}
+
+TEST(Builder, CallGraphIsDag)
+{
+    auto prog = buildProgram(defaultProfile("t"));
+    for (const auto &proc : prog.procedures()) {
+        for (const auto &bb : proc.blocks) {
+            if (bb.branch.kind == OpClass::Call)
+                EXPECT_GT(bb.branch.targetProc, proc.id)
+                    << "call from " << proc.id << " must go to a "
+                    << "higher id (DAG)";
+        }
+    }
+}
+
+TEST(Builder, EveryProcedureEndsInReturn)
+{
+    auto prog = buildProgram(defaultProfile("t"));
+    for (const auto &proc : prog.procedures()) {
+        ASSERT_FALSE(proc.blocks.empty());
+        EXPECT_EQ(proc.blocks.back().branch.kind, OpClass::Return);
+    }
+}
+
+TEST(Builder, ConditionalsHavePatterns)
+{
+    auto prog = buildProgram(defaultProfile("t"));
+    for (const auto &proc : prog.procedures())
+        for (const auto &bb : proc.blocks)
+            if (bb.branch.isConditional())
+                EXPECT_NE(bb.branch.pattern, BranchPattern::None);
+}
+
+TEST(Builder, ProducesValidProgram)
+{
+    // validate() is called inside buildProgram; re-run explicitly.
+    auto prog = buildProgram(defaultProfile("t"));
+    prog.validate();
+    SUCCEED();
+}
+
+TEST(Builder, RegionTiersRespectProfile)
+{
+    auto profile = defaultProfile("t");
+    profile.fracL1 = 0.77;
+    profile.fracMem = 0.1;
+    profile.memWorkingSet = 8 << 20;
+    profile.validate();
+    auto prog = buildProgram(profile);
+    // Three tiers x regionsPerTier regions.
+    EXPECT_EQ(prog.regions().size(), 3u * profile.regionsPerTier);
+    interf::u64 total = 0;
+    for (const auto &r : prog.regions())
+        total += r.size;
+    // Tier totals are jittered but should be the right order.
+    interf::u64 want = profile.l1WorkingSet + profile.l2WorkingSet +
+                       profile.memWorkingSet;
+    EXPECT_GT(total, want / 2);
+    EXPECT_LT(total, want * 2);
+}
+
+TEST(Builder, HeapFractionControlsRegionKinds)
+{
+    auto all_heap = defaultProfile("t");
+    all_heap.heapFraction = 1.0;
+    auto prog = buildProgram(all_heap);
+    for (const auto &r : prog.regions())
+        EXPECT_EQ(r.kind, RegionKind::Heap);
+
+    auto no_heap = defaultProfile("t");
+    no_heap.heapFraction = 0.0;
+    auto prog2 = buildProgram(no_heap);
+    for (const auto &r : prog2.regions())
+        EXPECT_EQ(r.kind, RegionKind::Global);
+}
+
+TEST(Builder, BranchDensityTracksProfile)
+{
+    auto low = defaultProfile("t");
+    low.condFraction = 0.1;
+    auto high = defaultProfile("t");
+    high.condFraction = 0.6;
+    EXPECT_LT(buildProgram(low).condBranchSites(),
+              buildProgram(high).condBranchSites());
+}
+
+TEST(Builder, IndirectBranchesWellFormed)
+{
+    auto profile = defaultProfile("t");
+    profile.indirectDensity = 0.1;
+    auto prog = buildProgram(profile);
+    int found = 0;
+    for (const auto &proc : prog.procedures()) {
+        for (const auto &bb : proc.blocks) {
+            if (bb.branch.kind != OpClass::IndirectBranch)
+                continue;
+            ++found;
+            EXPECT_GE(bb.branch.indirectTargets, 2);
+            EXPECT_EQ(bb.branch.targetProc, proc.id);
+            EXPECT_LE(bb.branch.targetBlock + bb.branch.indirectTargets,
+                      proc.blocks.size());
+        }
+    }
+    EXPECT_GT(found, 0);
+}
+
+TEST(Builder, MemRefGenIdsUnique)
+{
+    auto prog = buildProgram(defaultProfile("t"));
+    std::vector<bool> seen;
+    for (const auto &proc : prog.procedures()) {
+        for (const auto &bb : proc.blocks) {
+            for (const auto &ref : bb.memRefs) {
+                if (ref.genId >= seen.size())
+                    seen.resize(ref.genId + 1, false);
+                EXPECT_FALSE(seen[ref.genId]) << "duplicate genId";
+                seen[ref.genId] = true;
+            }
+        }
+    }
+}
+
+TEST(Builder, DepLoadRoutingTouchesSlowTier)
+{
+    auto profile = defaultProfile("t");
+    profile.branchLoadDepProb = 1.0;
+    profile.depLoadSlowTier = 1.0;
+    auto prog = buildProgram(profile);
+    // Every conditional block with loads must have its feeding load in
+    // a Churn (L2-tier) or Random (mem-tier) pattern.
+    int dep_blocks = 0;
+    for (const auto &proc : prog.procedures()) {
+        for (const auto &bb : proc.blocks) {
+            if (!bb.branch.isConditional() || bb.loads() == 0)
+                continue;
+            EXPECT_TRUE(bb.branch.dependsOnLoad);
+            ++dep_blocks;
+            bool slow = false;
+            for (const auto &ref : bb.memRefs)
+                if (!ref.isStore && (ref.pattern == MemPattern::Churn ||
+                                     ref.pattern == MemPattern::Random))
+                    slow = true;
+            EXPECT_TRUE(slow);
+        }
+    }
+    EXPECT_GT(dep_blocks, 0);
+}
+
+TEST(BuilderDeathTest, InvalidProfileIsFatal)
+{
+    auto profile = defaultProfile("t");
+    profile.hotProcedures = profile.procedures; // must be < procedures
+    EXPECT_EXIT(buildProgram(profile), ::testing::ExitedWithCode(1),
+                "hotProcedures");
+}
+
+} // anonymous namespace

@@ -1,0 +1,167 @@
+/** @file Tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::cache;
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = 1024; // 16 lines
+    cfg.assoc = 2;        // 8 sets
+    cfg.lineBytes = 64;
+    return cfg;
+}
+
+TEST(CacheConfig, GeometryDerivation)
+{
+    auto cfg = smallConfig();
+    EXPECT_EQ(cfg.numSets(), 8u);
+    cfg.validate();
+    CacheConfig l1{"L1", 32 << 10, 8, 64};
+    EXPECT_EQ(l1.numSets(), 64u);
+}
+
+TEST(CacheConfigDeathTest, BadGeometryIsFatal)
+{
+    CacheConfig bad{"bad", 1000, 2, 64};
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1), "");
+    CacheConfig bad2{"bad2", 1024, 2, 60};
+    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(smallConfig());
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1030)); // same 64B line
+    EXPECT_EQ(cache.stats().accesses, 3u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, SetIndexUsesLineBits)
+{
+    Cache cache(smallConfig());
+    EXPECT_EQ(cache.setIndex(0x0), 0u);
+    EXPECT_EQ(cache.setIndex(0x40), 1u);
+    EXPECT_EQ(cache.setIndex(0x40 * 8), 0u); // wraps at 8 sets
+}
+
+TEST(Cache, ConflictMissesBeyondAssociativity)
+{
+    // 3 lines in a 2-way set: cycling them LRU-misses every time.
+    Cache cache(smallConfig());
+    Addr stride = 64 * 8; // same set
+    for (int round = 0; round < 5; ++round)
+        for (int i = 0; i < 3; ++i)
+            cache.access(0x10000 + i * stride);
+    EXPECT_EQ(cache.stats().misses, 15u); // every access misses
+}
+
+TEST(Cache, TwoLinesInTwoWaySetCoexist)
+{
+    Cache cache(smallConfig());
+    Addr stride = 64 * 8;
+    cache.access(0x10000);
+    cache.access(0x10000 + stride);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(cache.access(0x10000));
+        EXPECT_TRUE(cache.access(0x10000 + stride));
+    }
+}
+
+TEST(Cache, LruReplacement)
+{
+    Cache cache(smallConfig());
+    Addr stride = 64 * 8;
+    Addr a = 0x10000, b = a + stride, c = b + stride;
+    cache.access(a);
+    cache.access(b);
+    cache.access(a); // refresh a
+    cache.access(c); // evicts b
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(Cache, ContainsDoesNotTouchStateOrStats)
+{
+    Cache cache(smallConfig());
+    cache.access(0x2000);
+    auto before = cache.stats().accesses;
+    EXPECT_TRUE(cache.contains(0x2000));
+    EXPECT_FALSE(cache.contains(0x9999000));
+    EXPECT_EQ(cache.stats().accesses, before);
+}
+
+TEST(Cache, InstallSkipsStats)
+{
+    Cache cache(smallConfig());
+    cache.install(0x3000);
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_TRUE(cache.contains(0x3000));
+    EXPECT_TRUE(cache.access(0x3000)); // prefetched line hits
+}
+
+TEST(Cache, CapacityMissesOnBigWorkingSet)
+{
+    Cache cache(smallConfig()); // 1 KB
+    // Walk 4 KB repeatedly: everything misses after the first lap too.
+    for (int lap = 0; lap < 3; ++lap)
+        for (Addr a = 0; a < 4096; a += 64)
+            cache.access(0x40000 + a);
+    EXPECT_GT(cache.stats().missRate(), 0.9);
+}
+
+TEST(Cache, WorkingSetWithinCapacityHitsAfterWarmup)
+{
+    Cache cache(smallConfig());
+    for (int lap = 0; lap < 4; ++lap)
+        for (Addr a = 0; a < 1024; a += 64)
+            cache.access(0x50000 + a);
+    // 16 cold misses, everything else hits.
+    EXPECT_EQ(cache.stats().misses, 16u);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache cache(smallConfig());
+    cache.access(0x1000);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_FALSE(cache.contains(0x1000));
+}
+
+TEST(Cache, ClearStatsKeepsContents)
+{
+    Cache cache(smallConfig());
+    cache.access(0x1000);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_TRUE(cache.access(0x1000)); // still warm
+}
+
+TEST(Cache, StatsHelpers)
+{
+    CacheStats s;
+    s.accesses = 10;
+    s.misses = 3;
+    EXPECT_EQ(s.hits(), 7u);
+    EXPECT_DOUBLE_EQ(s.missRate(), 0.3);
+    CacheStats zero;
+    EXPECT_DOUBLE_EQ(zero.missRate(), 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,159 @@
+/** @file Tests for interferometry campaigns (layout sweeps +
+ *  escalation). */
+
+#include <gtest/gtest.h>
+
+#include "interferometry/campaign.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::interferometry;
+
+CampaignConfig
+quickConfig(u32 layouts = 8)
+{
+    CampaignConfig cfg;
+    cfg.instructionBudget = 60000;
+    cfg.initialLayouts = layouts;
+    cfg.maxLayouts = layouts;
+    return cfg;
+}
+
+TEST(Campaign, MeasuresRequestedLayouts)
+{
+    Campaign camp(workloads::defaultProfile("camp"), quickConfig());
+    auto samples = camp.measureLayouts(0, 5);
+    EXPECT_EQ(samples.size(), 5u);
+    for (const auto &m : samples) {
+        EXPECT_GT(m.cpi, 0.0);
+        EXPECT_GT(m.instructions, 0u);
+    }
+}
+
+TEST(Campaign, LayoutSeedsDistinct)
+{
+    Campaign camp(workloads::defaultProfile("camp"), quickConfig());
+    auto samples = camp.measureLayouts(0, 4);
+    for (size_t i = 1; i < samples.size(); ++i)
+        EXPECT_NE(samples[i].layoutSeed, samples[0].layoutSeed);
+}
+
+TEST(Campaign, InstructionCountInvariantAcrossLayouts)
+{
+    Campaign camp(workloads::defaultProfile("camp"), quickConfig());
+    auto samples = camp.measureLayouts(0, 6);
+    for (const auto &m : samples)
+        EXPECT_EQ(m.instructions, samples[0].instructions);
+}
+
+TEST(Campaign, Reproducible)
+{
+    auto profile = workloads::defaultProfile("camp");
+    Campaign a(profile, quickConfig());
+    Campaign b(profile, quickConfig());
+    auto sa = a.measureLayouts(0, 3);
+    auto sb = b.measureLayouts(0, 3);
+    for (size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].cycles, sb[i].cycles);
+        EXPECT_EQ(sa[i].mispredicts, sb[i].mispredicts);
+    }
+}
+
+TEST(Campaign, CodeLayoutsDifferPerIndex)
+{
+    Campaign camp(workloads::defaultProfile("camp"), quickConfig());
+    auto a = camp.codeLayoutFor(0);
+    auto b = camp.codeLayoutFor(1);
+    EXPECT_NE(a.procOrder(), b.procOrder());
+}
+
+TEST(Campaign, HeapModeFollowsConfig)
+{
+    auto profile = workloads::defaultProfile("camp");
+    auto cfg = quickConfig();
+    cfg.randomizeHeap = false;
+    Campaign fixed(profile, cfg);
+    // Deterministic heap: all layout indices share data placement.
+    auto h0 = fixed.heapLayoutFor(0);
+    auto h1 = fixed.heapLayoutFor(1);
+    for (const auto &region : fixed.program().regions())
+        EXPECT_EQ(h0.regionBase(region.id), h1.regionBase(region.id));
+
+    cfg.randomizeHeap = true;
+    Campaign randomized(profile, cfg);
+    auto r0 = randomized.heapLayoutFor(0);
+    auto r1 = randomized.heapLayoutFor(1);
+    int moved = 0;
+    for (const auto &region : randomized.program().regions())
+        if (region.kind == trace::RegionKind::Heap)
+            moved += r0.regionBase(region.id) != r1.regionBase(region.id);
+    EXPECT_GT(moved, 0);
+}
+
+TEST(Campaign, RunStopsEarlyWhenSignificant)
+{
+    // A strongly layout-sensitive benchmark should pass in the first
+    // batch and never escalate.
+    auto spec = workloads::specFor("445.gobmk");
+    CampaignConfig cfg;
+    cfg.instructionBudget = 150000;
+    cfg.initialLayouts = 20;
+    cfg.escalationStep = 20;
+    cfg.maxLayouts = 60;
+    Campaign camp(spec.profile, cfg);
+    auto res = camp.run();
+    EXPECT_TRUE(res.significant);
+    EXPECT_EQ(res.layoutsUsed, 20u);
+    EXPECT_EQ(res.samples.size(), 20u);
+}
+
+TEST(Campaign, RunEscalatesAndGivesUpOnFlatBenchmark)
+{
+    // lbm-like: no MPKI range at all -> escalate to the cap and fail.
+    auto spec = workloads::specFor("470.lbm");
+    CampaignConfig cfg;
+    cfg.instructionBudget = 60000;
+    cfg.initialLayouts = 6;
+    cfg.escalationStep = 6;
+    cfg.maxLayouts = 18;
+    Campaign camp(spec.profile, cfg);
+    auto res = camp.run();
+    EXPECT_FALSE(res.significant);
+    EXPECT_FALSE(res.enoughMpkiRange);
+    EXPECT_EQ(res.layoutsUsed, 18u);
+    EXPECT_EQ(res.samples.size(), 18u);
+}
+
+TEST(Campaign, NoDataDiscardedOnEscalation)
+{
+    // "We do not discard any data": escalation appends, keeping the
+    // earlier batches' samples (same seeds as a direct big batch).
+    auto profile = workloads::defaultProfile("camp");
+    CampaignConfig small = quickConfig(4);
+    Campaign direct(profile, quickConfig(8));
+    Campaign stepwise(profile, small);
+    auto all = direct.measureLayouts(0, 8);
+    auto first = stepwise.measureLayouts(0, 4);
+    auto second = stepwise.measureLayouts(4, 4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(all[i].cycles, first[i].cycles);
+        EXPECT_EQ(all[4 + i].cycles, second[i].cycles);
+    }
+}
+
+TEST(Campaign, TraceSharedAcrossLayouts)
+{
+    Campaign camp(workloads::defaultProfile("camp"), quickConfig());
+    const auto &trace = camp.trace();
+    EXPECT_GT(trace.instCount, 0u);
+    // The trace is generated once; its address-free events never change
+    // between measureLayouts calls.
+    auto before = trace.events.size();
+    camp.measureLayouts(0, 2);
+    EXPECT_EQ(camp.trace().events.size(), before);
+}
+
+} // anonymous namespace

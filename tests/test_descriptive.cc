@@ -1,0 +1,125 @@
+/** @file Tests for descriptive statistics. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+
+namespace
+{
+
+using namespace interf::stats;
+
+TEST(Descriptive, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+    EXPECT_DOUBLE_EQ(mean({-1, 1}), 0.0);
+}
+
+TEST(Descriptive, SampleVariance)
+{
+    // Known: var of {2,4,4,4,5,5,7,9} population=4, sample=32/7.
+    std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(sampleVariance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(sampleStdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, VarianceOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(sampleVariance({3, 3, 3, 3}), 0.0);
+}
+
+TEST(Descriptive, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7}), 7.0);
+}
+
+TEST(Descriptive, MedianDoesNotMutateInput)
+{
+    std::vector<double> xs{3, 1, 2};
+    (void)median(xs);
+    EXPECT_EQ(xs, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(Descriptive, MedianIndexOdd)
+{
+    // values: index of the median element (5 runs, pick median cycles).
+    std::vector<double> xs{50, 10, 30, 20, 40};
+    EXPECT_EQ(medianIndex(xs), 2u); // 30 is the median
+}
+
+TEST(Descriptive, MedianIndexEvenPicksLowerMiddle)
+{
+    std::vector<double> xs{40, 10, 30, 20};
+    EXPECT_EQ(medianIndex(xs), 3u); // sorted: 10,20,30,40 -> 20
+}
+
+TEST(Descriptive, MedianIndexSingleton)
+{
+    std::vector<double> xs{42};
+    EXPECT_EQ(medianIndex(xs), 0u);
+}
+
+TEST(Descriptive, Percentiles)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 1.5); // interpolated
+}
+
+TEST(Descriptive, MinMax)
+{
+    std::vector<double> xs{3, -7, 12, 0};
+    EXPECT_DOUBLE_EQ(minValue(xs), -7.0);
+    EXPECT_DOUBLE_EQ(maxValue(xs), 12.0);
+}
+
+TEST(Descriptive, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    std::vector<double> neg{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonUncorrelated)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{1, -1, 1, -1};
+    EXPECT_NEAR(pearson(xs, ys), -0.4472, 1e-3);
+}
+
+TEST(Descriptive, PearsonConstantInputIsZero)
+{
+    std::vector<double> xs{5, 5, 5, 5};
+    std::vector<double> ys{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Descriptive, SummaryBundle)
+{
+    auto s = summarize({1, 2, 3, 4, 5});
+    EXPECT_EQ(s.n, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_NEAR(s.stdDev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(DescriptiveDeathTest, EmptyInputsPanic)
+{
+    EXPECT_DEATH((void)mean({}), "assertion");
+    EXPECT_DEATH((void)median({}), "assertion");
+    EXPECT_DEATH((void)sampleVariance({1.0}), "assertion");
+}
+
+} // anonymous namespace

@@ -1,0 +1,127 @@
+/** @file Tests for the probability distributions (reference values from
+ *  standard statistical tables). */
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hh"
+
+namespace
+{
+
+using namespace interf::stats;
+
+TEST(Normal, CdfReferencePoints)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.841344746, 1e-8);
+    EXPECT_NEAR(normalCdf(-1.0), 0.158655254, 1e-8);
+    EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-8);
+    EXPECT_NEAR(normalCdf(-3.0), 0.001349898, 1e-8);
+}
+
+TEST(Normal, QuantileInvertsCdf)
+{
+    for (double p : {0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999})
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-10);
+}
+
+TEST(Normal, QuantileReference)
+{
+    EXPECT_NEAR(normalQuantile(0.975), 1.959963985, 1e-7);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-10);
+    EXPECT_NEAR(normalQuantile(0.05), -1.644853627, 1e-7);
+}
+
+TEST(IncompleteBeta, Boundaries)
+{
+    EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase)
+{
+    // I_0.5(a, a) = 0.5 by symmetry.
+    for (double a : {0.5, 1.0, 2.0, 10.0})
+        EXPECT_NEAR(incompleteBeta(a, a, 0.5), 0.5, 1e-10);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase)
+{
+    // I_x(1, 1) = x.
+    for (double x : {0.1, 0.25, 0.7, 0.99})
+        EXPECT_NEAR(incompleteBeta(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(StudentT, CdfReferencePoints)
+{
+    // t tables: P(T <= 2.228) = 0.975 for nu = 10.
+    EXPECT_NEAR(studentTCdf(2.228, 10), 0.975, 1e-4);
+    EXPECT_NEAR(studentTCdf(0.0, 5), 0.5, 1e-12);
+    // nu=1 (Cauchy): P(T <= 1) = 0.75.
+    EXPECT_NEAR(studentTCdf(1.0, 1), 0.75, 1e-9);
+}
+
+TEST(StudentT, SymmetryHolds)
+{
+    for (double t : {0.5, 1.3, 2.7})
+        for (double nu : {3.0, 12.0, 99.0})
+            EXPECT_NEAR(studentTCdf(t, nu) + studentTCdf(-t, nu), 1.0,
+                        1e-10);
+}
+
+TEST(StudentT, QuantileReferencePoints)
+{
+    // Two-sided 95% critical values from t tables.
+    EXPECT_NEAR(studentTQuantile(0.975, 10), 2.228, 2e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 98), 1.984, 2e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 1), 12.706, 1e-2);
+    EXPECT_NEAR(studentTQuantile(0.95, 20), 1.725, 2e-3);
+}
+
+TEST(StudentT, QuantileInvertsCdf)
+{
+    for (double nu : {2.0, 8.0, 30.0, 200.0})
+        for (double p : {0.01, 0.2, 0.5, 0.8, 0.99})
+            EXPECT_NEAR(studentTCdf(studentTQuantile(p, nu), nu), p,
+                        1e-9);
+}
+
+TEST(StudentT, ApproachesNormalForLargeNu)
+{
+    EXPECT_NEAR(studentTQuantile(0.975, 1e6), normalQuantile(0.975),
+                1e-4);
+}
+
+TEST(StudentT, TwoSidedPValues)
+{
+    // |t| = 2.228, nu = 10 -> p = 0.05.
+    EXPECT_NEAR(studentTTwoSidedP(2.228, 10), 0.05, 1e-3);
+    EXPECT_NEAR(studentTTwoSidedP(-2.228, 10), 0.05, 1e-3);
+    EXPECT_NEAR(studentTTwoSidedP(0.0, 10), 1.0, 1e-12);
+}
+
+TEST(FDist, CdfReferencePoints)
+{
+    // F tables: P(F <= 3.326) ~= 0.95 for (3, 20) dof.
+    EXPECT_NEAR(fCdf(3.10, 3, 20), 0.95, 2e-3);
+    EXPECT_DOUBLE_EQ(fCdf(0.0, 3, 20), 0.0);
+    // F(1, n) = T(n)^2: P(F <= t^2) = 2 P(T <= t) - 1.
+    double t = 2.228;
+    EXPECT_NEAR(fCdf(t * t, 1, 10), 0.95, 1e-4);
+}
+
+TEST(FDist, UpperTail)
+{
+    EXPECT_NEAR(fUpperTailP(3.10, 3, 20), 0.05, 2e-3);
+    EXPECT_NEAR(fUpperTailP(0.0, 3, 20), 1.0, 1e-12);
+}
+
+TEST(DistributionsDeathTest, BadArgumentsPanic)
+{
+    EXPECT_DEATH((void)normalQuantile(0.0), "assertion");
+    EXPECT_DEATH((void)normalQuantile(1.0), "assertion");
+    EXPECT_DEATH((void)studentTQuantile(0.5, 0.0), "assertion");
+    EXPECT_DEATH((void)incompleteBeta(0.0, 1.0, 0.5), "assertion");
+}
+
+} // anonymous namespace

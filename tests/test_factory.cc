@@ -1,0 +1,119 @@
+/** @file Tests for the predictor factory and the standard spec sets. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::bpred;
+
+TEST(Factory, BuildsEveryKind)
+{
+    for (const char *spec :
+         {"perfect", "ltage", "xeon", "bimodal:1024", "gas:2048:8",
+          "gshare:4096:10", "hybrid:2048:8:512:512"}) {
+        auto pred = makePredictor(spec);
+        ASSERT_NE(pred, nullptr) << spec;
+        // Must be usable immediately.
+        pred->predictAndTrain(0x400000, true);
+        EXPECT_FALSE(pred->name().empty());
+    }
+}
+
+TEST(Factory, PerfectNeverWrong)
+{
+    auto pred = makePredictor("perfect");
+    for (int i = 0; i < 100; ++i) {
+        bool t = (i * 7 % 3) == 0;
+        EXPECT_EQ(pred->predictAndTrain(0x400000 + i, t), t);
+    }
+    EXPECT_EQ(pred->sizeBits(), 0u);
+}
+
+TEST(Factory, SizesScaleWithSpec)
+{
+    auto small = makePredictor("gas:2048:8");
+    auto large = makePredictor("gas:16384:8");
+    EXPECT_EQ(large->sizeBits() - 8, (small->sizeBits() - 8) * 8);
+}
+
+TEST(Factory, BytesToEntriesConvention)
+{
+    // 2-bit counters: 1024 bytes = 4096 entries.
+    auto pred = makePredictor("bimodal:1024");
+    EXPECT_EQ(pred->name(), "bimodal-4096e");
+}
+
+TEST(FactoryDeathTest, MalformedSpecsAreFatal)
+{
+    EXPECT_EXIT((void)makePredictor("nope"),
+                ::testing::ExitedWithCode(1), "unknown predictor");
+    EXPECT_EXIT((void)makePredictor("bimodal"),
+                ::testing::ExitedWithCode(1), "want bimodal");
+    EXPECT_EXIT((void)makePredictor("bimodal:abc"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT((void)makePredictor("bimodal:1000"),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT((void)makePredictor("gas:1024:20"),
+                ::testing::ExitedWithCode(1), "history");
+    EXPECT_EXIT((void)makePredictor("perfect:1"),
+                ::testing::ExitedWithCode(1), "no arguments");
+}
+
+TEST(Factory, FigureCandidatesMatchPaper)
+{
+    auto specs = figureCandidateSpecs();
+    // GAs at 2, 4, 8, 16 KB plus L-TAGE (Figure 7).
+    ASSERT_EQ(specs.size(), 5u);
+    EXPECT_EQ(specs[0], "gas:2048:10");
+    EXPECT_EQ(specs[3], "gas:16384:10");
+    EXPECT_EQ(specs[4], "ltage");
+    for (const auto &s : specs)
+        (void)makePredictor(s);
+}
+
+TEST(Factory, SweepHasExactly145Configs)
+{
+    auto specs = sweepSpecs();
+    EXPECT_EQ(specs.size(), 145u);
+}
+
+TEST(Factory, SweepConfigsAllBuildAndAreUnique)
+{
+    auto specs = sweepSpecs();
+    std::set<std::string> unique(specs.begin(), specs.end());
+    EXPECT_EQ(unique.size(), specs.size());
+    for (const auto &s : specs)
+        (void)makePredictor(s);
+}
+
+TEST(Factory, SweepSpansAccuracyRange)
+{
+    // The sweep must include small and large tables of several kinds.
+    auto specs = sweepSpecs();
+    int bimodal = 0, gas = 0, gshare = 0, hybrid = 0;
+    for (const auto &s : specs) {
+        bimodal += s.rfind("bimodal", 0) == 0;
+        gas += s.rfind("gas", 0) == 0;
+        gshare += s.rfind("gshare", 0) == 0;
+        hybrid += s.rfind("hybrid", 0) == 0;
+    }
+    EXPECT_GT(bimodal, 3);
+    EXPECT_GT(gas, 20);
+    EXPECT_GT(gshare, 20);
+    EXPECT_GT(hybrid, 3);
+}
+
+TEST(Factory, XeonIsAHybrid)
+{
+    auto pred = makePredictor("xeon");
+    EXPECT_NE(pred->name().find("hybrid"), std::string::npos);
+    EXPECT_GT(pred->sizeBits(), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,239 @@
+/** @file Tests for the dynamic trace generator (CFG interpreter). */
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "workloads/builder.hh"
+#include "workloads/profile.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::trace;
+using workloads::defaultProfile;
+
+Program
+testProgram()
+{
+    return workloads::buildProgram(defaultProfile("gen"));
+}
+
+TEST(Generator, DeterministicTraces)
+{
+    auto prog = testProgram();
+    TraceGenerator g1(prog, 123), g2(prog, 123);
+    auto t1 = g1.makeTrace(50000);
+    auto t2 = g2.makeTrace(50000);
+    ASSERT_EQ(t1.events.size(), t2.events.size());
+    EXPECT_EQ(t1.instCount, t2.instCount);
+    EXPECT_EQ(t1.memIds, t2.memIds);
+    for (size_t i = 0; i < t1.events.size(); ++i) {
+        EXPECT_EQ(t1.events[i].proc, t2.events[i].proc);
+        EXPECT_EQ(t1.events[i].block, t2.events[i].block);
+        EXPECT_EQ(t1.events[i].taken, t2.events[i].taken);
+    }
+}
+
+TEST(Generator, DifferentSeedsDifferentTraces)
+{
+    auto prog = testProgram();
+    auto t1 = TraceGenerator(prog, 1).makeTrace(50000);
+    auto t2 = TraceGenerator(prog, 2).makeTrace(50000);
+    EXPECT_NE(t1.instCount, t2.instCount);
+}
+
+TEST(Generator, BudgetMetAtMainBoundary)
+{
+    auto prog = testProgram();
+    TraceGenerator gen(prog, 5);
+    u64 per_main = gen.instructionsPerMainCall();
+    EXPECT_GT(per_main, 0u);
+    auto trace = gen.makeTrace(100000);
+    EXPECT_GE(trace.instCount, 100000u);
+    // Whole invocations only: the overshoot is less than one call.
+    EXPECT_LT(trace.instCount, 100000u + per_main + 1);
+}
+
+TEST(Generator, CaminoInvariantSameInstCountPerSeed)
+{
+    // Every "executable" (layout) of a benchmark retires the same
+    // instructions; the trace does not depend on layout at all, so
+    // re-generation must reproduce the exact count.
+    auto prog = testProgram();
+    u64 count = TraceGenerator(prog, 9).makeTrace(80000).instCount;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(TraceGenerator(prog, 9).makeTrace(80000).instCount,
+                  count);
+}
+
+TEST(Generator, TraceValidatesAgainstProgram)
+{
+    auto prog = testProgram();
+    auto trace = TraceGenerator(prog, 7).makeTrace(60000);
+    trace.validate(prog); // panics on malformation
+    SUCCEED();
+}
+
+TEST(Generator, RecountMatchesGeneratorCounts)
+{
+    auto prog = testProgram();
+    auto trace = TraceGenerator(prog, 7).makeTrace(60000);
+    u64 insts = trace.instCount;
+    u64 conds = trace.condBranches;
+    u64 loads = trace.loads;
+    u64 stores = trace.stores;
+    trace.recount(prog);
+    EXPECT_EQ(trace.instCount, insts);
+    EXPECT_EQ(trace.condBranches, conds);
+    EXPECT_EQ(trace.loads, loads);
+    EXPECT_EQ(trace.stores, stores);
+}
+
+TEST(Generator, MemIdsInRegionBounds)
+{
+    auto prog = testProgram();
+    auto trace = TraceGenerator(prog, 3).makeTrace(60000);
+    for (u64 id : trace.memIds) {
+        u32 region = dataIdRegion(id);
+        ASSERT_LT(region, prog.regions().size());
+        EXPECT_LT(dataIdOffset(id), prog.region(region).size);
+        EXPECT_EQ(dataIdOffset(id) % 8, 0u) << "8-byte aligned";
+    }
+}
+
+TEST(Generator, ColdProceduresNeverExecute)
+{
+    auto profile = defaultProfile("gen");
+    auto prog = workloads::buildProgram(profile);
+    auto trace = TraceGenerator(prog, 11).makeTrace(60000);
+    for (const auto &ev : trace.events)
+        EXPECT_LE(ev.proc, profile.hotProcedures)
+            << "cold procedures are never called";
+}
+
+TEST(Generator, TakenFlagConsistentWithTerminators)
+{
+    auto prog = testProgram();
+    auto trace = TraceGenerator(prog, 13).makeTrace(60000);
+    for (const auto &ev : trace.events) {
+        const auto &bb = prog.block(ev.proc, ev.block);
+        switch (bb.branch.kind) {
+          case OpClass::IntAlu:
+            EXPECT_FALSE(ev.taken);
+            break;
+          case OpClass::UncondBranch:
+          case OpClass::Call:
+          case OpClass::Return:
+          case OpClass::IndirectBranch:
+            EXPECT_TRUE(ev.taken);
+            break;
+          default:
+            break; // conditional: either way
+        }
+    }
+}
+
+TEST(Generator, PeriodicLoopsIterateAtPeriod)
+{
+    // Build a tiny program with one loop of known period and check the
+    // back-edge takes period-1 times per entry.
+    Program prog;
+    Procedure main_proc;
+    main_proc.name = "main";
+    {
+        BasicBlock body;
+        body.nInsts = 2;
+        body.bytes = 8;
+        body.branch.kind = OpClass::CondBranch;
+        body.branch.targetProc = 0;
+        body.branch.targetBlock = 0; // self-loop
+        body.branch.pattern = BranchPattern::Periodic;
+        body.branch.period = 5;
+        main_proc.blocks.push_back(body);
+    }
+    {
+        BasicBlock ret;
+        ret.nInsts = 1;
+        ret.bytes = 4;
+        ret.branch.kind = OpClass::Return;
+        main_proc.blocks.push_back(ret);
+    }
+    prog.addProcedure(main_proc);
+    u32 f = prog.addFile("a.o");
+    prog.placeInFile(f, 0);
+    prog.validate();
+
+    TraceGenerator gen(prog, 1);
+    auto trace = gen.makeTrace(1);
+    // One main call: block 0 executes 5 times (4 taken + 1 not-taken),
+    // then the return block.
+    int block0 = 0, taken = 0;
+    for (const auto &ev : trace.events) {
+        if (ev.block == 0) {
+            ++block0;
+            taken += ev.taken;
+        }
+    }
+    EXPECT_EQ(block0, 5);
+    EXPECT_EQ(taken, 4);
+}
+
+TEST(Generator, HistoryParityIsDeterministicFunctionOfHistory)
+{
+    // Two generators over the same program/seed see identical parity
+    // outcomes; covered by determinism, but also check a parity site
+    // actually varies (not stuck).
+    auto profile = defaultProfile("gen");
+    profile.fracHistory = 0.5;
+    profile.fracBiased = 0.2;
+    profile.fracPeriodic = 0.2;
+    profile.fracRandom = 0.1;
+    auto prog = workloads::buildProgram(profile);
+    auto trace = TraceGenerator(prog, 21).makeTrace(40000);
+    EXPECT_GT(trace.condBranches, 0u);
+    EXPECT_GT(trace.takenBranches, 0u);
+    EXPECT_LT(trace.takenBranches, trace.events.size());
+}
+
+TEST(Generator, LoopGuardForcesExit)
+{
+    // A biased branch with takenProb 1.0 on a self-loop would never
+    // exit; the consecutive-taken guard must cut it.
+    Program prog;
+    Procedure main_proc;
+    main_proc.name = "main";
+    BasicBlock body;
+    body.nInsts = 1;
+    body.bytes = 4;
+    body.branch.kind = OpClass::CondBranch;
+    body.branch.targetProc = 0;
+    body.branch.targetBlock = 0;
+    body.branch.pattern = BranchPattern::Biased;
+    body.branch.takenProb = 1.0f;
+    main_proc.blocks.push_back(body);
+    BasicBlock ret;
+    ret.nInsts = 1;
+    ret.bytes = 4;
+    ret.branch.kind = OpClass::Return;
+    main_proc.blocks.push_back(ret);
+    prog.addProcedure(main_proc);
+    prog.placeInFile(prog.addFile("a.o"), 0);
+
+    GeneratorLimits limits;
+    limits.maxLoopIterations = 100;
+    TraceGenerator gen(prog, 1, limits);
+    auto trace = gen.makeTrace(1);
+    EXPECT_LT(trace.events.size(), 300u);
+}
+
+TEST(Generator, MemoryFootprintReasonable)
+{
+    auto prog = testProgram();
+    auto trace = TraceGenerator(prog, 17).makeTrace(100000);
+    EXPECT_GT(trace.memoryBytes(), 0u);
+    // Compact storage: well under 100 B per instruction.
+    EXPECT_LT(trace.memoryBytes(), trace.instCount * 100);
+}
+
+} // anonymous namespace

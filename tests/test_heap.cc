@@ -1,0 +1,180 @@
+/** @file Tests for the DieHard-style randomized heap layout. */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "layout/heap.hh"
+#include "workloads/builder.hh"
+#include "workloads/profile.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::layout;
+using namespace interf::trace;
+
+Program
+mixedProgram()
+{
+    Program prog;
+    for (int i = 0; i < 6; ++i)
+        prog.addRegion(RegionKind::Heap, 4096 + 1024 * i);
+    prog.addRegion(RegionKind::Global, 8192);
+    prog.addRegion(RegionKind::Stack, 16384);
+    return prog;
+}
+
+TEST(Heap, DeterministicForSameKey)
+{
+    auto prog = mixedProgram();
+    HeapKey key;
+    key.seed = 42;
+    HeapLayout a(prog, key), b(prog, key);
+    for (u32 r = 0; r < prog.regions().size(); ++r)
+        EXPECT_EQ(a.regionBase(r), b.regionBase(r));
+}
+
+TEST(Heap, DifferentSeedsMoveHeapRegions)
+{
+    auto prog = mixedProgram();
+    HeapKey k1, k2;
+    k1.seed = 1;
+    k2.seed = 2;
+    HeapLayout a(prog, k1), b(prog, k2);
+    int moved = 0;
+    for (const auto &region : prog.regions())
+        if (region.kind == RegionKind::Heap)
+            moved += a.regionBase(region.id) != b.regionBase(region.id);
+    EXPECT_GT(moved, 2);
+}
+
+TEST(Heap, GlobalsAndStackNeverMove)
+{
+    auto prog = mixedProgram();
+    HeapKey k1, k2;
+    k1.seed = 1;
+    k2.seed = 999;
+    HeapLayout a(prog, k1), b(prog, k2);
+    for (const auto &region : prog.regions()) {
+        if (region.kind == RegionKind::Heap)
+            continue;
+        EXPECT_EQ(a.regionBase(region.id), b.regionBase(region.id))
+            << "non-heap region " << region.id << " moved";
+    }
+}
+
+TEST(Heap, DeterministicModePacksInOrder)
+{
+    auto prog = mixedProgram();
+    HeapLayout layout(prog, HeapKey::deterministic());
+    Addr prev_end = 0;
+    for (const auto &region : prog.regions()) {
+        if (region.kind != RegionKind::Heap)
+            continue;
+        Addr base = layout.regionBase(region.id);
+        EXPECT_GE(base, prev_end);
+        prev_end = base + region.size;
+    }
+}
+
+TEST(Heap, RegionsNeverOverlap)
+{
+    auto prog = mixedProgram();
+    for (u64 seed : {1ull, 7ull, 42ull}) {
+        HeapKey key;
+        key.seed = seed;
+        HeapLayout layout(prog, key);
+        std::vector<std::pair<Addr, Addr>> spans;
+        for (const auto &region : prog.regions())
+            spans.push_back({layout.regionBase(region.id),
+                             layout.regionBase(region.id) + region.size});
+        std::sort(spans.begin(), spans.end());
+        for (size_t i = 1; i < spans.size(); ++i)
+            EXPECT_LE(spans[i - 1].second, spans[i].first)
+                << "overlap at seed " << seed;
+    }
+}
+
+TEST(Heap, SizeClassSegregation)
+{
+    // Objects of very different sizes must land in different arenas.
+    Program prog;
+    u32 small1 = prog.addRegion(RegionKind::Heap, 4096);
+    u32 small2 = prog.addRegion(RegionKind::Heap, 4000);
+    u32 big = prog.addRegion(RegionKind::Heap, 1 << 20);
+    HeapKey key;
+    key.seed = 5;
+    HeapLayout layout(prog, key);
+    // All placements are line-aligned; same-class objects sit in the
+    // same (small) arena while the big object's arena lies beyond it.
+    EXPECT_EQ(layout.regionBase(small1) % 64, 0u);
+    EXPECT_EQ(layout.regionBase(small2) % 64, 0u);
+    EXPECT_EQ(layout.regionBase(big) % 64, 0u);
+    Addr small_hi = std::max(layout.regionBase(small1),
+                             layout.regionBase(small2));
+    EXPECT_GT(layout.regionBase(big), small_hi);
+}
+
+TEST(Heap, DataAddrTranslatesOffsets)
+{
+    auto prog = mixedProgram();
+    HeapKey key;
+    key.seed = 3;
+    HeapLayout layout(prog, key);
+    u64 id = makeDataId(2, 128);
+    EXPECT_EQ(layout.dataAddr(id), layout.regionBase(2) + 128);
+}
+
+TEST(Heap, RandomizedSpreadsPlacements)
+{
+    // DieHard effect: across many seeds a given object takes many
+    // distinct addresses.
+    auto prog = mixedProgram();
+    std::set<Addr> bases;
+    for (u64 seed = 0; seed < 32; ++seed) {
+        HeapKey key;
+        key.seed = seed;
+        bases.insert(HeapLayout(prog, key).regionBase(0));
+    }
+    EXPECT_GT(bases.size(), 8u);
+}
+
+TEST(Heap, ExpansionFactorGrowsArena)
+{
+    auto prog = mixedProgram();
+    HeapKey tight;
+    tight.seed = 1;
+    tight.expansionFactor = 1;
+    HeapKey loose;
+    loose.seed = 1;
+    loose.expansionFactor = 8;
+    EXPECT_GT(HeapLayout(prog, loose).heapSpan(),
+              HeapLayout(prog, tight).heapSpan());
+}
+
+TEST(Heap, WorksWithSuiteBenchmark)
+{
+    auto prog = workloads::buildProgram(
+        workloads::defaultProfile("heaptest"));
+    HeapKey key;
+    key.seed = 11;
+    HeapLayout layout(prog, key);
+    for (const auto &region : prog.regions())
+        EXPECT_GT(layout.regionBase(region.id), 0u);
+}
+
+TEST(Heap, NoHeapRegionsIsFine)
+{
+    Program prog;
+    prog.addRegion(RegionKind::Global, 4096);
+    HeapKey key;
+    key.seed = 1;
+    HeapLayout layout(prog, key);
+    EXPECT_EQ(layout.heapSpan(), 0u);
+    EXPECT_GT(layout.regionBase(0), 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,117 @@
+/** @file Tests for the hybrid (GAs/gshare + bimodal) predictor. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "bpred/hybrid.hh"
+#include "bpred/twolevel.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::bpred;
+
+TEST(Hybrid, LearnsBiasedBranch)
+{
+    HybridPredictor pred(4096, 8, 1024, 1024);
+    Addr pc = 0x400100;
+    for (int i = 0; i < 64; ++i)
+        pred.predictAndTrain(pc, true);
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i)
+        wrong += pred.predictAndTrain(pc, true) != true;
+    EXPECT_EQ(wrong, 0);
+}
+
+TEST(Hybrid, LearnsPeriodicPatternViaGlobalComponent)
+{
+    HybridPredictor pred(8192, 8, 1024, 1024,
+                         TwoLevelScheme::Gshare);
+    Addr pc = 0x400200;
+    auto outcome = [](int i) { return i % 4 != 0; };
+    for (int i = 0; i < 500; ++i)
+        pred.predictAndTrain(pc, outcome(i));
+    int wrong = 0;
+    for (int i = 500; i < 1000; ++i)
+        wrong += pred.predictAndTrain(pc, outcome(i)) != outcome(i);
+    EXPECT_LE(wrong, 5);
+}
+
+TEST(Hybrid, BeatsPureGlobalOnNoisyBranches)
+{
+    // A branch taken 90% at random: global history is useless noise,
+    // the bimodal side nails it. The chooser should converge there.
+    Rng rng(5);
+    HybridPredictor hybrid(4096, 10, 1024, 1024,
+                           TwoLevelScheme::Gshare);
+    TwoLevelPredictor pure(TwoLevelScheme::Gshare, 4096, 10);
+    Addr pc = 0x400300;
+    int wrong_h = 0, wrong_p = 0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) {
+        bool t = rng.bernoulli(0.9);
+        wrong_h += hybrid.predictAndTrain(pc, t) != t;
+        wrong_p += pure.predictAndTrain(pc, t) != t;
+    }
+    EXPECT_LT(wrong_h, wrong_p);
+    // Hybrid should approach the 10% floor.
+    EXPECT_LT(wrong_h, n * 14 / 100);
+}
+
+TEST(Hybrid, ChooserAdaptsPerBranch)
+{
+    // Mix: one noisy-biased branch (bimodal wins) and one periodic
+    // branch (global wins). The hybrid should do well on both at once.
+    Rng rng(7);
+    HybridPredictor pred(8192, 8, 2048, 2048,
+                         TwoLevelScheme::Gshare);
+    Addr noisy = 0x400400, periodic = 0x400500;
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 6000; ++i) {
+        bool tn = rng.bernoulli(0.92);
+        bool tp = i % 4 != 0;
+        bool gn = pred.predictAndTrain(noisy, tn);
+        bool gp = pred.predictAndTrain(periodic, tp);
+        if (i > 2000) {
+            wrong += (gn != tn) + (gp != tp);
+            total += 2;
+        }
+    }
+    EXPECT_LT(wrong, total * 10 / 100);
+}
+
+TEST(Hybrid, ResetRestoresColdState)
+{
+    HybridPredictor pred(4096, 8, 1024, 1024);
+    Addr pc = 0x400600;
+    for (int i = 0; i < 200; ++i)
+        pred.predictAndTrain(pc, false);
+    pred.reset();
+    EXPECT_TRUE(pred.predictAndTrain(pc, true));
+}
+
+TEST(Hybrid, SizeBitsSumsComponents)
+{
+    HybridPredictor pred(4096, 8, 2048, 1024);
+    TwoLevelPredictor gas(TwoLevelScheme::GAs, 4096, 8);
+    BimodalPredictor bim(2048);
+    EXPECT_EQ(pred.sizeBits(),
+              gas.sizeBits() + bim.sizeBits() + 1024 * 2);
+}
+
+TEST(Hybrid, NameMentionsBothComponents)
+{
+    HybridPredictor pred(4096, 8, 2048, 1024);
+    auto n = pred.name();
+    EXPECT_NE(n.find("gas"), std::string::npos);
+    EXPECT_NE(n.find("bimodal"), std::string::npos);
+}
+
+TEST(HybridDeathTest, BadChooserGeometryPanics)
+{
+    EXPECT_DEATH(HybridPredictor(4096, 8, 1024, 1000), "assertion");
+}
+
+} // anonymous namespace

@@ -1,0 +1,147 @@
+/** @file Tests for the t-test / F-test gates. */
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hh"
+#include "stats/hypothesis.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using interf::Rng;
+using namespace interf::stats;
+
+TEST(CorrelationTTest, TextbookCriticalValue)
+{
+    // r = 0.632 with n = 10 gives t = 2.306 ~ exactly the 5% critical
+    // value for 8 dof.
+    auto res = correlationTTest(0.632, 10);
+    EXPECT_NEAR(res.statistic, 2.306, 5e-3);
+    EXPECT_NEAR(res.pValue, 0.05, 2e-3);
+}
+
+TEST(CorrelationTTest, StrongCorrelationSignificant)
+{
+    auto res = correlationTTest(0.8, 100);
+    EXPECT_TRUE(res.significantAt(0.05));
+    EXPECT_LT(res.pValue, 1e-10);
+}
+
+TEST(CorrelationTTest, WeakCorrelationNotSignificant)
+{
+    auto res = correlationTTest(0.1, 20);
+    EXPECT_FALSE(res.significantAt(0.05));
+}
+
+TEST(CorrelationTTest, NegativeCorrelationSymmetric)
+{
+    auto pos = correlationTTest(0.5, 30);
+    auto neg = correlationTTest(-0.5, 30);
+    EXPECT_NEAR(pos.pValue, neg.pValue, 1e-12);
+    EXPECT_NEAR(pos.statistic, -neg.statistic, 1e-12);
+}
+
+TEST(CorrelationTTest, PerfectCorrelationIsCertain)
+{
+    auto res = correlationTTest(1.0, 10);
+    EXPECT_EQ(res.pValue, 0.0);
+    EXPECT_TRUE(res.significantAt(0.0001));
+}
+
+TEST(CorrelationTTest, SampleOverloadMatchesScalar)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<double> ys{1.2, 1.9, 3.4, 3.8, 5.1, 6.2, 6.8, 8.3};
+    auto a = correlationTTest(xs, ys);
+    auto b = correlationTTest(pearson(xs, ys), xs.size());
+    EXPECT_NEAR(a.statistic, b.statistic, 1e-12);
+}
+
+TEST(CorrelationTTest, MoreSamplesMoreSignificant)
+{
+    auto small = correlationTTest(0.3, 20);
+    auto large = correlationTTest(0.3, 200);
+    EXPECT_GT(large.statistic, small.statistic);
+    EXPECT_LT(large.pValue, small.pValue);
+}
+
+/** The paper's escalation logic: a borderline r that fails at 100
+ *  samples can succeed at 300. */
+TEST(CorrelationTTest, EscalationStory)
+{
+    double r = 0.13;
+    EXPECT_FALSE(correlationTTest(r, 100).significantAt(0.05));
+    EXPECT_TRUE(correlationTTest(r, 300).significantAt(0.05));
+}
+
+TEST(CorrelationTTest, FalsePositiveRateNearAlpha)
+{
+    // Under the null (independent data), about 5% of tests fire.
+    Rng rng(77);
+    int fired = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> xs, ys;
+        for (int i = 0; i < 30; ++i) {
+            xs.push_back(rng.gaussian());
+            ys.push_back(rng.gaussian());
+        }
+        fired += correlationTTest(xs, ys).significantAt(0.05);
+    }
+    double rate = double(fired) / trials;
+    EXPECT_GT(rate, 0.02);
+    EXPECT_LT(rate, 0.09);
+}
+
+TEST(FTest, MatchesTTestForOnePredictor)
+{
+    // F(1, n-2) = t^2: identical p-values.
+    double r = 0.45;
+    size_t n = 50;
+    auto t = correlationTTest(r, n);
+    auto f = regressionFTest(r * r, n, 1);
+    EXPECT_NEAR(f.pValue, t.pValue, 1e-9);
+    EXPECT_NEAR(f.statistic, t.statistic * t.statistic, 1e-9);
+}
+
+TEST(FTest, SignificantCombinedModel)
+{
+    auto res = regressionFTest(0.5, 100, 3);
+    EXPECT_TRUE(res.significantAt(0.05));
+}
+
+TEST(FTest, InsignificantSmallR2)
+{
+    auto res = regressionFTest(0.02, 50, 3);
+    EXPECT_FALSE(res.significantAt(0.05));
+}
+
+/**
+ * Section 6.4: a benchmark can pass the single-variable t-test yet fail
+ * the combined-model F-test, because extra useless predictors dilute
+ * the per-predictor explanatory power.
+ */
+TEST(FTest, CombinedModelCanLoseSignificance)
+{
+    double r = 0.284; // t-test p ~ 0.045 at n = 50
+    size_t n = 50;
+    EXPECT_TRUE(correlationTTest(r, n).significantAt(0.05));
+    // Combined model: same explained variance spread over 3 predictors.
+    EXPECT_FALSE(regressionFTest(r * r, n, 3).significantAt(0.05));
+}
+
+TEST(FTest, PerfectFitCertain)
+{
+    auto res = regressionFTest(1.0, 20, 3);
+    EXPECT_EQ(res.pValue, 0.0);
+}
+
+TEST(FTest, NegativeR2Clamped)
+{
+    auto res = regressionFTest(-0.1, 20, 2);
+    EXPECT_GE(res.statistic, 0.0);
+    EXPECT_NEAR(res.pValue, 1.0, 1e-9);
+}
+
+} // anonymous namespace

@@ -1,0 +1,111 @@
+/** @file Tests for the violin-plot kernel density estimator. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/kde.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using interf::Rng;
+using namespace interf::stats;
+
+std::vector<double>
+gaussianSample(u_int64_t seed, int n, double mean, double sigma)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i)
+        xs.push_back(rng.gaussian(mean, sigma));
+    return xs;
+}
+
+TEST(Kde, GridCoversDataWithPadding)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    auto violin = kernelDensity(xs, 32, 0.15);
+    EXPECT_EQ(violin.grid.size(), 32u);
+    EXPECT_LT(violin.grid.front(), 1.0);
+    EXPECT_GT(violin.grid.back(), 3.0);
+}
+
+TEST(Kde, DensityIntegratesToOne)
+{
+    auto xs = gaussianSample(1, 400, 0.0, 1.0);
+    auto violin = kernelDensity(xs, 256, 0.5);
+    double step = violin.grid[1] - violin.grid[0];
+    double integral = 0.0;
+    for (double d : violin.density)
+        integral += d * step;
+    EXPECT_NEAR(integral, 1.0, 0.05);
+}
+
+TEST(Kde, ModeNearTrueMean)
+{
+    auto xs = gaussianSample(2, 1000, 5.0, 0.5);
+    auto violin = kernelDensity(xs, 128);
+    EXPECT_NEAR(violin.mode(), 5.0, 0.2);
+}
+
+TEST(Kde, BimodalShowsTwoBumps)
+{
+    auto a = gaussianSample(3, 300, -3.0, 0.3);
+    auto b = gaussianSample(4, 300, 3.0, 0.3);
+    a.insert(a.end(), b.begin(), b.end());
+    auto violin = kernelDensity(a, 200);
+    // Density at the valley (0) far below density at the modes.
+    auto at = [&](double x) {
+        size_t best = 0;
+        for (size_t i = 1; i < violin.grid.size(); ++i)
+            if (std::fabs(violin.grid[i] - x) <
+                std::fabs(violin.grid[best] - x))
+                best = i;
+        return violin.density[best];
+    };
+    EXPECT_LT(at(0.0) * 3.0, at(-3.0));
+    EXPECT_LT(at(0.0) * 3.0, at(3.0));
+}
+
+TEST(Kde, DensityNonNegative)
+{
+    auto xs = gaussianSample(5, 50, 0.0, 2.0);
+    auto violin = kernelDensity(xs);
+    for (double d : violin.density)
+        EXPECT_GE(d, 0.0);
+}
+
+TEST(Kde, NearConstantSampleStillWorks)
+{
+    std::vector<double> xs{1.0, 1.0, 1.0, 1.0 + 1e-12};
+    auto violin = kernelDensity(xs, 16);
+    EXPECT_EQ(violin.grid.size(), 16u);
+    double peak = 0;
+    for (double d : violin.density)
+        peak = std::max(peak, d);
+    EXPECT_GT(peak, 0.0);
+}
+
+TEST(Kde, SilvermanBandwidthScales)
+{
+    auto narrow = gaussianSample(6, 500, 0.0, 0.1);
+    auto wide = gaussianSample(7, 500, 0.0, 10.0);
+    EXPECT_LT(silvermanBandwidth(narrow), silvermanBandwidth(wide));
+}
+
+TEST(Kde, SilvermanShrinksWithSampleSize)
+{
+    auto small = gaussianSample(8, 50, 0.0, 1.0);
+    auto large = gaussianSample(8, 5000, 0.0, 1.0);
+    EXPECT_GT(silvermanBandwidth(small), silvermanBandwidth(large) * 1.5);
+}
+
+TEST(KdeDeathTest, RejectsDegenerateInputs)
+{
+    EXPECT_DEATH((void)kernelDensity({1.0}), "assertion");
+    EXPECT_DEATH((void)kernelDensity({1.0, 2.0}, 1), "assertion");
+}
+
+} // anonymous namespace

@@ -1,0 +1,49 @@
+/** @file Tests for strprintf and the assertion/death machinery. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace
+{
+
+using interf::strprintf;
+
+TEST(Strprintf, FormatsBasicTypes)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Strprintf, EmptyAndLongStrings)
+{
+    EXPECT_EQ(strprintf("%s", ""), "");
+    std::string big(5000, 'x');
+    EXPECT_EQ(strprintf("%s", big.c_str()), big);
+}
+
+TEST(AssertDeathTest, PanicsOnViolation)
+{
+    EXPECT_DEATH({ INTERF_ASSERT(1 + 1 == 3); }, "assertion failed");
+}
+
+TEST(AssertDeathTest, PassesQuietly)
+{
+    INTERF_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+TEST(PanicDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(interf::panic("boom %d", 7), "boom 7");
+}
+
+TEST(FatalDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(interf::fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+} // anonymous namespace

@@ -1,0 +1,141 @@
+/** @file Tests for the per-benchmark performance models. */
+
+#include <gtest/gtest.h>
+
+#include "interferometry/model.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::interferometry;
+using core::Measurement;
+
+/** Synthesize samples with a known CPI = a*mpki + b*l1i + c*l2 + d. */
+std::vector<Measurement>
+syntheticSamples(size_t n, double a, double b, double c, double d,
+                 double noise_sd, u64 seed = 1)
+{
+    Rng rng(seed);
+    std::vector<Measurement> out;
+    for (size_t i = 0; i < n; ++i) {
+        Measurement m;
+        m.layoutSeed = i;
+        m.instructions = 1000000;
+        m.mpki = 5.0 + rng.nextDouble() * 2.0;
+        m.l1iMpki = 1.0 + rng.nextDouble() * 0.5;
+        m.l2Mpki = 0.5 + rng.nextDouble() * 0.2;
+        m.cpi = a * m.mpki + b * m.l1iMpki + c * m.l2Mpki + d +
+                rng.gaussian(0, noise_sd);
+        m.cycles = static_cast<Cycle>(m.cpi * 1e6);
+        out.push_back(m);
+    }
+    return out;
+}
+
+TEST(Model, RecoversBranchRelation)
+{
+    auto samples = syntheticSamples(100, 0.028, 0, 0, 0.517, 0.003);
+    PerformanceModel model("synthetic", samples);
+    EXPECT_NEAR(model.branchModel().fit.slope(), 0.028, 0.005);
+    EXPECT_NEAR(model.branchModel().fit.intercept(), 0.517, 0.03);
+    EXPECT_TRUE(model.branchSignificant());
+}
+
+TEST(Model, Table1RowMatchesFit)
+{
+    auto samples = syntheticSamples(100, 0.028, 0, 0, 0.517, 0.003);
+    PerformanceModel model("400.perlbench", samples);
+    auto row = model.table1Row();
+    EXPECT_EQ(row.benchmark, "400.perlbench");
+    EXPECT_DOUBLE_EQ(row.slope, model.branchModel().fit.slope());
+    EXPECT_DOUBLE_EQ(row.intercept, model.branchModel().fit.intercept());
+    EXPECT_LT(row.perfectLow, row.intercept);
+    EXPECT_GT(row.perfectHigh, row.intercept);
+    EXPECT_TRUE(row.significant);
+}
+
+TEST(Model, PerfectPredictionIntervalContainsTruth)
+{
+    auto samples = syntheticSamples(150, 0.03, 0, 0, 0.6, 0.004);
+    PerformanceModel model("m", samples);
+    auto pi = model.predictionInterval(0.0);
+    EXPECT_TRUE(pi.contains(0.6));
+}
+
+TEST(Model, ConfidenceNarrowerThanPrediction)
+{
+    auto samples = syntheticSamples(100, 0.02, 0, 0, 1.0, 0.01);
+    PerformanceModel model("m", samples);
+    EXPECT_LT(model.confidenceInterval(3.0).width(),
+              model.predictionInterval(3.0).width());
+}
+
+TEST(Model, InsignificantWhenNoise)
+{
+    auto samples = syntheticSamples(60, 0.0, 0, 0, 1.0, 0.05, 9);
+    PerformanceModel model("noise", samples);
+    EXPECT_FALSE(model.branchSignificant());
+    EXPECT_FALSE(model.table1Row().significant);
+}
+
+TEST(Model, BlameAssignsVarianceToTheRightEvent)
+{
+    // CPI driven by L2 misses only: l2 r^2 high, branch r^2 low.
+    auto samples = syntheticSamples(120, 0.0, 0.0, 2.0, 1.0, 0.002, 3);
+    PerformanceModel model("l2bound", samples);
+    EXPECT_GT(model.l2Model().fit.r2(), 0.8);
+    EXPECT_LT(model.branchModel().fit.r2(), 0.2);
+}
+
+TEST(Model, CombinedModelExplainsMoreThanParts)
+{
+    // Mixed causes: combined r^2 >= each single-event r^2.
+    auto samples = syntheticSamples(150, 0.02, 0.05, 1.0, 0.8, 0.003, 5);
+    PerformanceModel model("mixed", samples);
+    double combined = model.combinedFit().r2();
+    EXPECT_GE(combined + 1e-9, model.branchModel().fit.r2());
+    EXPECT_GE(combined + 1e-9, model.l1iModel().fit.r2());
+    EXPECT_GE(combined + 1e-9, model.l2Model().fit.r2());
+    EXPECT_TRUE(model.combinedTest().significantAt(0.05));
+}
+
+TEST(Model, MeansReported)
+{
+    auto samples = syntheticSamples(50, 0.02, 0, 0, 1.0, 0.001, 7);
+    PerformanceModel model("m", samples);
+    double mean_mpki = 0;
+    for (const auto &m : samples)
+        mean_mpki += m.mpki;
+    mean_mpki /= samples.size();
+    EXPECT_NEAR(model.meanMpki(), mean_mpki, 1e-9);
+    EXPECT_EQ(model.sampleCount(), 50u);
+}
+
+TEST(Model, ColumnExtractsField)
+{
+    auto samples = syntheticSamples(5, 0.02, 0, 0, 1.0, 0.0, 11);
+    auto cpis = column(samples, &Measurement::cpi);
+    ASSERT_EQ(cpis.size(), 5u);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(cpis[i], samples[i].cpi);
+}
+
+TEST(Model, PredictCpiIsLinear)
+{
+    auto samples = syntheticSamples(80, 0.025, 0, 0, 0.9, 0.002, 13);
+    PerformanceModel model("m", samples);
+    double at0 = model.predictCpi(0.0);
+    double at4 = model.predictCpi(4.0);
+    double at8 = model.predictCpi(8.0);
+    EXPECT_NEAR(at8 - at4, at4 - at0, 1e-9);
+}
+
+TEST(ModelDeathTest, TooFewSamplesPanics)
+{
+    auto samples = syntheticSamples(3, 0.02, 0, 0, 1.0, 0.001);
+    EXPECT_DEATH((PerformanceModel{"m", samples}), "assertion");
+}
+
+} // anonymous namespace

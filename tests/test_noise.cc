@@ -1,0 +1,144 @@
+/** @file Tests for the measurement-noise model. */
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/noise.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::core;
+
+TEST(Noise, NoneIsExact)
+{
+    NoiseModel model(NoiseConfig::none(), 42);
+    for (u64 run = 0; run < 20; ++run)
+        EXPECT_EQ(model.perturbCycles(run, 1000000), 1000000u);
+}
+
+TEST(Noise, DeterministicPerRunId)
+{
+    NoiseConfig cfg;
+    NoiseModel a(cfg, 42), b(cfg, 42);
+    for (u64 run = 0; run < 20; ++run)
+        EXPECT_EQ(a.perturbCycles(run, 123456789),
+                  b.perturbCycles(run, 123456789));
+}
+
+TEST(Noise, DifferentRunsDiffer)
+{
+    NoiseConfig cfg;
+    NoiseModel model(cfg, 42);
+    std::set<Cycle> seen;
+    for (u64 run = 0; run < 10; ++run)
+        seen.insert(model.perturbCycles(run, 1000000000));
+    EXPECT_GT(seen.size(), 7u);
+}
+
+TEST(Noise, DifferentSeedsDiffer)
+{
+    NoiseConfig cfg;
+    NoiseModel a(cfg, 1), b(cfg, 2);
+    int same = 0;
+    for (u64 run = 0; run < 20; ++run)
+        same += a.perturbCycles(run, 1000000000) ==
+                b.perturbCycles(run, 1000000000);
+    EXPECT_LT(same, 3);
+}
+
+TEST(Noise, MagnitudeMatchesSigma)
+{
+    NoiseConfig cfg;
+    cfg.jitterSigma = 0.002;
+    cfg.spikeProb = 0.0;
+    NoiseModel model(cfg, 7);
+    const Cycle base = 1000000000;
+    double sum = 0, sum2 = 0;
+    const int n = 2000;
+    for (int run = 0; run < n; ++run) {
+        double rel =
+            double(model.perturbCycles(run, base)) / double(base) - 1.0;
+        sum += rel;
+        sum2 += rel * rel;
+    }
+    double mean = sum / n;
+    double sd = std::sqrt(sum2 / n - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 3e-4);
+    EXPECT_NEAR(sd, 0.002, 4e-4);
+}
+
+TEST(Noise, SpikesOnlyInflate)
+{
+    NoiseConfig cfg;
+    cfg.jitterSigma = 0.0;
+    cfg.spikeProb = 1.0;
+    cfg.spikeMax = 0.05;
+    NoiseModel model(cfg, 9);
+    const Cycle base = 1000000;
+    for (int run = 0; run < 100; ++run) {
+        Cycle c = model.perturbCycles(run, base);
+        EXPECT_GE(c, base);
+        EXPECT_LE(c, base + base / 19); // <= 5.3%
+    }
+}
+
+TEST(Noise, NonQuiescentIsNoisier)
+{
+    NoiseConfig quiet;
+    NoiseConfig loud = quiet;
+    loud.quiescent = false;
+    const Cycle base = 1000000000;
+    auto spread = [&](const NoiseConfig &cfg) {
+        NoiseModel model(cfg, 3);
+        double acc = 0;
+        for (int run = 0; run < 500; ++run) {
+            double rel =
+                double(model.perturbCycles(run, base)) / base - 1.0;
+            acc += rel * rel;
+        }
+        return acc;
+    };
+    EXPECT_GT(spread(loud), spread(quiet) * 4);
+}
+
+TEST(Noise, MedianOfFiveTightensEstimates)
+{
+    // The paper's protocol defends against spikes: the median of five
+    // noisy runs is much closer to truth than the mean is.
+    NoiseConfig cfg;
+    cfg.jitterSigma = 0.002;
+    cfg.spikeProb = 0.2;
+    cfg.spikeMax = 0.10;
+    NoiseModel model(cfg, 11);
+    const Cycle base = 1000000000;
+    double sum_median = 0, sum_single = 0, worst_median = 0,
+           worst_single = 0;
+    const int reps = 200;
+    for (int rep = 0; rep < reps; ++rep) {
+        std::vector<double> runs;
+        for (int r = 0; r < 5; ++r)
+            runs.push_back(double(
+                model.perturbCycles(rep * 5 + r, base)));
+        std::sort(runs.begin(), runs.end());
+        double med_err = std::fabs(runs[2] / base - 1.0);
+        sum_median += med_err;
+        worst_median = std::max(worst_median, med_err);
+        // Compare with the first (arbitrary) single run of the set.
+        double single_err = std::fabs(
+            double(model.perturbCycles(rep * 5, base)) / base - 1.0);
+        sum_single += single_err;
+        worst_single = std::max(worst_single, single_err);
+    }
+    // Median-of-five is better on average and in the worst case.
+    EXPECT_LT(sum_median, sum_single);
+    EXPECT_LE(worst_median, worst_single);
+    EXPECT_LT(sum_median / reps, 0.01);
+}
+
+} // anonymous namespace

@@ -1,0 +1,140 @@
+/** @file Tests for the command-line option parser. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/options.hh"
+
+namespace
+{
+
+using interf::OptionParser;
+
+/** Build argv from a list of strings (argv[0] is the program name). */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : strings_(std::move(args))
+    {
+        strings_.insert(strings_.begin(), "prog");
+        for (auto &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+OptionParser
+makeParser()
+{
+    OptionParser p("prog", "test parser");
+    p.addInt("layouts", 100, "number of layouts");
+    p.addDouble("alpha", 0.05, "significance level");
+    p.addString("bench", "perlbench", "benchmark name");
+    p.addFlag("full", "run at paper scale");
+    return p;
+}
+
+TEST(Options, DefaultsApply)
+{
+    auto p = makeParser();
+    Argv a({});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("layouts"), 100);
+    EXPECT_DOUBLE_EQ(p.getDouble("alpha"), 0.05);
+    EXPECT_EQ(p.getString("bench"), "perlbench");
+    EXPECT_FALSE(p.getFlag("full"));
+}
+
+TEST(Options, SpaceSeparatedValues)
+{
+    auto p = makeParser();
+    Argv a({"--layouts", "30", "--alpha", "0.01", "--bench", "mcf",
+            "--full"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("layouts"), 30);
+    EXPECT_DOUBLE_EQ(p.getDouble("alpha"), 0.01);
+    EXPECT_EQ(p.getString("bench"), "mcf");
+    EXPECT_TRUE(p.getFlag("full"));
+}
+
+TEST(Options, EqualsSyntax)
+{
+    auto p = makeParser();
+    Argv a({"--layouts=7", "--bench=astar"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("layouts"), 7);
+    EXPECT_EQ(p.getString("bench"), "astar");
+}
+
+TEST(Options, NegativeAndHexIntegers)
+{
+    auto p = makeParser();
+    Argv a({"--layouts=-5"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("layouts"), -5);
+
+    auto p2 = makeParser();
+    Argv b({"--layouts", "0x10"});
+    p2.parse(b.argc(), b.argv());
+    EXPECT_EQ(p2.getInt("layouts"), 16);
+}
+
+TEST(Options, UsageMentionsAllOptions)
+{
+    auto p = makeParser();
+    auto text = p.usage();
+    EXPECT_NE(text.find("--layouts"), std::string::npos);
+    EXPECT_NE(text.find("--alpha"), std::string::npos);
+    EXPECT_NE(text.find("--bench"), std::string::npos);
+    EXPECT_NE(text.find("--full"), std::string::npos);
+    EXPECT_NE(text.find("default"), std::string::npos);
+}
+
+TEST(OptionsDeathTest, UnknownOptionIsFatal)
+{
+    auto p = makeParser();
+    Argv a({"--nope", "1"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(OptionsDeathTest, MissingValueIsFatal)
+{
+    auto p = makeParser();
+    Argv a({"--layouts"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "requires a value");
+}
+
+TEST(OptionsDeathTest, BadIntegerIsFatal)
+{
+    auto p = makeParser();
+    Argv a({"--layouts", "ten"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(OptionsDeathTest, FlagWithValueIsFatal)
+{
+    auto p = makeParser();
+    Argv a({"--full=yes"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                ::testing::ExitedWithCode(1), "does not take a value");
+}
+
+TEST(OptionsDeathTest, WrongTypeAccessPanics)
+{
+    auto p = makeParser();
+    Argv a({});
+    p.parse(a.argc(), a.argv());
+    EXPECT_DEATH((void)p.getInt("alpha"), "wrong type");
+}
+
+} // anonymous namespace

@@ -1,0 +1,143 @@
+/** @file Tests for the Pin-style functional predictor simulator. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "layout/linker.hh"
+#include "pinsim/pinsim.hh"
+#include "trace/generator.hh"
+#include "workloads/builder.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::pinsim;
+
+struct Fixture
+{
+    trace::Program prog;
+    trace::Trace trace;
+    layout::CodeLayout code;
+
+    Fixture()
+        : prog(workloads::buildProgram(workloads::defaultProfile("pin"))),
+          trace(trace::TraceGenerator(prog, 4).makeTrace(80000)),
+          code(layout::Linker().link(prog,
+                                     layout::LayoutKey{9, true, true}))
+    {
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+TEST(PinSim, PerfectPredictorHasZeroMpki)
+{
+    PinSim sim({"perfect"});
+    auto res = sim.run(fixture().prog, fixture().trace, fixture().code);
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].mispredicts, 0u);
+    EXPECT_DOUBLE_EQ(res[0].mpki(), 0.0);
+    EXPECT_DOUBLE_EQ(res[0].accuracy(), 1.0);
+}
+
+TEST(PinSim, BranchCountMatchesTrace)
+{
+    PinSim sim({"bimodal:1024"});
+    auto &f = fixture();
+    auto res = sim.run(f.prog, f.trace, f.code);
+    EXPECT_EQ(res[0].branches, f.trace.condBranches);
+    EXPECT_EQ(res[0].instructions, f.trace.instCount);
+}
+
+TEST(PinSim, NoVarianceAcrossRepeatedRuns)
+{
+    // "Pin runs only once for each reordering; ... there is no variance
+    // in the simulation result."
+    PinSim sim({"gas:4096:8", "ltage"});
+    auto &f = fixture();
+    auto a = sim.run(f.prog, f.trace, f.code);
+    auto b = sim.run(f.prog, f.trace, f.code);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].mispredicts, b[i].mispredicts);
+}
+
+TEST(PinSim, AllPredictorsSeeSameBranches)
+{
+    PinSim sim({"bimodal:64", "gas:4096:8", "gshare:8192:10", "ltage",
+                "perfect"});
+    auto &f = fixture();
+    auto res = sim.run(f.prog, f.trace, f.code);
+    for (const auto &r : res)
+        EXPECT_EQ(r.branches, res[0].branches);
+}
+
+TEST(PinSim, AccuracyOrderingSensible)
+{
+    PinSim sim({"bimodal:64", "gas:8192:10", "ltage", "perfect"});
+    auto &f = fixture();
+    auto res = sim.run(f.prog, f.trace, f.code);
+    // tiny bimodal >= GAs >= ltage >= perfect in mispredictions.
+    EXPECT_GE(res[0].mispredicts, res[1].mispredicts);
+    EXPECT_GE(res[1].mispredicts, res[2].mispredicts);
+    EXPECT_GE(res[2].mispredicts, res[3].mispredicts);
+    EXPECT_GT(res[0].mispredicts, res[2].mispredicts);
+}
+
+TEST(PinSim, LayoutChangesMpki)
+{
+    PinSim sim({"gshare:1024:8"});
+    auto &f = fixture();
+    layout::Linker linker;
+    auto l1 = linker.link(f.prog, layout::LayoutKey{1, true, true});
+    auto l2 = linker.link(f.prog, layout::LayoutKey{2, true, true});
+    auto a = sim.run(f.prog, f.trace, l1);
+    auto b = sim.run(f.prog, f.trace, l2);
+    EXPECT_NE(a[0].mispredicts, b[0].mispredicts)
+        << "aliasing must depend on code placement";
+    // Branch counts are layout-invariant.
+    EXPECT_EQ(a[0].branches, b[0].branches);
+}
+
+TEST(PinSim, PredictorNamesExposed)
+{
+    PinSim sim({"ltage", "perfect"});
+    EXPECT_EQ(sim.numPredictors(), 2u);
+    EXPECT_NE(sim.predictorName(0).find("ltage"), std::string::npos);
+    EXPECT_EQ(sim.predictorName(1), "perfect");
+}
+
+TEST(PinSim, AverageMpkiAveragesPerPredictor)
+{
+    std::vector<std::vector<PredictorResult>> per_layout(2);
+    PredictorResult r;
+    r.instructions = 1000;
+    r.branches = 100;
+    r.mispredicts = 10; // 10 MPKI
+    per_layout[0].push_back(r);
+    r.mispredicts = 20; // 20 MPKI
+    per_layout[1].push_back(r);
+    auto avg = averageMpki(per_layout);
+    ASSERT_EQ(avg.size(), 1u);
+    EXPECT_DOUBLE_EQ(avg[0], 15.0);
+}
+
+TEST(PinSim, CandidateSetRunsOnSuiteWorkload)
+{
+    auto specs = bpred::figureCandidateSpecs();
+    PinSim sim(specs);
+    auto &f = fixture();
+    auto res = sim.run(f.prog, f.trace, f.code);
+    ASSERT_EQ(res.size(), specs.size());
+    for (const auto &r : res) {
+        EXPECT_GT(r.branches, 0u);
+        EXPECT_GT(r.accuracy(), 0.5);
+    }
+}
+
+} // anonymous namespace

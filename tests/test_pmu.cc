@@ -1,0 +1,102 @@
+/** @file Tests for the PMU model (two-programmable-counter constraint). */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "pmu/pmu.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::pmu;
+
+TEST(Pmu, FixedCountersAlwaysReadable)
+{
+    Pmu pmu;
+    pmu.count(Event::Cycles, 100);
+    pmu.count(Event::RetiredInsts, 50);
+    EXPECT_EQ(pmu.read(Event::Cycles), 100u);
+    EXPECT_EQ(pmu.read(Event::RetiredInsts), 50u);
+}
+
+TEST(Pmu, ProgrammableNeedsProgramming)
+{
+    Pmu pmu;
+    EXPECT_FALSE(pmu.readable(Event::MispredBranches));
+    pmu.program({Event::MispredBranches, Event::RetiredBranches});
+    EXPECT_TRUE(pmu.readable(Event::MispredBranches));
+    EXPECT_TRUE(pmu.readable(Event::RetiredBranches));
+    EXPECT_FALSE(pmu.readable(Event::L1IMisses));
+}
+
+TEST(PmuDeathTest, ReadingUnprogrammedEventIsFatal)
+{
+    Pmu pmu;
+    pmu.program({Event::MispredBranches, Event::RetiredBranches});
+    pmu.count(Event::L2Misses, 5);
+    EXPECT_EXIT((void)pmu.read(Event::L2Misses),
+                ::testing::ExitedWithCode(1), "not programmed");
+}
+
+TEST(PmuDeathTest, FixedEventInProgrammableSlotIsFatal)
+{
+    Pmu pmu;
+    EXPECT_EXIT(pmu.program({Event::Cycles, Event::L2Misses}),
+                ::testing::ExitedWithCode(1), "fixed");
+}
+
+TEST(Pmu, CountsAccumulate)
+{
+    Pmu pmu;
+    pmu.program({Event::L1IMisses, Event::L1DMisses});
+    pmu.count(Event::L1IMisses);
+    pmu.count(Event::L1IMisses, 9);
+    EXPECT_EQ(pmu.read(Event::L1IMisses), 10u);
+}
+
+TEST(Pmu, ZeroClearsTalliesKeepsProgramming)
+{
+    Pmu pmu;
+    pmu.program({Event::L2Misses, Event::BtbMisses});
+    pmu.count(Event::L2Misses, 7);
+    pmu.zero();
+    EXPECT_EQ(pmu.read(Event::L2Misses), 0u);
+    EXPECT_TRUE(pmu.readable(Event::BtbMisses));
+}
+
+TEST(Pmu, RawAccessBypassesWindow)
+{
+    Pmu pmu;
+    pmu.count(Event::L2Misses, 3);
+    EXPECT_EQ(pmu.rawCount(Event::L2Misses), 3u);
+}
+
+TEST(Pmu, StandardGroupsCoverAllProgrammables)
+{
+    auto groups = standardGroups();
+    ASSERT_EQ(groups.size(), 3u); // three runs of two (Section 5.5)
+    std::set<Event> covered;
+    for (const auto &g : groups) {
+        EXPECT_FALSE(isFixedEvent(g.a));
+        EXPECT_FALSE(isFixedEvent(g.b));
+        covered.insert(g.a);
+        covered.insert(g.b);
+    }
+    EXPECT_EQ(covered.size(), 6u);
+    EXPECT_TRUE(covered.count(Event::MispredBranches));
+    EXPECT_TRUE(covered.count(Event::L1IMisses));
+    EXPECT_TRUE(covered.count(Event::L2Misses));
+}
+
+TEST(Pmu, EventNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (int e = 0; e < static_cast<int>(Event::NumEvents); ++e)
+        names.insert(eventName(static_cast<Event>(e)));
+    EXPECT_EQ(names.size(), static_cast<size_t>(Event::NumEvents));
+}
+
+} // anonymous namespace

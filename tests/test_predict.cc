@@ -1,0 +1,115 @@
+/** @file Tests for hypothetical-predictor CPI prediction. */
+
+#include <gtest/gtest.h>
+
+#include "interferometry/predict.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::interferometry;
+
+/** Model with known slope 0.028 and intercept 0.517 (paper's
+ *  perlbench). */
+PerformanceModel
+perlbenchModel()
+{
+    Rng rng(1);
+    std::vector<core::Measurement> samples;
+    for (int i = 0; i < 150; ++i) {
+        core::Measurement m;
+        m.instructions = 1000000;
+        m.mpki = 5.8 + rng.nextDouble() * 1.4;
+        m.l1iMpki = 0.5;
+        m.l2Mpki = 0.2;
+        m.cpi = 0.02799 * m.mpki + 0.51667 + rng.gaussian(0, 0.004);
+        samples.push_back(m);
+    }
+    return PerformanceModel("400.perlbench", samples);
+}
+
+TEST(Predict, PerfectPredictionImprovement)
+{
+    auto model = perlbenchModel();
+    // Real CPI at the observed mean MPKI (~6.5): about 0.70.
+    double real_cpi = model.predictCpi(model.meanMpki());
+    PredictorEvaluator eval(model, real_cpi);
+    auto perfect = eval.evaluatePerfect();
+    // Section 1.4: perfect predictor -> CPI 0.517 +- 0.029, a ~26%
+    // improvement.
+    EXPECT_NEAR(perfect.cpi, 0.517, 0.02);
+    EXPECT_NEAR(perfect.improvementVsReal, 0.26, 0.04);
+    EXPECT_TRUE(perfect.pi.contains(0.517));
+    EXPECT_LT(perfect.pi.width(), 0.1);
+}
+
+TEST(Predict, HalvingMpkiStory)
+{
+    auto model = perlbenchModel();
+    double real_cpi = model.predictCpi(6.50);
+    PredictorEvaluator eval(model, real_cpi);
+    // Section 1.4: halving MPKI from 6.50 to 3.25 improves CPI ~13% to
+    // ~0.61.
+    auto half = eval.evaluate("half-mpki", 3.25);
+    EXPECT_NEAR(half.cpi, 0.61, 0.02);
+    EXPECT_NEAR(half.improvementVsReal, 0.13, 0.03);
+}
+
+TEST(Predict, MpkiReductionForTenPercentCpi)
+{
+    auto model = perlbenchModel();
+    double real_cpi = model.predictCpi(6.50);
+    PredictorEvaluator eval(model, real_cpi);
+    // Section 1.4: "a 10% improvement in CPI ... would require a 38%
+    // reduction in mispredictions".
+    double reduction = eval.mpkiReductionForCpiGain(0.10);
+    EXPECT_NEAR(reduction, 0.38, 0.05);
+}
+
+TEST(Predict, ImprovementIntervalFlipsBounds)
+{
+    auto model = perlbenchModel();
+    PredictorEvaluator eval(model, 0.70);
+    auto p = eval.evaluate("x", 3.0);
+    // Lower CPI bound -> higher improvement bound.
+    EXPECT_LE(p.improvementInterval.lo, p.improvementVsReal);
+    EXPECT_GE(p.improvementInterval.hi, p.improvementVsReal);
+    EXPECT_NEAR(p.improvementInterval.lo,
+                (0.70 - p.pi.hi) / 0.70, 1e-12);
+}
+
+TEST(Predict, ZeroGainNeedsZeroReduction)
+{
+    auto model = perlbenchModel();
+    PredictorEvaluator eval(model, 0.70);
+    EXPECT_DOUBLE_EQ(eval.mpkiReductionForCpiGain(0.0), 0.0);
+}
+
+TEST(Predict, WorsePredictorNegativeImprovement)
+{
+    auto model = perlbenchModel();
+    double real_cpi = model.predictCpi(6.5);
+    PredictorEvaluator eval(model, real_cpi);
+    auto worse = eval.evaluate("worse", 12.0);
+    EXPECT_LT(worse.improvementVsReal, 0.0);
+    EXPECT_GT(worse.cpi, real_cpi);
+}
+
+TEST(Predict, NamesCarriedThrough)
+{
+    auto model = perlbenchModel();
+    PredictorEvaluator eval(model, 0.7);
+    EXPECT_EQ(eval.evaluate("ltage", 4.0).predictor, "ltage");
+    EXPECT_EQ(eval.evaluatePerfect().predictor, "perfect");
+    EXPECT_EQ(eval.evaluatePerfect().mpki, 0.0);
+}
+
+TEST(PredictDeathTest, NonPositiveRealCpiPanics)
+{
+    auto model = perlbenchModel();
+    EXPECT_DEATH(PredictorEvaluator(model, 0.0), "assertion");
+}
+
+} // anonymous namespace

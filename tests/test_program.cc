@@ -1,0 +1,190 @@
+/** @file Tests for the static program IR (trace/program). */
+
+#include <gtest/gtest.h>
+
+#include "trace/program.hh"
+
+namespace
+{
+
+using namespace interf::trace;
+using interf::u32;
+using interf::u64;
+
+/** A minimal two-procedure program used by several tests. */
+Program
+tinyProgram()
+{
+    Program prog;
+    u32 region = prog.addRegion(RegionKind::Heap, 4096);
+
+    Procedure callee;
+    callee.name = "callee";
+    {
+        BasicBlock bb;
+        bb.nInsts = 3;
+        bb.bytes = 12;
+        bb.branch.kind = OpClass::Return;
+        callee.blocks.push_back(bb);
+    }
+    Procedure main_proc;
+    main_proc.name = "main";
+    {
+        BasicBlock bb;
+        bb.nInsts = 4;
+        bb.bytes = 16;
+        MemRef ref;
+        ref.regionId = region;
+        bb.memRefs.push_back(ref);
+        ref.isStore = true;
+        bb.memRefs.push_back(ref);
+        bb.branch.kind = OpClass::Call;
+        bb.branch.targetProc = 1;
+        main_proc.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb;
+        bb.nInsts = 2;
+        bb.bytes = 6;
+        bb.branch.kind = OpClass::Return;
+        main_proc.blocks.push_back(bb);
+    }
+    u32 m = prog.addProcedure(main_proc);
+    u32 c = prog.addProcedure(callee);
+    u32 f = prog.addFile("tiny.o");
+    prog.placeInFile(f, m);
+    prog.placeInFile(f, c);
+    return prog;
+}
+
+TEST(Program, IdsAssignedSequentially)
+{
+    auto prog = tinyProgram();
+    EXPECT_EQ(prog.procedures().size(), 2u);
+    EXPECT_EQ(prog.proc(0).name, "main");
+    EXPECT_EQ(prog.proc(1).name, "callee");
+    EXPECT_EQ(prog.proc(0).id, 0u);
+    EXPECT_EQ(prog.proc(1).id, 1u);
+}
+
+TEST(Program, ValidatePassesOnWellFormed)
+{
+    auto prog = tinyProgram();
+    prog.validate(); // must not panic
+    SUCCEED();
+}
+
+TEST(Program, ByteAndBlockAccounting)
+{
+    auto prog = tinyProgram();
+    EXPECT_EQ(prog.proc(0).bytes(), 22u);
+    EXPECT_EQ(prog.totalCodeBytes(), 34u);
+    EXPECT_EQ(prog.totalBlocks(), 3u);
+}
+
+TEST(Program, CondBranchSitesCounted)
+{
+    auto prog = tinyProgram();
+    EXPECT_EQ(prog.condBranchSites(), 0u);
+}
+
+TEST(Program, LoadsAndStoresPerBlock)
+{
+    auto prog = tinyProgram();
+    const auto &bb = prog.block(0, 0);
+    EXPECT_EQ(bb.loads(), 1u);
+    EXPECT_EQ(bb.stores(), 1u);
+}
+
+TEST(Program, StaticBranchClassification)
+{
+    StaticBranch none;
+    EXPECT_FALSE(none.exists());
+    EXPECT_FALSE(none.isConditional());
+    StaticBranch cond;
+    cond.kind = OpClass::CondBranch;
+    EXPECT_TRUE(cond.exists());
+    EXPECT_TRUE(cond.isConditional());
+    StaticBranch call;
+    call.kind = OpClass::Call;
+    EXPECT_TRUE(call.exists());
+    EXPECT_FALSE(call.isConditional());
+}
+
+TEST(DataId, PacksAndUnpacks)
+{
+    u64 id = makeDataId(7, 0x123456);
+    EXPECT_EQ(dataIdRegion(id), 7u);
+    EXPECT_EQ(dataIdOffset(id), 0x123456u);
+
+    u64 big = makeDataId(0xffffff, (u64{1} << 40) - 1);
+    EXPECT_EQ(dataIdRegion(big), 0xffffffu);
+    EXPECT_EQ(dataIdOffset(big), (u64{1} << 40) - 1);
+}
+
+TEST(Program, RegionsRecorded)
+{
+    auto prog = tinyProgram();
+    ASSERT_EQ(prog.regions().size(), 1u);
+    EXPECT_EQ(prog.region(0).kind, RegionKind::Heap);
+    EXPECT_EQ(prog.region(0).size, 4096u);
+}
+
+TEST(ProgramDeathTest, DuplicateFileMembershipFails)
+{
+    auto prog = tinyProgram();
+    prog.placeInFile(0, 0); // main placed twice
+    EXPECT_DEATH(prog.validate(), "multiple object files");
+}
+
+TEST(ProgramDeathTest, OrphanProcedureFails)
+{
+    Program prog;
+    Procedure p;
+    p.name = "orphan";
+    BasicBlock bb;
+    bb.nInsts = 1;
+    bb.bytes = 4;
+    bb.branch.kind = OpClass::Return;
+    p.blocks.push_back(bb);
+    prog.addProcedure(p);
+    prog.addFile("empty.o");
+    EXPECT_DEATH(prog.validate(), "not in any object file");
+}
+
+TEST(ProgramDeathTest, BadBranchTargetFails)
+{
+    auto prog = tinyProgram();
+    Procedure bad;
+    bad.name = "bad";
+    BasicBlock bb;
+    bb.nInsts = 1;
+    bb.bytes = 4;
+    bb.branch.kind = OpClass::UncondBranch;
+    bb.branch.targetProc = 0;
+    bb.branch.targetBlock = 99; // out of range
+    bad.blocks.push_back(bb);
+    u32 id = prog.addProcedure(bad);
+    prog.placeInFile(0, id);
+    EXPECT_DEATH(prog.validate(), "assertion");
+}
+
+TEST(ProgramDeathTest, CondWithoutPatternFails)
+{
+    auto prog = tinyProgram();
+    Procedure bad;
+    bad.name = "badcond";
+    BasicBlock bb;
+    bb.nInsts = 1;
+    bb.bytes = 4;
+    bb.branch.kind = OpClass::CondBranch;
+    bb.branch.targetProc = 0;
+    bb.branch.targetBlock = 0;
+    bb.branch.pattern = BranchPattern::None;
+    bad.blocks.push_back(bb);
+    u32 id = prog.addProcedure(bad);
+    prog.placeInFile(0, id);
+    EXPECT_DEATH(prog.validate(), "assertion");
+}
+
+} // anonymous namespace

@@ -1,0 +1,214 @@
+/** @file Tests for the seeded PRNG (util/random). */
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace
+{
+
+using interf::Rng;
+using interf::u64;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng rng(0);
+    std::set<u64> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng.next());
+    EXPECT_GT(seen.size(), 95u); // not stuck on a fixed point
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    for (u64 bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::set<u64> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0, sum2 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(19);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(29);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.geometric(0.5));
+    // failures before first success: mean (1-p)/p = 1.
+    EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    auto copy = v;
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, sorted);
+}
+
+TEST(Rng, PermutationValid)
+{
+    Rng rng(37);
+    auto p = rng.permutation(100);
+    std::set<interf::u32> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(42), b(42);
+    Rng fa = a.fork(5), fb = b.fork(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, ForkStreamsIndependent)
+{
+    Rng root(42);
+    Rng s1 = root.fork(1), s2 = root.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += s1.next() == s2.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent)
+{
+    Rng a(42), b(42);
+    (void)a.fork(99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+/** Chi-squared-ish uniformity sanity for the raw generator. */
+TEST(Rng, LowBitsBalanced)
+{
+    Rng rng(101);
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += rng.next() & 1;
+    EXPECT_NEAR(ones / double(n), 0.5, 0.01);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable)
+{
+    u64 s1 = 0, s2 = 0;
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(interf::splitmix64(s1), interf::splitmix64(s2));
+}
+
+} // anonymous namespace

@@ -1,0 +1,97 @@
+/** @file Tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/ras.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::bpred;
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, EmptyPopReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.pops(), 1u);
+}
+
+TEST(Ras, OccupancyTracksPushesAndPops)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.occupancy(), 0u);
+    ras.push(1);
+    ras.push(2);
+    EXPECT_EQ(ras.occupancy(), 2u);
+    ras.pop();
+    EXPECT_EQ(ras.occupancy(), 1u);
+}
+
+TEST(Ras, OverflowDropsOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3); // overwrites 0x1
+    EXPECT_EQ(ras.overflows(), 1u);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    // The third pop hits a stale/empty slot.
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, DeepChainMispredictsOnlyBeyondDepth)
+{
+    // Depth-16 stack, 20-deep call chain: the 4 outermost returns are
+    // wrong, the 16 innermost are right.
+    ReturnAddressStack ras(16);
+    for (Addr d = 1; d <= 20; ++d)
+        ras.push(d);
+    int correct = 0;
+    for (Addr d = 20; d >= 1; --d)
+        correct += ras.pop() == d;
+    EXPECT_EQ(correct, 16);
+}
+
+TEST(Ras, ResetClearsEverything)
+{
+    ReturnAddressStack ras(4);
+    ras.push(1);
+    ras.pop();
+    ras.reset();
+    EXPECT_EQ(ras.occupancy(), 0u);
+    EXPECT_EQ(ras.pops(), 0u);
+    EXPECT_EQ(ras.overflows(), 0u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, BalancedTrafficNeverOverflows)
+{
+    ReturnAddressStack ras(8);
+    for (int round = 0; round < 100; ++round) {
+        for (Addr d = 0; d < 6; ++d)
+            ras.push(0x1000 + d);
+        for (int d = 5; d >= 0; --d)
+            EXPECT_EQ(ras.pop(), 0x1000u + d);
+    }
+    EXPECT_EQ(ras.overflows(), 0u);
+}
+
+TEST(RasDeathTest, ZeroDepthPanics)
+{
+    EXPECT_DEATH(ReturnAddressStack{0}, "assertion");
+}
+
+} // anonymous namespace

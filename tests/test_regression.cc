@@ -1,0 +1,249 @@
+/** @file Tests for simple and multiple least-squares regression. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/regression.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using interf::Rng;
+using namespace interf::stats;
+
+TEST(LinearFit, ExactLineRecovered)
+{
+    std::vector<double> xs{0, 1, 2, 3, 4};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * x + 1.5);
+    LinearFit fit(xs, ys);
+    EXPECT_NEAR(fit.slope(), 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept(), 1.5, 1e-12);
+    EXPECT_NEAR(fit.r(), 1.0, 1e-12);
+    EXPECT_NEAR(fit.residualStdError(), 0.0, 1e-9);
+}
+
+TEST(LinearFit, KnownTextbookCase)
+{
+    // Anscombe I data set: slope 0.5001, intercept 3.0001, r2 ~ 0.667.
+    std::vector<double> xs{10, 8, 13, 9, 11, 14, 6, 4, 12, 7, 5};
+    std::vector<double> ys{8.04, 6.95, 7.58, 8.81, 8.33, 9.96,
+                           7.24, 4.26, 10.84, 4.82, 5.68};
+    LinearFit fit(xs, ys);
+    EXPECT_NEAR(fit.slope(), 0.5001, 1e-3);
+    EXPECT_NEAR(fit.intercept(), 3.0001, 1e-2);
+    EXPECT_NEAR(fit.r2(), 0.6665, 1e-3);
+}
+
+TEST(LinearFit, PredictionMatchesCoefficients)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5, 6};
+    std::vector<double> ys{2.1, 3.9, 6.2, 7.8, 10.1, 11.9};
+    LinearFit fit(xs, ys);
+    EXPECT_NEAR(fit.predict(10.0),
+                fit.slope() * 10.0 + fit.intercept(), 1e-12);
+}
+
+TEST(LinearFit, ConfidenceNarrowerThanPrediction)
+{
+    Rng rng(1);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        double x = i * 0.1;
+        xs.push_back(x);
+        ys.push_back(2.0 * x + 1.0 + rng.gaussian(0, 0.3));
+    }
+    LinearFit fit(xs, ys);
+    for (double x : {0.0, 2.5, 5.0, 10.0}) {
+        auto ci = fit.confidenceInterval(x);
+        auto pi = fit.predictionInterval(x);
+        EXPECT_LT(ci.width(), pi.width());
+        EXPECT_NEAR(ci.center(), fit.predict(x), 1e-9);
+        EXPECT_NEAR(pi.center(), fit.predict(x), 1e-9);
+    }
+}
+
+TEST(LinearFit, IntervalsWidenAwayFromMean)
+{
+    Rng rng(2);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 30; ++i) {
+        double x = 1.0 + i * 0.2;
+        xs.push_back(x);
+        ys.push_back(0.5 * x + rng.gaussian(0, 0.1));
+    }
+    LinearFit fit(xs, ys);
+    double mid = fit.xMean();
+    auto at_mean = fit.confidenceInterval(mid);
+    auto far = fit.confidenceInterval(mid + 10.0);
+    EXPECT_GT(far.width(), at_mean.width());
+}
+
+TEST(LinearFit, PredictionIntervalCoverage)
+{
+    // Property: ~95% of fresh observations fall inside the 95% PI.
+    Rng rng(3);
+    int covered = 0, total = 0;
+    for (int rep = 0; rep < 40; ++rep) {
+        std::vector<double> xs, ys;
+        for (int i = 0; i < 60; ++i) {
+            double x = rng.nextDouble() * 10;
+            xs.push_back(x);
+            ys.push_back(1.7 * x + 0.4 + rng.gaussian(0, 0.5));
+        }
+        LinearFit fit(xs, ys);
+        for (int i = 0; i < 25; ++i) {
+            double x = rng.nextDouble() * 10;
+            double y = 1.7 * x + 0.4 + rng.gaussian(0, 0.5);
+            covered += fit.predictionInterval(x).contains(y);
+            ++total;
+        }
+    }
+    double rate = double(covered) / total;
+    EXPECT_GT(rate, 0.92);
+    EXPECT_LT(rate, 0.98);
+}
+
+TEST(LinearFit, SlopeTStatistic)
+{
+    // Strong linear signal should give a large t.
+    Rng rng(4);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 100; ++i) {
+        double x = i * 0.1;
+        xs.push_back(x);
+        ys.push_back(x + rng.gaussian(0, 0.2));
+    }
+    LinearFit fit(xs, ys);
+    EXPECT_GT(fit.slopeT(), 20.0);
+    EXPECT_GT(fit.slopeStdError(), 0.0);
+}
+
+TEST(LinearFit, ConstantXDegenerates)
+{
+    std::vector<double> xs{2, 2, 2, 2};
+    std::vector<double> ys{1, 2, 3, 4};
+    LinearFit fit(xs, ys);
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept(), 2.5);
+    EXPECT_DOUBLE_EQ(fit.r(), 0.0);
+    EXPECT_DOUBLE_EQ(fit.slopeT(), 0.0);
+}
+
+TEST(LinearFit, PaperStyleModel)
+{
+    // Synthetic version of the paper's perlbench model:
+    // CPI = 0.02799 * MPKI + 0.51667 with small noise.
+    Rng rng(5);
+    std::vector<double> mpki, cpi;
+    for (int i = 0; i < 100; ++i) {
+        double m = 5.8 + rng.nextDouble() * 1.4;
+        mpki.push_back(m);
+        cpi.push_back(0.02799 * m + 0.51667 + rng.gaussian(0, 0.004));
+    }
+    LinearFit fit(mpki, cpi);
+    EXPECT_NEAR(fit.slope(), 0.028, 0.004);
+    EXPECT_NEAR(fit.intercept(), 0.517, 0.02);
+    // Extrapolated perfect-prediction CPI has a sane interval.
+    auto pi = fit.predictionInterval(0.0);
+    EXPECT_TRUE(pi.contains(0.517));
+    EXPECT_LT(pi.width(), 0.2);
+}
+
+TEST(MultiFit, ExactPlaneRecovered)
+{
+    std::vector<double> x1{1, 2, 3, 4, 5, 6, 7};
+    std::vector<double> x2{2, 1, 4, 3, 6, 5, 8};
+    std::vector<double> ys;
+    for (size_t i = 0; i < x1.size(); ++i)
+        ys.push_back(1.0 + 2.0 * x1[i] - 0.5 * x2[i]);
+    MultiFit fit({x1, x2}, ys);
+    ASSERT_EQ(fit.coefficients().size(), 3u);
+    EXPECT_NEAR(fit.coefficients()[0], 1.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients()[1], 2.0, 1e-9);
+    EXPECT_NEAR(fit.coefficients()[2], -0.5, 1e-9);
+    EXPECT_NEAR(fit.r2(), 1.0, 1e-12);
+}
+
+TEST(MultiFit, PredictUsesAllCoefficients)
+{
+    std::vector<double> x1{1, 2, 3, 4, 5};
+    std::vector<double> x2{0, 1, 0, 1, 0};
+    std::vector<double> ys{1, 4, 3, 6, 5};
+    MultiFit fit({x1, x2}, ys);
+    auto b = fit.coefficients();
+    EXPECT_NEAR(fit.predict({2.0, 1.0}), b[0] + 2 * b[1] + b[2], 1e-9);
+}
+
+TEST(MultiFit, MatchesSimpleFitWithOnePredictor)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5, 6};
+    std::vector<double> ys{1.1, 2.3, 2.8, 4.2, 5.1, 5.8};
+    LinearFit simple(xs, ys);
+    MultiFit multi({xs}, ys);
+    EXPECT_NEAR(multi.coefficients()[0], simple.intercept(), 1e-9);
+    EXPECT_NEAR(multi.coefficients()[1], simple.slope(), 1e-9);
+    EXPECT_NEAR(multi.r2(), simple.r2(), 1e-9);
+}
+
+TEST(MultiFit, AdjustedR2BelowR2)
+{
+    Rng rng(6);
+    std::vector<double> x1, x2, x3, ys;
+    for (int i = 0; i < 30; ++i) {
+        x1.push_back(rng.nextDouble());
+        x2.push_back(rng.nextDouble());
+        x3.push_back(rng.nextDouble());
+        ys.push_back(x1.back() + rng.gaussian(0, 0.3));
+    }
+    MultiFit fit({x1, x2, x3}, ys);
+    EXPECT_LE(fit.adjustedR2(), fit.r2());
+}
+
+TEST(MultiFit, FStatisticSignificantForRealSignal)
+{
+    Rng rng(7);
+    std::vector<double> x1, x2, ys;
+    for (int i = 0; i < 60; ++i) {
+        x1.push_back(rng.nextDouble() * 5);
+        x2.push_back(rng.nextDouble() * 5);
+        ys.push_back(2 * x1.back() + x2.back() + rng.gaussian(0, 0.5));
+    }
+    MultiFit fit({x1, x2}, ys);
+    EXPECT_LT(fit.fPValue(), 1e-6);
+}
+
+TEST(MultiFit, FStatisticInsignificantForNoise)
+{
+    Rng rng(8);
+    std::vector<double> x1, ys;
+    for (int i = 0; i < 40; ++i) {
+        x1.push_back(rng.nextDouble());
+        ys.push_back(rng.gaussian(0, 1.0));
+    }
+    MultiFit fit({x1}, ys);
+    EXPECT_GT(fit.fPValue(), 0.01);
+}
+
+TEST(MultiFit, CollinearPredictorsSurvive)
+{
+    // x2 = 2*x1: the ridge fallback must keep the solve stable.
+    std::vector<double> x1{1, 2, 3, 4, 5, 6};
+    std::vector<double> x2{2, 4, 6, 8, 10, 12};
+    std::vector<double> ys{1, 2, 3, 4, 5, 6};
+    MultiFit fit({x1, x2}, ys);
+    EXPECT_NEAR(fit.r2(), 1.0, 1e-6);
+    EXPECT_NEAR(fit.predict({3.5, 7.0}), 3.5, 1e-4);
+}
+
+TEST(RegressionDeathTest, TooFewPointsPanics)
+{
+    std::vector<double> xs{1, 2};
+    std::vector<double> ys{1, 2};
+    EXPECT_DEATH((LinearFit{xs, ys}), "assertion");
+}
+
+} // anonymous namespace

@@ -1,0 +1,104 @@
+/** @file Tests for the reporting helpers. */
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "interferometry/report.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::interferometry;
+
+PerformanceModel
+someModel()
+{
+    Rng rng(1);
+    std::vector<core::Measurement> samples;
+    for (int i = 0; i < 60; ++i) {
+        core::Measurement m;
+        m.instructions = 1000000;
+        m.mpki = 5.0 + rng.nextDouble();
+        m.cpi = 0.03 * m.mpki + 0.5 + rng.gaussian(0, 0.003);
+        samples.push_back(m);
+    }
+    return PerformanceModel("x", samples);
+}
+
+TEST(Report, Table1ListsOnlySignificantRows)
+{
+    std::vector<Table1Row> rows;
+    Table1Row a{"sig", 0.03, 0.5, 0.45, 0.55, true};
+    Table1Row b{"notsig", 0.01, 1.0, 0.9, 1.1, false};
+    rows.push_back(a);
+    rows.push_back(b);
+    auto tw = makeTable1(rows);
+    std::ostringstream os;
+    tw.print(os);
+    EXPECT_NE(os.str().find("sig"), std::string::npos);
+    EXPECT_EQ(os.str().find("notsig"), std::string::npos);
+    EXPECT_EQ(tw.rows(), 1u);
+}
+
+TEST(Report, Table1HasPaperColumns)
+{
+    auto tw = makeTable1({{"b", 0.02, 0.6, 0.5, 0.7, true}});
+    std::ostringstream os;
+    tw.print(os);
+    for (const char *col :
+         {"Benchmark", "Slope", "y-intercept", "Low", "High"})
+        EXPECT_NE(os.str().find(col), std::string::npos) << col;
+}
+
+TEST(Report, RegressionLineFormat)
+{
+    auto model = someModel();
+    auto line = regressionLine(model);
+    EXPECT_NE(line.find("CPI ="), std::string::npos);
+    EXPECT_NE(line.find("MPKI"), std::string::npos);
+    EXPECT_NE(line.find("r2="), std::string::npos);
+    EXPECT_NE(line.find("n=60"), std::string::npos);
+}
+
+TEST(Report, AsciiViolinShape)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(rng.gaussian(0.0, 1.0));
+    auto violin = stats::kernelDensity(xs, 128);
+    auto lines = asciiViolin(violin, 11, 20);
+    ASSERT_EQ(lines.size(), 11u);
+    // Middle rows (near the mode) should be wider than edge rows.
+    auto width = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), '#');
+    };
+    EXPECT_GT(width(lines[5]), width(lines[0]));
+    EXPECT_GT(width(lines[5]), width(lines[10]));
+    // Every row carries the grid label and the spine.
+    for (const auto &l : lines)
+        EXPECT_NE(l.find('|'), std::string::npos);
+}
+
+TEST(Report, AsciiViolinSymmetricBars)
+{
+    std::vector<double> xs{1, 2, 2, 3, 3, 3, 4, 4, 5};
+    auto violin = stats::kernelDensity(xs, 64);
+    auto lines = asciiViolin(violin, 9, 16);
+    for (const auto &l : lines) {
+        auto bar = l.substr(l.find_first_of("#|"));
+        size_t spine = bar.find('|');
+        size_t left = 0, right = 0;
+        for (size_t i = 0; i < spine; ++i)
+            left += bar[i] == '#';
+        for (size_t i = spine + 1; i < bar.size(); ++i)
+            right += bar[i] == '#';
+        EXPECT_EQ(left, right);
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,123 @@
+/** @file Tests for the synthetic SPEC suite registry. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "workloads/builder.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::workloads;
+
+TEST(Spec, TwentyThreeBenchmarks)
+{
+    EXPECT_EQ(specSuite().size(), 23u);
+    EXPECT_EQ(suiteNames().size(), 23u);
+}
+
+TEST(Spec, ExactlyThreeExpectedFailures)
+{
+    int failures = 0;
+    for (const auto &entry : specSuite())
+        failures += !entry.expectSignificant;
+    EXPECT_EQ(failures, 3);
+}
+
+TEST(Spec, NamesUniqueAndSpecNumbered)
+{
+    std::set<std::string> names;
+    for (const auto &entry : specSuite()) {
+        EXPECT_TRUE(names.insert(entry.profile.name).second);
+        // SPEC CPU 2006 style: "NNN.name".
+        EXPECT_EQ(entry.profile.name[3], '.');
+        EXPECT_TRUE(isdigit(entry.profile.name[0]));
+    }
+}
+
+TEST(Spec, LookupByName)
+{
+    const auto &mcf = specFor("429.mcf");
+    EXPECT_EQ(mcf.profile.name, "429.mcf");
+    EXPECT_TRUE(isSuiteBenchmark("400.perlbench"));
+    EXPECT_FALSE(isSuiteBenchmark("999.nonesuch"));
+}
+
+TEST(SpecDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)specFor("nope"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Spec, AllProfilesValidate)
+{
+    for (const auto &entry : specSuite())
+        entry.profile.validate();
+    SUCCEED();
+}
+
+TEST(Spec, SeedsDistinctAcrossSuite)
+{
+    std::set<u64> seeds;
+    for (const auto &entry : specSuite()) {
+        EXPECT_TRUE(seeds.insert(entry.profile.structureSeed).second);
+        EXPECT_TRUE(seeds.insert(entry.profile.behaviourSeed).second);
+    }
+}
+
+TEST(Spec, AllBenchmarksBuildAndTrace)
+{
+    // Smoke: every suite benchmark builds a valid program and a small
+    // valid trace.
+    for (const auto &entry : specSuite()) {
+        auto prog = buildProgram(entry.profile);
+        trace::TraceGenerator gen(prog, entry.profile.behaviourSeed);
+        auto trace = gen.makeTrace(20000);
+        trace.validate(prog);
+        EXPECT_GT(trace.instCount, 20000u);
+        EXPECT_GT(trace.condBranches, 0u) << entry.profile.name;
+    }
+}
+
+TEST(Spec, CharacterDiversity)
+{
+    // The suite must span memory-bound and compute-bound characters.
+    const auto &mcf = specFor("429.mcf").profile;
+    const auto &hmmer = specFor("456.hmmer").profile;
+    EXPECT_GT(mcf.fracMem, 0.1);
+    EXPECT_LT(hmmer.fracMem, 0.01);
+
+    // And branchy vs loopy characters.
+    const auto &gobmk = specFor("445.gobmk").profile;
+    const auto &lbm = specFor("470.lbm").profile;
+    EXPECT_GT(gobmk.condFraction, 3 * lbm.condFraction);
+}
+
+TEST(Spec, BigSlopeBenchmarksUseDependentLoads)
+{
+    // zeusmp and GemsFDTD carry the paper's huge Table-1 slopes via
+    // branch-after-missing-load resolution.
+    for (const char *name : {"434.zeusmp", "459.GemsFDTD"}) {
+        const auto &p = specFor(name).profile;
+        EXPECT_GT(p.branchLoadDepProb, 0.5) << name;
+        EXPECT_GT(p.depLoadSlowTier, 0.9) << name;
+    }
+}
+
+TEST(Spec, FailureBenchmarksAreBranchInsensitive)
+{
+    for (const auto &entry : specSuite()) {
+        if (entry.expectSignificant)
+            continue;
+        // Their branch behaviour is overwhelmingly loop-periodic with
+        // near-certain biases: nearly nothing for layout to perturb.
+        EXPECT_LT(entry.profile.fracRandom, 0.01) << entry.profile.name;
+        EXPECT_GT(entry.profile.fracPeriodic, 0.5) << entry.profile.name;
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,117 @@
+/** @file Tests for the text/CSV table writer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace
+{
+
+using interf::Align;
+using interf::TableWriter;
+
+TableWriter
+sampleTable()
+{
+    TableWriter tw;
+    tw.addColumn("Benchmark", Align::Left);
+    tw.addColumn("Slope");
+    tw.beginRow();
+    tw.cell(std::string("perlbench"));
+    tw.cell(0.0281, "%.3f");
+    tw.beginRow();
+    tw.cell(std::string("mcf"));
+    tw.cell(0.019, "%.3f");
+    return tw;
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    auto tw = sampleTable();
+    std::ostringstream os;
+    tw.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Benchmark"), std::string::npos);
+    EXPECT_NE(out.find("perlbench"), std::string::npos);
+    EXPECT_NE(out.find("0.028"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowsCount)
+{
+    auto tw = sampleTable();
+    EXPECT_EQ(tw.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    auto tw = sampleTable();
+    std::ostringstream os;
+    tw.printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Benchmark,Slope"), std::string::npos);
+    EXPECT_NE(out.find("perlbench,0.028"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    TableWriter tw;
+    tw.addColumn("a");
+    tw.addColumn("b");
+    tw.beginRow();
+    tw.cell(std::string("x,y"));
+    tw.cell(std::string("he said \"hi\""));
+    std::ostringstream os;
+    tw.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, IntegerCells)
+{
+    TableWriter tw;
+    tw.addColumn("n");
+    tw.beginRow();
+    tw.cell(static_cast<long long>(12345));
+    std::ostringstream os;
+    tw.print(os);
+    EXPECT_NE(os.str().find("12345"), std::string::npos);
+}
+
+TEST(Table, LeftAlignPadsRight)
+{
+    TableWriter tw;
+    tw.addColumn("name", Align::Left);
+    tw.addColumn("v");
+    tw.beginRow();
+    tw.cell(std::string("ab"));
+    tw.cell(static_cast<long long>(1));
+    std::ostringstream os;
+    tw.print(os);
+    // "name" header is 4 wide; "ab" should be padded to 4 then 2 spaces.
+    EXPECT_NE(os.str().find("ab    1"), std::string::npos);
+}
+
+TEST(TableDeathTest, TooManyCellsPanics)
+{
+    TableWriter tw;
+    tw.addColumn("only");
+    tw.beginRow();
+    tw.cell(std::string("one"));
+    EXPECT_DEATH(tw.cell(std::string("two")), "assertion");
+}
+
+TEST(TableDeathTest, ShortRowDetectedOnNextRow)
+{
+    TableWriter tw;
+    tw.addColumn("a");
+    tw.addColumn("b");
+    tw.beginRow();
+    tw.cell(std::string("only-one"));
+    EXPECT_DEATH(tw.beginRow(), "cells");
+}
+
+} // anonymous namespace

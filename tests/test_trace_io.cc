@@ -1,0 +1,116 @@
+/** @file Tests for binary trace serialization. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "trace/io.hh"
+#include "workloads/builder.hh"
+
+namespace
+{
+
+using namespace interf;
+using namespace interf::trace;
+
+struct Fixture
+{
+    Program prog;
+    Trace trace;
+
+    Fixture()
+        : prog(workloads::buildProgram(workloads::defaultProfile("io"))),
+          trace(TraceGenerator(prog, 3).makeTrace(50000))
+    {
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    auto &f = fixture();
+    std::stringstream buf;
+    saveTrace(buf, f.prog, f.trace);
+    Trace loaded = loadTrace(buf, f.prog);
+
+    EXPECT_EQ(loaded.instCount, f.trace.instCount);
+    EXPECT_EQ(loaded.condBranches, f.trace.condBranches);
+    EXPECT_EQ(loaded.takenBranches, f.trace.takenBranches);
+    EXPECT_EQ(loaded.loads, f.trace.loads);
+    EXPECT_EQ(loaded.stores, f.trace.stores);
+    ASSERT_EQ(loaded.events.size(), f.trace.events.size());
+    EXPECT_EQ(loaded.memIds, f.trace.memIds);
+    for (size_t i = 0; i < loaded.events.size(); ++i) {
+        EXPECT_EQ(loaded.events[i].proc, f.trace.events[i].proc);
+        EXPECT_EQ(loaded.events[i].block, f.trace.events[i].block);
+        EXPECT_EQ(loaded.events[i].taken, f.trace.events[i].taken);
+    }
+}
+
+TEST(TraceIo, ChecksumStableAndStructural)
+{
+    auto &f = fixture();
+    EXPECT_EQ(programChecksum(f.prog), programChecksum(f.prog));
+    // A different program hashes differently.
+    auto profile = workloads::defaultProfile("io");
+    profile.structureSeed += 1;
+    auto other = workloads::buildProgram(profile);
+    EXPECT_NE(programChecksum(f.prog), programChecksum(other));
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    auto &f = fixture();
+    std::string path = ::testing::TempDir() + "interf_trace_io_test.bin";
+    saveTrace(path, f.prog, f.trace);
+    Trace loaded = loadTrace(path, f.prog);
+    EXPECT_EQ(loaded.instCount, f.trace.instCount);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, WrongProgramRejected)
+{
+    auto &f = fixture();
+    std::stringstream buf;
+    saveTrace(buf, f.prog, f.trace);
+    auto profile = workloads::defaultProfile("io");
+    profile.structureSeed += 7;
+    auto other = workloads::buildProgram(profile);
+    EXPECT_EXIT((void)loadTrace(buf, other),
+                ::testing::ExitedWithCode(1), "checksum mismatch");
+}
+
+TEST(TraceIoDeathTest, GarbageRejected)
+{
+    auto &f = fixture();
+    std::stringstream buf("this is not a trace file at all");
+    EXPECT_EXIT((void)loadTrace(buf, f.prog),
+                ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(TraceIoDeathTest, TruncationRejected)
+{
+    auto &f = fixture();
+    std::stringstream buf;
+    saveTrace(buf, f.prog, f.trace);
+    std::string data = buf.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_EXIT((void)loadTrace(cut, f.prog),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceIoDeathTest, MissingFileRejected)
+{
+    auto &f = fixture();
+    EXPECT_EXIT((void)loadTrace("/nonexistent/trace.bin", f.prog),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // anonymous namespace

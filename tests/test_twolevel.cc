@@ -1,0 +1,154 @@
+/** @file Tests for the two-level adaptive predictors (GAs / gshare). */
+
+#include <gtest/gtest.h>
+
+#include "bpred/twolevel.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace interf;
+using interf::splitmix64;
+using namespace interf::bpred;
+
+TEST(TwoLevel, GAsLearnsShortPeriodicPattern)
+{
+    TwoLevelPredictor pred(TwoLevelScheme::GAs, 4096, 6);
+    Addr pc = 0x400100;
+    // Period-4 pattern T T T N is fully determined by 6 history bits.
+    auto outcome = [](int i) { return i % 4 != 3; };
+    for (int i = 0; i < 200; ++i)
+        pred.predictAndTrain(pc, outcome(i));
+    int wrong = 0;
+    for (int i = 200; i < 400; ++i)
+        wrong += pred.predictAndTrain(pc, outcome(i)) != outcome(i);
+    EXPECT_LE(wrong, 2);
+}
+
+TEST(TwoLevel, GshareLearnsShortPeriodicPattern)
+{
+    TwoLevelPredictor pred(TwoLevelScheme::Gshare, 4096, 8);
+    Addr pc = 0x400200;
+    auto outcome = [](int i) { return i % 5 != 0; };
+    for (int i = 0; i < 300; ++i)
+        pred.predictAndTrain(pc, outcome(i));
+    int wrong = 0;
+    for (int i = 300; i < 600; ++i)
+        wrong += pred.predictAndTrain(pc, outcome(i)) != outcome(i);
+    EXPECT_LE(wrong, 3);
+}
+
+TEST(TwoLevel, CannotLearnPatternLongerThanHistory)
+{
+    // Period 40 with only 3 history bits: the exit is invisible.
+    TwoLevelPredictor pred(TwoLevelScheme::Gshare, 4096, 3);
+    Addr pc = 0x400300;
+    auto outcome = [](int i) { return i % 40 != 39; };
+    for (int i = 0; i < 400; ++i)
+        pred.predictAndTrain(pc, outcome(i));
+    int wrong = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        wrong += pred.predictAndTrain(pc, outcome(i)) != outcome(i);
+    // Roughly one miss per period (the unpredictable exit).
+    EXPECT_GT(wrong, n / 40 - 10);
+}
+
+TEST(TwoLevel, HistoryDisambiguatesContext)
+{
+    // A branch whose outcome equals the previous outcome of another
+    // branch: global history captures it, bimodal-style cannot.
+    TwoLevelPredictor pred(TwoLevelScheme::Gshare, 8192, 10);
+    Addr leader = 0x400400, follower = 0x400500;
+    u64 state = 12345;
+    int wrong = 0, total = 0;
+    bool last_leader = false;
+    for (int i = 0; i < 4000; ++i) {
+        bool l = (splitmix64(state) & 1) != 0;
+        pred.predictAndTrain(leader, l);
+        bool f = l; // will be re-fetched from history: equals leader? no:
+        // follower repeats the leader's outcome.
+        bool got = pred.predictAndTrain(follower, last_leader = l);
+        if (i > 1000) {
+            wrong += got != f;
+            ++total;
+        }
+    }
+    (void)last_leader;
+    // Correlated branch should be highly predictable (< 15% misses).
+    EXPECT_LT(wrong, total * 15 / 100);
+}
+
+TEST(TwoLevel, GAsIndexConcatenatesAddressAndHistory)
+{
+    TwoLevelPredictor pred(TwoLevelScheme::GAs, 1024, 4);
+    // With zero history, branches differing only in high address bits
+    // used by the index must map to different slots.
+    u32 i1 = pred.indexFor(0x400000);
+    u32 i2 = pred.indexFor(0x400001);
+    EXPECT_NE(i1, i2);
+    EXPECT_LT(i1, 1024u);
+}
+
+TEST(TwoLevel, IndexChangesWithHistory)
+{
+    TwoLevelPredictor pred(TwoLevelScheme::Gshare, 1024, 8);
+    Addr pc = 0x400123;
+    u32 before = pred.indexFor(pc);
+    pred.predictAndTrain(pc, true); // shifts history
+    u32 after = pred.indexFor(pc);
+    EXPECT_NE(before, after);
+}
+
+TEST(TwoLevel, ResetClearsLearnedState)
+{
+    TwoLevelPredictor pred(TwoLevelScheme::Gshare, 1024, 6);
+    Addr pc = 0x400600;
+    for (int i = 0; i < 100; ++i)
+        pred.predictAndTrain(pc, false);
+    pred.reset();
+    EXPECT_TRUE(pred.predictAndTrain(pc, true)); // cold weakly-taken
+}
+
+TEST(TwoLevel, NamesAndSizes)
+{
+    TwoLevelPredictor gas(TwoLevelScheme::GAs, 8192, 10);
+    EXPECT_EQ(gas.name(), "gas-8192e-h10");
+    EXPECT_EQ(gas.sizeBits(), 8192u * 2 + 10);
+    TwoLevelPredictor gsh(TwoLevelScheme::Gshare, 4096, 12);
+    EXPECT_EQ(gsh.name(), "gshare-4096e-h12");
+    EXPECT_EQ(gsh.historyBits(), 12u);
+}
+
+TEST(TwoLevelDeathTest, GAsHistoryMustLeaveAddressBits)
+{
+    EXPECT_DEATH(TwoLevelPredictor(TwoLevelScheme::GAs, 1024, 10),
+                 "assertion");
+    // gshare allows history == index bits.
+    TwoLevelPredictor ok(TwoLevelScheme::Gshare, 1024, 10);
+    SUCCEED();
+}
+
+/** Parameterized sweep: all sizes learn a trivially-biased branch. */
+class TwoLevelSizes : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(TwoLevelSizes, AllSizesLearnBiasedBranch)
+{
+    TwoLevelPredictor pred(TwoLevelScheme::Gshare, GetParam(), 4);
+    Addr pc = 0x400700;
+    for (int i = 0; i < 64; ++i)
+        pred.predictAndTrain(pc, true);
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += pred.predictAndTrain(pc, true) != true;
+    EXPECT_EQ(wrong, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoLevelSizes,
+                         ::testing::Values(64u, 256u, 1024u, 4096u,
+                                           16384u, 65536u));
+
+} // anonymous namespace
