@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_machine"
+  "../bench/bench_ablation_machine.pdb"
+  "CMakeFiles/bench_ablation_machine.dir/bench_ablation_machine.cc.o"
+  "CMakeFiles/bench_ablation_machine.dir/bench_ablation_machine.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

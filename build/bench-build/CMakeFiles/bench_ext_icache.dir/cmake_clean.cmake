@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_icache"
+  "../bench/bench_ext_icache.pdb"
+  "CMakeFiles/bench_ext_icache.dir/bench_ext_icache.cc.o"
+  "CMakeFiles/bench_ext_icache.dir/bench_ext_icache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

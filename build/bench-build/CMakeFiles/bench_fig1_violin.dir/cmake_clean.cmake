@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_violin"
+  "../bench/bench_fig1_violin.pdb"
+  "CMakeFiles/bench_fig1_violin.dir/bench_fig1_violin.cc.o"
+  "CMakeFiles/bench_fig1_violin.dir/bench_fig1_violin.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_violin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_linearity"
+  "../bench/bench_fig4_linearity.pdb"
+  "CMakeFiles/bench_fig4_linearity.dir/bench_fig4_linearity.cc.o"
+  "CMakeFiles/bench_fig4_linearity.dir/bench_fig4_linearity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_linearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

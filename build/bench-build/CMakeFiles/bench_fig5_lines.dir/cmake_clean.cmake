@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_lines"
+  "../bench/bench_fig5_lines.pdb"
+  "CMakeFiles/bench_fig5_lines.dir/bench_fig5_lines.cc.o"
+  "CMakeFiles/bench_fig5_lines.dir/bench_fig5_lines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_blame"
+  "../bench/bench_fig6_blame.pdb"
+  "CMakeFiles/bench_fig6_blame.dir/bench_fig6_blame.cc.o"
+  "CMakeFiles/bench_fig6_blame.dir/bench_fig6_blame.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_blame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

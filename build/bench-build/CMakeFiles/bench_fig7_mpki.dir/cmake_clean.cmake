@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_mpki"
+  "../bench/bench_fig7_mpki.pdb"
+  "CMakeFiles/bench_fig7_mpki.dir/bench_fig7_mpki.cc.o"
+  "CMakeFiles/bench_fig7_mpki.dir/bench_fig7_mpki.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_predicted_cpi"
+  "../bench/bench_fig8_predicted_cpi.pdb"
+  "CMakeFiles/bench_fig8_predicted_cpi.dir/bench_fig8_predicted_cpi.cc.o"
+  "CMakeFiles/bench_fig8_predicted_cpi.dir/bench_fig8_predicted_cpi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_predicted_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

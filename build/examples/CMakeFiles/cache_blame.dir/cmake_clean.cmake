@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_blame.dir/cache_blame.cpp.o"
+  "CMakeFiles/cache_blame.dir/cache_blame.cpp.o.d"
+  "cache_blame"
+  "cache_blame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_blame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

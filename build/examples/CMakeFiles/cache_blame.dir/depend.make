@@ -1,0 +1,2 @@
+# Empty dependencies file for cache_blame.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_bias.dir/measurement_bias.cpp.o"
+  "CMakeFiles/measurement_bias.dir/measurement_bias.cpp.o.d"
+  "measurement_bias"
+  "measurement_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

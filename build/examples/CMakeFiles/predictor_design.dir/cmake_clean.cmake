@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_design.dir/predictor_design.cpp.o"
+  "CMakeFiles/predictor_design.dir/predictor_design.cpp.o.d"
+  "predictor_design"
+  "predictor_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/bimodal.cc" "src/CMakeFiles/interf.dir/bpred/bimodal.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/bimodal.cc.o.d"
+  "/root/repo/src/bpred/btb.cc" "src/CMakeFiles/interf.dir/bpred/btb.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/btb.cc.o.d"
+  "/root/repo/src/bpred/factory.cc" "src/CMakeFiles/interf.dir/bpred/factory.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/factory.cc.o.d"
+  "/root/repo/src/bpred/history.cc" "src/CMakeFiles/interf.dir/bpred/history.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/history.cc.o.d"
+  "/root/repo/src/bpred/hybrid.cc" "src/CMakeFiles/interf.dir/bpred/hybrid.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/hybrid.cc.o.d"
+  "/root/repo/src/bpred/ltage.cc" "src/CMakeFiles/interf.dir/bpred/ltage.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/ltage.cc.o.d"
+  "/root/repo/src/bpred/perceptron.cc" "src/CMakeFiles/interf.dir/bpred/perceptron.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/perceptron.cc.o.d"
+  "/root/repo/src/bpred/perfect.cc" "src/CMakeFiles/interf.dir/bpred/perfect.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/perfect.cc.o.d"
+  "/root/repo/src/bpred/ras.cc" "src/CMakeFiles/interf.dir/bpred/ras.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/ras.cc.o.d"
+  "/root/repo/src/bpred/twolevel.cc" "src/CMakeFiles/interf.dir/bpred/twolevel.cc.o" "gcc" "src/CMakeFiles/interf.dir/bpred/twolevel.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/interf.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/interf.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/interf.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/interf.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/interf.dir/core/config.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/config.cc.o.d"
+  "/root/repo/src/core/noise.cc" "src/CMakeFiles/interf.dir/core/noise.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/noise.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/interf.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/timing.cc" "src/CMakeFiles/interf.dir/core/timing.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/timing.cc.o.d"
+  "/root/repo/src/interferometry/campaign.cc" "src/CMakeFiles/interf.dir/interferometry/campaign.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/campaign.cc.o.d"
+  "/root/repo/src/interferometry/model.cc" "src/CMakeFiles/interf.dir/interferometry/model.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/model.cc.o.d"
+  "/root/repo/src/interferometry/predict.cc" "src/CMakeFiles/interf.dir/interferometry/predict.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/predict.cc.o.d"
+  "/root/repo/src/interferometry/report.cc" "src/CMakeFiles/interf.dir/interferometry/report.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/report.cc.o.d"
+  "/root/repo/src/layout/heap.cc" "src/CMakeFiles/interf.dir/layout/heap.cc.o" "gcc" "src/CMakeFiles/interf.dir/layout/heap.cc.o.d"
+  "/root/repo/src/layout/linker.cc" "src/CMakeFiles/interf.dir/layout/linker.cc.o" "gcc" "src/CMakeFiles/interf.dir/layout/linker.cc.o.d"
+  "/root/repo/src/layout/pagemap.cc" "src/CMakeFiles/interf.dir/layout/pagemap.cc.o" "gcc" "src/CMakeFiles/interf.dir/layout/pagemap.cc.o.d"
+  "/root/repo/src/pinsim/pinsim.cc" "src/CMakeFiles/interf.dir/pinsim/pinsim.cc.o" "gcc" "src/CMakeFiles/interf.dir/pinsim/pinsim.cc.o.d"
+  "/root/repo/src/pmu/pmu.cc" "src/CMakeFiles/interf.dir/pmu/pmu.cc.o" "gcc" "src/CMakeFiles/interf.dir/pmu/pmu.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/interf.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/interf.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/interf.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/interf.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/CMakeFiles/interf.dir/stats/hypothesis.cc.o" "gcc" "src/CMakeFiles/interf.dir/stats/hypothesis.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/CMakeFiles/interf.dir/stats/kde.cc.o" "gcc" "src/CMakeFiles/interf.dir/stats/kde.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/CMakeFiles/interf.dir/stats/regression.cc.o" "gcc" "src/CMakeFiles/interf.dir/stats/regression.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/interf.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/interf.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/CMakeFiles/interf.dir/trace/io.cc.o" "gcc" "src/CMakeFiles/interf.dir/trace/io.cc.o.d"
+  "/root/repo/src/trace/program.cc" "src/CMakeFiles/interf.dir/trace/program.cc.o" "gcc" "src/CMakeFiles/interf.dir/trace/program.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/interf.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/interf.dir/trace/trace.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/interf.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/interf.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/options.cc" "src/CMakeFiles/interf.dir/util/options.cc.o" "gcc" "src/CMakeFiles/interf.dir/util/options.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/interf.dir/util/random.cc.o" "gcc" "src/CMakeFiles/interf.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/interf.dir/util/table.cc.o" "gcc" "src/CMakeFiles/interf.dir/util/table.cc.o.d"
+  "/root/repo/src/workloads/builder.cc" "src/CMakeFiles/interf.dir/workloads/builder.cc.o" "gcc" "src/CMakeFiles/interf.dir/workloads/builder.cc.o.d"
+  "/root/repo/src/workloads/profile.cc" "src/CMakeFiles/interf.dir/workloads/profile.cc.o" "gcc" "src/CMakeFiles/interf.dir/workloads/profile.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/CMakeFiles/interf.dir/workloads/spec.cc.o" "gcc" "src/CMakeFiles/interf.dir/workloads/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bimodal.cc" "tests/CMakeFiles/interf_tests.dir/test_bimodal.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_bimodal.cc.o.d"
+  "/root/repo/tests/test_btb.cc" "tests/CMakeFiles/interf_tests.dir/test_btb.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_btb.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/interf_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/interf_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_campaign.cc" "tests/CMakeFiles/interf_tests.dir/test_campaign.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_campaign.cc.o.d"
+  "/root/repo/tests/test_descriptive.cc" "tests/CMakeFiles/interf_tests.dir/test_descriptive.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_descriptive.cc.o.d"
+  "/root/repo/tests/test_distributions.cc" "tests/CMakeFiles/interf_tests.dir/test_distributions.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_distributions.cc.o.d"
+  "/root/repo/tests/test_factory.cc" "tests/CMakeFiles/interf_tests.dir/test_factory.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_factory.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/interf_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_heap.cc" "tests/CMakeFiles/interf_tests.dir/test_heap.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_heap.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/interf_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_hybrid.cc" "tests/CMakeFiles/interf_tests.dir/test_hybrid.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_hybrid.cc.o.d"
+  "/root/repo/tests/test_hypothesis.cc" "tests/CMakeFiles/interf_tests.dir/test_hypothesis.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_hypothesis.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/interf_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kde.cc" "tests/CMakeFiles/interf_tests.dir/test_kde.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_kde.cc.o.d"
+  "/root/repo/tests/test_linker.cc" "tests/CMakeFiles/interf_tests.dir/test_linker.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_linker.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/interf_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_ltage.cc" "tests/CMakeFiles/interf_tests.dir/test_ltage.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_ltage.cc.o.d"
+  "/root/repo/tests/test_model.cc" "tests/CMakeFiles/interf_tests.dir/test_model.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_model.cc.o.d"
+  "/root/repo/tests/test_noise.cc" "tests/CMakeFiles/interf_tests.dir/test_noise.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_noise.cc.o.d"
+  "/root/repo/tests/test_options.cc" "tests/CMakeFiles/interf_tests.dir/test_options.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_options.cc.o.d"
+  "/root/repo/tests/test_perceptron.cc" "tests/CMakeFiles/interf_tests.dir/test_perceptron.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_perceptron.cc.o.d"
+  "/root/repo/tests/test_pinsim.cc" "tests/CMakeFiles/interf_tests.dir/test_pinsim.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_pinsim.cc.o.d"
+  "/root/repo/tests/test_pmu.cc" "tests/CMakeFiles/interf_tests.dir/test_pmu.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_pmu.cc.o.d"
+  "/root/repo/tests/test_predict.cc" "tests/CMakeFiles/interf_tests.dir/test_predict.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_predict.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/interf_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/interf_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/interf_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_ras.cc" "tests/CMakeFiles/interf_tests.dir/test_ras.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_ras.cc.o.d"
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/interf_tests.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_regression.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/interf_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/interf_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_spec.cc" "tests/CMakeFiles/interf_tests.dir/test_spec.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_spec.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/interf_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/interf_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/interf_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_trace_io.cc.o.d"
+  "/root/repo/tests/test_twolevel.cc" "tests/CMakeFiles/interf_tests.dir/test_twolevel.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_twolevel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/interf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
