@@ -25,6 +25,7 @@ struct Scale
 {
     u32 layouts = 40;
     u64 instructions = 300000;
+    u32 jobs = 0; ///< Measurement worker threads (0 = all hardware).
     std::string csvPath;
     std::string only; ///< Restrict to benchmarks containing this text.
 };
@@ -38,6 +39,10 @@ addScaleOptions(OptionParser &opts, u32 default_layouts = 40,
                 "code reorderings per benchmark (paper: 100)");
     opts.addInt("instructions", static_cast<i64>(default_insts),
                 "dynamic instructions per run (paper: billions)");
+    opts.addInt("jobs", 0,
+                "worker threads for layout measurement (0 = one per "
+                "hardware thread, 1 = serial); results are identical "
+                "for any value");
     opts.addString("csv", "", "also write results to this CSV file");
     opts.addString("only", "",
                    "restrict to benchmarks whose name contains this");
@@ -56,6 +61,9 @@ readScale(const OptionParser &opts)
         fatal("--layouts must be >= 1");
     if (s.instructions < 10000)
         fatal("--instructions must be >= 10000");
+    if (opts.getInt("jobs") < 0)
+        fatal("--jobs must be >= 0");
+    s.jobs = static_cast<u32>(opts.getInt("jobs"));
     return s;
 }
 
@@ -67,6 +75,7 @@ campaignConfig(const Scale &scale)
     cfg.instructionBudget = scale.instructions;
     cfg.initialLayouts = scale.layouts;
     cfg.maxLayouts = scale.layouts;
+    cfg.jobs = scale.jobs;
     return cfg;
 }
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parallel-executor scaling bench (google-benchmark): layouts/sec of
+ * Campaign::measureLayouts at 1, 2, 4 and hardware_concurrency worker
+ * threads, plus the raw dispatch overhead of the exec substrate.
+ *
+ * The interesting series is items_per_second (one item = one layout)
+ * versus the jobs argument: on an N-core machine the figure-scale
+ * campaign should scale near-linearly until jobs reaches N, because
+ * layouts are embarrassingly parallel and workers share only immutable
+ * state. Run with --benchmark_format=json to record the series in
+ * BENCH JSON (items_per_second per jobs value); pair a jobs:1 and a
+ * jobs:4 row to read off the speedup.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "exec/threadpool.hh"
+#include "interferometry/campaign.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace interf;
+
+/** Jobs axis: 1, 2, 4 and the machine's hardware concurrency. */
+void
+JobsArgs(benchmark::internal::Benchmark *b)
+{
+    std::vector<int> jobs = {1, 2, 4};
+    int hw = static_cast<int>(exec::ThreadPool::hardwareWorkers());
+    if (std::find(jobs.begin(), jobs.end(), hw) == jobs.end())
+        jobs.push_back(hw);
+    for (int j : jobs)
+        b->Arg(j);
+}
+
+/**
+ * A figure-scale campaign batch (40 layouts x 300k instructions, the
+ * figure benches' default scale) at state.range(0) workers. Campaign
+ * construction (program build + trace generation) is hoisted out of
+ * the timed loop; each iteration measures the full 40-layout batch, so
+ * items_per_second is layouts/sec.
+ */
+void
+BM_CampaignMeasureLayouts(benchmark::State &state)
+{
+    const u32 layouts = 40;
+    interferometry::CampaignConfig cfg;
+    cfg.instructionBudget = 300000;
+    cfg.initialLayouts = layouts;
+    cfg.maxLayouts = layouts;
+    cfg.jobs = static_cast<u32>(state.range(0));
+    interferometry::Campaign camp(
+        workloads::specFor("445.gobmk").profile, cfg);
+    for (auto _ : state) {
+        auto samples = camp.measureLayouts(0, layouts);
+        benchmark::DoNotOptimize(samples.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            layouts);
+}
+BENCHMARK(BM_CampaignMeasureLayouts)
+    ->Apply(JobsArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Pure fan-out/join cost of parallelFor over trivial tasks: the fixed
+ * price a batch pays for using the pool at all. items = indices.
+ */
+void
+BM_ParallelForDispatch(benchmark::State &state)
+{
+    const size_t n = 1024;
+    exec::ThreadPool pool(static_cast<u32>(state.range(0)));
+    std::vector<u64> out(n);
+    for (auto _ : state) {
+        exec::parallelFor(pool, n,
+                          [&out](size_t i) { out[i] = i * i; });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForDispatch)->Apply(JobsArgs)->UseRealTime();
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -154,16 +154,8 @@ bench-build/CMakeFiles/bench_ablation_machine.dir/bench_ablation_machine.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hh \
- /root/repo/src/interferometry/campaign.hh /usr/include/c++/12/vector \
+ /root/repo/src/interferometry/campaign.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/runner.hh \
- /root/repo/src/core/noise.hh /root/repo/src/util/random.hh \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/util/types.hh /root/repo/src/core/timing.hh \
- /root/repo/src/bpred/btb.hh /root/repo/src/bpred/ras.hh \
- /root/repo/src/bpred/predictor.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -203,19 +195,48 @@ bench-build/CMakeFiles/bench_ablation_machine.dir/bench_ablation_machine.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/cache/hierarchy.hh /root/repo/src/cache/cache.hh \
- /root/repo/src/core/config.hh /root/repo/src/layout/heap.hh \
- /root/repo/src/trace/program.hh /root/repo/src/layout/pagemap.hh \
- /root/repo/src/layout/linker.hh /root/repo/src/pmu/pmu.hh \
- /root/repo/src/trace/trace.hh /root/repo/src/trace/generator.hh \
- /root/repo/src/workloads/profile.hh /root/repo/src/util/logging.hh \
- /root/repo/src/util/options.hh /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/runner.hh \
+ /root/repo/src/core/noise.hh /root/repo/src/util/random.hh \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/util/types.hh /root/repo/src/core/timing.hh \
+ /root/repo/src/bpred/btb.hh /root/repo/src/bpred/ras.hh \
+ /root/repo/src/bpred/predictor.hh /root/repo/src/cache/hierarchy.hh \
+ /root/repo/src/cache/cache.hh /root/repo/src/core/config.hh \
+ /root/repo/src/layout/heap.hh /root/repo/src/trace/program.hh \
+ /root/repo/src/layout/pagemap.hh /root/repo/src/layout/linker.hh \
+ /root/repo/src/pmu/pmu.hh /root/repo/src/trace/trace.hh \
+ /root/repo/src/exec/threadpool.hh /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/trace/generator.hh /root/repo/src/workloads/profile.hh \
+ /root/repo/src/util/logging.hh /root/repo/src/util/options.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/interferometry/model.hh \
  /root/repo/src/stats/hypothesis.hh /root/repo/src/stats/regression.hh \
  /root/repo/src/stats/descriptive.hh /root/repo/src/util/table.hh \

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/noise.cc" "src/CMakeFiles/interf.dir/core/noise.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/noise.cc.o.d"
   "/root/repo/src/core/runner.cc" "src/CMakeFiles/interf.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/runner.cc.o.d"
   "/root/repo/src/core/timing.cc" "src/CMakeFiles/interf.dir/core/timing.cc.o" "gcc" "src/CMakeFiles/interf.dir/core/timing.cc.o.d"
+  "/root/repo/src/exec/threadpool.cc" "src/CMakeFiles/interf.dir/exec/threadpool.cc.o" "gcc" "src/CMakeFiles/interf.dir/exec/threadpool.cc.o.d"
   "/root/repo/src/interferometry/campaign.cc" "src/CMakeFiles/interf.dir/interferometry/campaign.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/campaign.cc.o.d"
   "/root/repo/src/interferometry/model.cc" "src/CMakeFiles/interf.dir/interferometry/model.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/model.cc.o.d"
   "/root/repo/src/interferometry/predict.cc" "src/CMakeFiles/interf.dir/interferometry/predict.cc.o" "gcc" "src/CMakeFiles/interf.dir/interferometry/predict.cc.o.d"

@@ -42,6 +42,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/interf_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_runner.cc.o.d"
   "/root/repo/tests/test_spec.cc" "tests/CMakeFiles/interf_tests.dir/test_spec.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_spec.cc.o.d"
   "/root/repo/tests/test_table.cc" "tests/CMakeFiles/interf_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_threadpool.cc" "tests/CMakeFiles/interf_tests.dir/test_threadpool.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_threadpool.cc.o.d"
   "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/interf_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_timing.cc.o.d"
   "/root/repo/tests/test_trace_io.cc" "tests/CMakeFiles/interf_tests.dir/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_trace_io.cc.o.d"
   "/root/repo/tests/test_twolevel.cc" "tests/CMakeFiles/interf_tests.dir/test_twolevel.cc.o" "gcc" "tests/CMakeFiles/interf_tests.dir/test_twolevel.cc.o.d"

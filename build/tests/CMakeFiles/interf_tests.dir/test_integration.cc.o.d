@@ -325,8 +325,19 @@ tests/CMakeFiles/interf_tests.dir/test_integration.cc.o: \
  /root/repo/src/core/config.hh /root/repo/src/layout/heap.hh \
  /root/repo/src/trace/program.hh /root/repo/src/layout/pagemap.hh \
  /root/repo/src/layout/linker.hh /root/repo/src/pmu/pmu.hh \
- /root/repo/src/trace/trace.hh /root/repo/src/trace/generator.hh \
- /root/repo/src/workloads/profile.hh \
+ /root/repo/src/trace/trace.hh /root/repo/src/exec/threadpool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/trace/generator.hh /root/repo/src/workloads/profile.hh \
  /root/repo/src/interferometry/model.hh \
  /root/repo/src/stats/hypothesis.hh /root/repo/src/stats/regression.hh \
  /root/repo/src/interferometry/predict.hh /root/repo/src/pinsim/pinsim.hh \

@@ -81,12 +81,14 @@ int
 main(int argc, char **argv)
 {
     u32 layouts = argc > 1 ? std::atoi(argv[1]) : 40;
+    u32 jobs = argc > 2 ? std::atoi(argv[2]) : 0;
 
     auto profile = kvStoreProfile();
     CampaignConfig cfg;
     cfg.instructionBudget = 400000;
     cfg.initialLayouts = layouts;
     cfg.maxLayouts = layouts * 3; // allow paper-style escalation
+    cfg.jobs = jobs; // 0 = all cores; results identical at any value
     Campaign campaign(profile, cfg);
 
     std::cout << "Custom workload '" << profile.name << "': "

@@ -10,7 +10,7 @@
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart [benchmark] [layouts]
+ *   ./build/examples/quickstart [benchmark] [layouts] [jobs]
  */
 
 #include <cstdlib>
@@ -31,6 +31,7 @@ main(int argc, char **argv)
 {
     std::string benchmark = argc > 1 ? argv[1] : "400.perlbench";
     u32 layouts = argc > 2 ? std::atoi(argv[2]) : 30;
+    u32 jobs = argc > 3 ? std::atoi(argv[3]) : 0; // 0 = all cores
 
     // 1. The benchmark: a profile describing its branch and memory
     //    character, from which the static program and its dynamic
@@ -45,6 +46,9 @@ main(int argc, char **argv)
     config.instructionBudget = 300000;
     config.initialLayouts = layouts;
     config.maxLayouts = layouts;
+    // Layouts are measured in parallel; the samples are byte-identical
+    // at any worker count, so this is purely a wall-clock knob.
+    config.jobs = jobs;
     Campaign campaign(spec.profile, config);
     auto samples = campaign.measureLayouts(0, layouts);
 

@@ -31,8 +31,32 @@ MeasurementRunner::measure(const trace::Program &prog,
                            const layout::HeapLayout &heap,
                            const layout::PageMap &pages, u64 noise_seed)
 {
-    lastTrue_ = machine_.run(prog, trace, code, heap, pages);
-    const RunResult &truth = lastTrue_;
+    return measureWithTruth(prog, trace, code, heap, pages, noise_seed)
+        .sample;
+}
+
+MeasuredRun
+MeasurementRunner::measureWithTruth(const trace::Program &prog,
+                                    const trace::Trace &trace,
+                                    const layout::CodeLayout &code,
+                                    const layout::HeapLayout &heap,
+                                    u64 noise_seed)
+{
+    return measureWithTruth(prog, trace, code, heap, layout::PageMap(),
+                            noise_seed);
+}
+
+MeasuredRun
+MeasurementRunner::measureWithTruth(const trace::Program &prog,
+                                    const trace::Trace &trace,
+                                    const layout::CodeLayout &code,
+                                    const layout::HeapLayout &heap,
+                                    const layout::PageMap &pages,
+                                    u64 noise_seed)
+{
+    MeasuredRun out;
+    out.truth = machine_.run(prog, trace, code, heap, pages);
+    const RunResult &truth = out.truth;
     NoiseModel noise(cfg_.noise, noise_seed);
 
     auto groups = pmu::standardGroups();
@@ -71,7 +95,7 @@ MeasurementRunner::measure(const trace::Program &prog,
         }
     };
 
-    Measurement m;
+    Measurement &m = out.sample;
     m.layoutSeed = noise_seed;
     m.instructions = truth.instructions;
 
@@ -113,7 +137,7 @@ MeasurementRunner::measure(const trace::Program &prog,
             panic("unexpected group index %u", g);
         }
     }
-    return m;
+    return out;
 }
 
 } // namespace interf::core

@@ -62,7 +62,21 @@ struct RunnerConfig
     NoiseConfig noise;
 };
 
-/** Executes the three-group, median-of-five measurement protocol. */
+/** A measurement paired with its deterministic (noise-free) truth. */
+struct MeasuredRun
+{
+    Measurement sample; ///< What the counter protocol reports.
+    RunResult truth;    ///< What the machine actually did (pre-noise).
+};
+
+/**
+ * Executes the three-group, median-of-five measurement protocol.
+ *
+ * A runner keeps no per-measurement state — everything a call produces
+ * is in its return value — but it owns a mutable Machine, so one runner
+ * must not be shared across threads. Parallel campaigns give each
+ * worker its own runner (see interferometry::Campaign).
+ */
 class MeasurementRunner
 {
   public:
@@ -88,13 +102,24 @@ class MeasurementRunner
                         const layout::HeapLayout &heap,
                         const layout::PageMap &pages, u64 noise_seed);
 
-    /** The deterministic (noise-free) result of the last measure(). */
-    const RunResult &lastTrueResult() const { return lastTrue_; }
+    /** @{ As measure(), also returning the noise-free ground truth. */
+    MeasuredRun measureWithTruth(const trace::Program &prog,
+                                 const trace::Trace &trace,
+                                 const layout::CodeLayout &code,
+                                 const layout::HeapLayout &heap,
+                                 u64 noise_seed);
+
+    MeasuredRun measureWithTruth(const trace::Program &prog,
+                                 const trace::Trace &trace,
+                                 const layout::CodeLayout &code,
+                                 const layout::HeapLayout &heap,
+                                 const layout::PageMap &pages,
+                                 u64 noise_seed);
+    /** @} */
 
   private:
     Machine machine_;
     RunnerConfig cfg_;
-    RunResult lastTrue_;
 };
 
 } // namespace interf::core

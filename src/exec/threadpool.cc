@@ -1,0 +1,128 @@
+#include "exec/threadpool.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/logging.hh"
+
+namespace interf::exec
+{
+
+u32
+ThreadPool::hardwareWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+u32
+ThreadPool::resolveJobs(u32 jobs)
+{
+    return jobs == 0 ? hardwareWorkers() : jobs;
+}
+
+ThreadPool::ThreadPool(u32 workers)
+{
+    u32 count = resolveJobs(workers);
+    threads_.reserve(count);
+    for (u32 i = 0; i < count; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock,
+                            [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelForChunks(ThreadPool &pool, size_t n,
+                  const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const size_t chunks = std::min<size_t>(pool.workers(), n);
+    if (chunks <= 1) {
+        body(0, n);
+        return;
+    }
+    // Static partition: chunk c covers [begin, end) with sizes differing
+    // by at most one; boundaries depend only on (n, chunks).
+    std::vector<std::exception_ptr> errors(chunks);
+    const size_t base = n / chunks;
+    const size_t extra = n % chunks;
+    size_t begin = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+        const size_t end = begin + base + (c < extra ? 1 : 0);
+        pool.submit([&body, &errors, c, begin, end] {
+            try {
+                body(begin, end);
+            } catch (...) {
+                errors[c] = std::current_exception();
+            }
+        });
+        begin = end;
+    }
+    INTERF_ASSERT(begin == n);
+    pool.wait();
+    for (auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+void
+parallelFor(ThreadPool &pool, size_t n,
+            const std::function<void(size_t)> &body)
+{
+    parallelForChunks(pool, n, [&body](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+    });
+}
+
+} // namespace interf::exec

@@ -46,19 +46,37 @@ Campaign::pageMapFor(u32 index) const
     return layout::PageMap(cfg_.layoutSeedBase + index);
 }
 
+core::Measurement
+Campaign::measureOne(core::MeasurementRunner &runner, u32 index) const
+{
+    layout::CodeLayout code = codeLayoutFor(index);
+    layout::HeapLayout heap = heapLayoutFor(index);
+    return runner.measure(program_, trace_, code, heap,
+                          pageMapFor(index), cfg_.layoutSeedBase + index);
+}
+
 std::vector<core::Measurement>
 Campaign::measureLayouts(u32 first, u32 count)
 {
-    std::vector<core::Measurement> out;
-    out.reserve(count);
-    for (u32 i = first; i < first + count; ++i) {
-        layout::CodeLayout code = codeLayoutFor(i);
-        layout::HeapLayout heap = heapLayoutFor(i);
-        core::Measurement m = runner_.measure(
-            program_, trace_, code, heap, pageMapFor(i),
-            cfg_.layoutSeedBase + i);
-        out.push_back(m);
+    std::vector<core::Measurement> out(count);
+    const u32 jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
+    if (jobs <= 1 || count <= 1) {
+        for (u32 k = 0; k < count; ++k)
+            out[k] = measureOne(runner_, first + k);
+        return out;
     }
+    if (!pool_ || pool_->workers() != jobs)
+        pool_ = std::make_unique<exec::ThreadPool>(jobs);
+    // Workers share the immutable Program/Trace and own everything
+    // mutable: a fresh MeasurementRunner (Machine) per chunk plus the
+    // per-layout code/heap/page state derived inside measureOne. Slot k
+    // always holds layout first + k, so scheduling cannot reorder or
+    // otherwise perturb the samples.
+    exec::parallelForChunks(*pool_, count, [&](size_t begin, size_t end) {
+        core::MeasurementRunner runner(cfg_.machine, cfg_.runner);
+        for (size_t k = begin; k < end; ++k)
+            out[k] = measureOne(runner, first + static_cast<u32>(k));
+    });
     return out;
 }
 
@@ -66,22 +84,25 @@ CampaignResult
 Campaign::run()
 {
     CampaignResult res;
+    res.samples.reserve(cfg_.maxLayouts);
+    // Escalation appends: the regression inputs grow with each batch
+    // instead of being rebuilt from res.samples every round.
+    std::vector<double> mpki, cpi;
+    mpki.reserve(cfg_.maxLayouts);
+    cpi.reserve(cfg_.maxLayouts);
     u32 next = 0;
     u32 batch = cfg_.initialLayouts;
     while (next < cfg_.maxLayouts) {
         u32 count = std::min(batch, cfg_.maxLayouts - next);
         auto batch_samples = measureLayouts(next, count);
+        for (const auto &m : batch_samples) {
+            mpki.push_back(m.mpki);
+            cpi.push_back(m.cpi);
+        }
         res.samples.insert(res.samples.end(), batch_samples.begin(),
                            batch_samples.end());
         next += count;
 
-        std::vector<double> mpki, cpi;
-        mpki.reserve(res.samples.size());
-        cpi.reserve(res.samples.size());
-        for (const auto &m : res.samples) {
-            mpki.push_back(m.mpki);
-            cpi.push_back(m.cpi);
-        }
         auto test = stats::correlationTTest(mpki, cpi);
         double mean_mpki = stats::mean(mpki);
         double cv = mean_mpki > 0.0

@@ -17,9 +17,11 @@
 #ifndef INTERF_INTERFEROMETRY_CAMPAIGN_HH
 #define INTERF_INTERFEROMETRY_CAMPAIGN_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/runner.hh"
+#include "exec/threadpool.hh"
 #include "layout/heap.hh"
 #include "layout/linker.hh"
 #include "layout/pagemap.hh"
@@ -46,6 +48,14 @@ struct CampaignConfig
      */
     double minMpkiCv = 0.0025;
     bool randomizeHeap = false; ///< Figure-3 mode (DieHard allocator).
+    /**
+     * Worker threads for measureLayouts: 0 = one per hardware thread,
+     * 1 = serial on the calling thread. Layouts are measured from
+     * power-on state with per-worker machines and results land in
+     * layout-indexed slots, so every value of jobs produces
+     * byte-identical samples (see tests/test_campaign.cc).
+     */
+    u32 jobs = 0;
     /** Model physically-indexed L2 placement (per-layout page maps).
      *  Disable to ablate: a virtually-indexed L2 loses its placement
      *  sensitivity entirely. */
@@ -78,7 +88,16 @@ class Campaign
     /** The escalation loop of Section 6.3. */
     CampaignResult run();
 
-    /** Measure layouts [first, first + count) without any testing. */
+    /**
+     * Measure layouts [first, first + count) without any testing.
+     *
+     * Fans the layouts out to config().jobs worker threads: the index
+     * range is split into contiguous chunks, each worker owns its own
+     * MeasurementRunner (hence Machine) and derives layout, heap and
+     * page map from the shared immutable Program/Trace, and sample i
+     * lands in slot i — so the result is identical to the serial path
+     * for any jobs value.
+     */
     std::vector<core::Measurement> measureLayouts(u32 first, u32 count);
 
     /** The static program (built once per campaign). */
@@ -103,12 +122,17 @@ class Campaign
     const CampaignConfig &config() const { return cfg_; }
 
   private:
+    /** Link, derive and measure layout @p index with @p runner. */
+    core::Measurement measureOne(core::MeasurementRunner &runner,
+                                 u32 index) const;
+
     workloads::WorkloadProfile profile_;
     CampaignConfig cfg_;
     trace::Program program_;
     trace::Trace trace_;
     layout::Linker linker_;
-    core::MeasurementRunner runner_;
+    core::MeasurementRunner runner_; ///< Serial path (jobs == 1).
+    std::unique_ptr<exec::ThreadPool> pool_; ///< Lazily sized to jobs.
 };
 
 } // namespace interf::interferometry

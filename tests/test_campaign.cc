@@ -144,6 +144,90 @@ TEST(Campaign, NoDataDiscardedOnEscalation)
     }
 }
 
+void
+expectSamplesIdentical(const std::vector<core::Measurement> &a,
+                       const std::vector<core::Measurement> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].layoutSeed, b[i].layoutSeed) << "sample " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "sample " << i;
+        EXPECT_EQ(a[i].instructions, b[i].instructions) << "sample " << i;
+        EXPECT_EQ(a[i].condBranches, b[i].condBranches) << "sample " << i;
+        EXPECT_EQ(a[i].mispredicts, b[i].mispredicts) << "sample " << i;
+        EXPECT_EQ(a[i].l1iMisses, b[i].l1iMisses) << "sample " << i;
+        EXPECT_EQ(a[i].l1dMisses, b[i].l1dMisses) << "sample " << i;
+        EXPECT_EQ(a[i].l2Misses, b[i].l2Misses) << "sample " << i;
+        EXPECT_EQ(a[i].btbMisses, b[i].btbMisses) << "sample " << i;
+        // Doubles compared with ==: the parallel path must be
+        // bit-identical, not merely close.
+        EXPECT_EQ(a[i].cpi, b[i].cpi) << "sample " << i;
+        EXPECT_EQ(a[i].mpki, b[i].mpki) << "sample " << i;
+        EXPECT_EQ(a[i].l1iMpki, b[i].l1iMpki) << "sample " << i;
+        EXPECT_EQ(a[i].l1dMpki, b[i].l1dMpki) << "sample " << i;
+        EXPECT_EQ(a[i].l2Mpki, b[i].l2Mpki) << "sample " << i;
+        EXPECT_EQ(a[i].btbMpki, b[i].btbMpki) << "sample " << i;
+    }
+}
+
+TEST(Campaign, ParallelMatchesSerialBitForBit)
+{
+    // The determinism regression the executor guarantees: jobs=1 and
+    // jobs=8 produce seed-for-seed identical samples on all counters.
+    auto profile = workloads::defaultProfile("camp");
+    auto serial_cfg = quickConfig(12);
+    serial_cfg.jobs = 1;
+    auto parallel_cfg = quickConfig(12);
+    parallel_cfg.jobs = 8;
+    Campaign serial(profile, serial_cfg);
+    Campaign parallel(profile, parallel_cfg);
+    expectSamplesIdentical(serial.measureLayouts(0, 12),
+                           parallel.measureLayouts(0, 12));
+}
+
+TEST(Campaign, ParallelMatchesSerialWithHeapAndPages)
+{
+    // Same guarantee with every per-layout degree of freedom enabled
+    // (randomized heap + physical page maps).
+    auto profile = workloads::defaultProfile("camp");
+    auto cfg = quickConfig(10);
+    cfg.randomizeHeap = true;
+    cfg.physicalPages = true;
+    auto serial_cfg = cfg;
+    serial_cfg.jobs = 1;
+    auto parallel_cfg = cfg;
+    parallel_cfg.jobs = 8;
+    Campaign serial(profile, serial_cfg);
+    Campaign parallel(profile, parallel_cfg);
+    expectSamplesIdentical(serial.measureLayouts(0, 10),
+                           parallel.measureLayouts(0, 10));
+}
+
+TEST(Campaign, RunEscalatesIdenticallyUnderParallelism)
+{
+    // The full escalation loop (which reuses the pool across batches)
+    // reaches the same verdict and samples at any worker count.
+    auto spec = workloads::specFor("470.lbm");
+    CampaignConfig cfg;
+    cfg.instructionBudget = 60000;
+    cfg.initialLayouts = 6;
+    cfg.escalationStep = 6;
+    cfg.maxLayouts = 18;
+    auto serial_cfg = cfg;
+    serial_cfg.jobs = 1;
+    auto parallel_cfg = cfg;
+    parallel_cfg.jobs = 8;
+    Campaign serial(spec.profile, serial_cfg);
+    Campaign parallel(spec.profile, parallel_cfg);
+    auto ra = serial.run();
+    auto rb = parallel.run();
+    EXPECT_EQ(ra.significant, rb.significant);
+    EXPECT_EQ(ra.enoughMpkiRange, rb.enoughMpkiRange);
+    EXPECT_EQ(ra.layoutsUsed, rb.layoutsUsed);
+    EXPECT_GT(rb.layoutsUsed, cfg.initialLayouts); // escalation happened
+    expectSamplesIdentical(ra.samples, rb.samples);
+}
+
 TEST(Campaign, TraceSharedAcrossLayouts)
 {
     Campaign camp(workloads::defaultProfile("camp"), quickConfig());

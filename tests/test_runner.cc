@@ -46,8 +46,9 @@ TEST(Runner, NoiselessMeasurementMatchesTruth)
     rc.noise = NoiseConfig::none();
     MeasurementRunner runner(MachineConfig::xeonE5440(), rc);
     auto &f = fixture();
-    auto m = runner.measure(f.prog, f.trace, f.code, f.heap, 1);
-    const auto &truth = runner.lastTrueResult();
+    auto run = runner.measureWithTruth(f.prog, f.trace, f.code, f.heap, 1);
+    const auto &m = run.sample;
+    const auto &truth = run.truth;
     EXPECT_EQ(m.cycles, truth.cycles);
     EXPECT_EQ(m.instructions, truth.instructions);
     EXPECT_EQ(m.mispredicts, truth.mispredicts);
