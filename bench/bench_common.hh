@@ -26,6 +26,7 @@ struct Scale
     u32 layouts = 40;
     u64 instructions = 300000;
     u32 jobs = 0; ///< Measurement worker threads (0 = all hardware).
+    std::string storeDir; ///< Campaign artifact store (empty = off).
     std::string csvPath;
     std::string only; ///< Restrict to benchmarks containing this text.
 };
@@ -43,6 +44,11 @@ addScaleOptions(OptionParser &opts, u32 default_layouts = 40,
                 "worker threads for layout measurement (0 = one per "
                 "hardware thread, 1 = serial); results are identical "
                 "for any value");
+    opts.addString("store", "",
+                   "campaign artifact store directory: measured "
+                   "batches are checkpointed there and reruns load "
+                   "byte-identical samples instead of re-measuring "
+                   "(empty = off)");
     opts.addString("csv", "", "also write results to this CSV file");
     opts.addString("only", "",
                    "restrict to benchmarks whose name contains this");
@@ -55,6 +61,7 @@ readScale(const OptionParser &opts)
     Scale s;
     s.layouts = static_cast<u32>(opts.getInt("layouts"));
     s.instructions = static_cast<u64>(opts.getInt("instructions"));
+    s.storeDir = opts.getString("store");
     s.csvPath = opts.getString("csv");
     s.only = opts.getString("only");
     if (s.layouts < 1)
@@ -76,6 +83,7 @@ campaignConfig(const Scale &scale)
     cfg.initialLayouts = scale.layouts;
     cfg.maxLayouts = scale.layouts;
     cfg.jobs = scale.jobs;
+    cfg.storeDir = scale.storeDir;
     return cfg;
 }
 

@@ -10,7 +10,11 @@
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart [benchmark] [layouts] [jobs]
+ *   ./build/examples/quickstart [benchmark] [layouts] [jobs] [storedir]
+ *
+ * Pass a store directory to checkpoint the campaign: rerunning the
+ * same command then loads every sample from disk (byte-identical, zero
+ * new measurements) instead of re-measuring.
  */
 
 #include <cstdlib>
@@ -32,6 +36,7 @@ main(int argc, char **argv)
     std::string benchmark = argc > 1 ? argv[1] : "400.perlbench";
     u32 layouts = argc > 2 ? std::atoi(argv[2]) : 30;
     u32 jobs = argc > 3 ? std::atoi(argv[3]) : 0; // 0 = all cores
+    std::string store_dir = argc > 4 ? argv[4] : "";
 
     // 1. The benchmark: a profile describing its branch and memory
     //    character, from which the static program and its dynamic
@@ -49,11 +54,19 @@ main(int argc, char **argv)
     // Layouts are measured in parallel; the samples are byte-identical
     // at any worker count, so this is purely a wall-clock knob.
     config.jobs = jobs;
+    // With a store, completed batches are checkpointed on disk and
+    // reruns of the same configuration are pure cache hits.
+    config.storeDir = store_dir;
     Campaign campaign(spec.profile, config);
     auto samples = campaign.measureLayouts(0, layouts);
 
     std::cout << benchmark << ": measured " << samples.size()
-              << " semantically identical executables\n";
+              << " semantically identical executables";
+    if (!store_dir.empty())
+        std::cout << " (" << campaign.cachedLayouts()
+                  << " from the store, " << campaign.measuredLayouts()
+                  << " fresh)";
+    std::cout << '\n';
     for (u32 i = 0; i < 3; ++i)
         std::cout << "  layout " << i << ": CPI "
                   << strprintf("%.4f", samples[i].cpi) << ", MPKI "

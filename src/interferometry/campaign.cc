@@ -1,7 +1,10 @@
 #include "interferometry/campaign.hh"
 
+#include <algorithm>
+
 #include "stats/descriptive.hh"
 #include "stats/hypothesis.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 #include "workloads/builder.hh"
 
@@ -19,6 +22,24 @@ Campaign::Campaign(const workloads::WorkloadProfile &profile,
     trace::TraceGenerator gen(program_, profile.behaviourSeed);
     trace_ = gen.makeTrace(cfg_.instructionBudget);
     trace_.validate(program_);
+}
+
+Campaign::~Campaign() = default;
+
+store::CampaignStore *
+Campaign::store()
+{
+    if (!storeOpened_) {
+        storeOpened_ = true;
+        if (!cfg_.storeDir.empty()) {
+            store_ = std::make_unique<store::CampaignStore>(
+                cfg_.storeDir,
+                store::campaignKey(program_, profile_.behaviourSeed,
+                                   cfg_));
+            cached_ = store_->loadSamples();
+        }
+    }
+    return store_.get();
 }
 
 layout::CodeLayout
@@ -55,28 +76,60 @@ Campaign::measureOne(core::MeasurementRunner &runner, u32 index) const
                           pageMapFor(index), cfg_.layoutSeedBase + index);
 }
 
-std::vector<core::Measurement>
-Campaign::measureLayouts(u32 first, u32 count)
+void
+Campaign::measureRange(u32 first, u32 count,
+                       std::vector<core::Measurement> &out,
+                       u32 out_offset)
 {
-    std::vector<core::Measurement> out(count);
     const u32 jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
     if (jobs <= 1 || count <= 1) {
         for (u32 k = 0; k < count; ++k)
-            out[k] = measureOne(runner_, first + k);
-        return out;
+            out[out_offset + k] = measureOne(runner_, first + k);
+        return;
     }
     if (!pool_ || pool_->workers() != jobs)
         pool_ = std::make_unique<exec::ThreadPool>(jobs);
     // Workers share the immutable Program/Trace and own everything
     // mutable: a fresh MeasurementRunner (Machine) per chunk plus the
-    // per-layout code/heap/page state derived inside measureOne. Slot k
-    // always holds layout first + k, so scheduling cannot reorder or
-    // otherwise perturb the samples.
+    // per-layout code/heap/page state derived inside measureOne. Slot
+    // out_offset + k always holds layout first + k, so scheduling
+    // cannot reorder or otherwise perturb the samples.
     exec::parallelForChunks(*pool_, count, [&](size_t begin, size_t end) {
         core::MeasurementRunner runner(cfg_.machine, cfg_.runner);
         for (size_t k = begin; k < end; ++k)
-            out[k] = measureOne(runner, first + static_cast<u32>(k));
+            out[out_offset + k] =
+                measureOne(runner, first + static_cast<u32>(k));
     });
+}
+
+std::vector<core::Measurement>
+Campaign::measureLayouts(u32 first, u32 count)
+{
+    std::vector<core::Measurement> out(count);
+    auto *st = store();
+
+    // Serve the prefix that overlaps the store's persisted samples.
+    u32 have = 0;
+    if (st && first < cached_.size()) {
+        have = std::min(count, static_cast<u32>(cached_.size()) - first);
+        std::copy_n(cached_.begin() + first, have, out.begin());
+    }
+    cachedLayouts_ += have;
+    measuredLayouts_ += count - have;
+    if (have == count)
+        return out;
+
+    measureRange(first + have, count - have, out, have);
+
+    // Checkpoint the fresh samples if they extend the persisted prefix
+    // contiguously; a gap (a caller jumping ahead of the store) is
+    // measured but not persisted, since resume relies on contiguity.
+    if (st && first + have == st->storedCount()) {
+        std::vector<core::Measurement> fresh(out.begin() + have,
+                                             out.end());
+        st->appendBatch(first + have, fresh);
+        cached_.insert(cached_.end(), fresh.begin(), fresh.end());
+    }
     return out;
 }
 
@@ -85,6 +138,8 @@ Campaign::run()
 {
     CampaignResult res;
     res.samples.reserve(cfg_.maxLayouts);
+    const u32 measured_before = measuredLayouts_;
+    const u32 cached_before = cachedLayouts_;
     // Escalation appends: the regression inputs grow with each batch
     // instead of being rebuilt from res.samples every round.
     std::vector<double> mpki, cpi;
@@ -116,6 +171,8 @@ Campaign::run()
         batch = cfg_.escalationStep;
     }
     res.layoutsUsed = next;
+    res.measuredLayouts = measuredLayouts_ - measured_before;
+    res.cachedLayouts = cachedLayouts_ - cached_before;
     return res;
 }
 

@@ -18,6 +18,7 @@
 #define INTERF_INTERFEROMETRY_CAMPAIGN_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/runner.hh"
@@ -27,6 +28,11 @@
 #include "layout/pagemap.hh"
 #include "trace/generator.hh"
 #include "workloads/profile.hh"
+
+namespace interf::store
+{
+class CampaignStore;
+}
 
 namespace interf::interferometry
 {
@@ -61,6 +67,16 @@ struct CampaignConfig
      *  sensitivity entirely. */
     bool physicalPages = true;
     u64 layoutSeedBase = 1000;  ///< Layout i uses seed base + i.
+    /**
+     * Root of the on-disk campaign artifact store (see store/store.hh);
+     * empty disables persistence entirely. With a store, measured
+     * batches are checkpointed as they complete and already-persisted
+     * layouts are served from disk instead of re-measured, so a killed
+     * campaign resumes at the first unmeasured batch and a repeated
+     * campaign is a pure cache hit with byte-identical samples. Like
+     * jobs, this knob cannot change a single sample's bytes.
+     */
+    std::string storeDir;
     core::MachineConfig machine = core::MachineConfig::xeonE5440();
     core::RunnerConfig runner;
 };
@@ -72,6 +88,12 @@ struct CampaignResult
     bool significant = false; ///< CPI~MPKI t-test at alpha + range gate.
     bool enoughMpkiRange = true; ///< False: "not enough range of MPKI".
     u32 layoutsUsed = 0;
+    /** @{ Where this run's samples came from: freshly measured vs
+     *  loaded from the artifact store. A repeated campaign with a warm
+     *  store reports measuredLayouts == 0 (a pure cache hit). */
+    u32 measuredLayouts = 0;
+    u32 cachedLayouts = 0;
+    /** @} */
 };
 
 /**
@@ -84,6 +106,7 @@ class Campaign
   public:
     Campaign(const workloads::WorkloadProfile &profile,
              const CampaignConfig &config);
+    ~Campaign();
 
     /** The escalation loop of Section 6.3. */
     CampaignResult run();
@@ -97,8 +120,19 @@ class Campaign
      * page map from the shared immutable Program/Trace, and sample i
      * lands in slot i — so the result is identical to the serial path
      * for any jobs value.
+     *
+     * With config().storeDir set, layouts already persisted under this
+     * campaign's key are loaded instead of re-measured, and freshly
+     * measured layouts extending the persisted prefix are checkpointed
+     * before returning. Both paths return byte-identical samples.
      */
     std::vector<core::Measurement> measureLayouts(u32 first, u32 count);
+
+    /** @{ Lifetime tallies of where samples came from (store hits vs
+     *  actual measurements); run() reports per-run deltas of these. */
+    u32 measuredLayouts() const { return measuredLayouts_; }
+    u32 cachedLayouts() const { return cachedLayouts_; }
+    /** @} */
 
     /** The static program (built once per campaign). */
     const trace::Program &program() const { return program_; }
@@ -126,6 +160,17 @@ class Campaign
     core::Measurement measureOne(core::MeasurementRunner &runner,
                                  u32 index) const;
 
+    /** Measure [first, first + count) into @p out at @p out_offset. */
+    void measureRange(u32 first, u32 count,
+                      std::vector<core::Measurement> &out,
+                      u32 out_offset);
+
+    /**
+     * The artifact store for this campaign's key, opened (and its
+     * samples loaded) on first use; nullptr when storeDir is empty.
+     */
+    store::CampaignStore *store();
+
     workloads::WorkloadProfile profile_;
     CampaignConfig cfg_;
     trace::Program program_;
@@ -133,6 +178,11 @@ class Campaign
     layout::Linker linker_;
     core::MeasurementRunner runner_; ///< Serial path (jobs == 1).
     std::unique_ptr<exec::ThreadPool> pool_; ///< Lazily sized to jobs.
+    std::unique_ptr<store::CampaignStore> store_; ///< See store().
+    bool storeOpened_ = false;
+    std::vector<core::Measurement> cached_; ///< Store's samples [0, n).
+    u32 measuredLayouts_ = 0;
+    u32 cachedLayouts_ = 0;
 };
 
 } // namespace interf::interferometry

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary serialization of measurement samples.
+ *
+ * Measurements are written field by field in a fixed order rather than
+ * as raw structs, so the on-disk format is independent of padding and
+ * of future reordering of the Measurement definition; any layout change
+ * that matters must be an explicit format-version bump. samplesChecksum
+ * digests exactly the serialized fields, so a store can verify a
+ * payload without trusting anything but the bytes it just read.
+ */
+
+#ifndef INTERF_STORE_SERIALIZE_HH
+#define INTERF_STORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace interf::store
+{
+
+/** Write one measurement's fields in canonical order. */
+void writeMeasurement(std::ostream &os, const core::Measurement &m);
+
+/** Read one measurement; caller checks the stream state afterwards. */
+core::Measurement readMeasurement(std::istream &is);
+
+/** Write a sample vector (fields only; framing is the store's job). */
+void writeSamples(std::ostream &os,
+                  const std::vector<core::Measurement> &samples);
+
+/**
+ * Read @p count measurements. The stream's fail state is the only error
+ * signal: a short read leaves it failed and the result unusable.
+ */
+std::vector<core::Measurement> readSamples(std::istream &is, u32 count);
+
+/** Order-sensitive digest of every field of every sample. */
+u64 samplesChecksum(const std::vector<core::Measurement> &samples);
+
+} // namespace interf::store
+
+#endif // INTERF_STORE_SERIALIZE_HH

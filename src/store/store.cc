@@ -1,0 +1,316 @@
+#include "store/store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "store/serialize.hh"
+#include "trace/io.hh"
+#include "util/digest.hh"
+#include "util/logging.hh"
+
+namespace interf::store
+{
+
+namespace
+{
+
+constexpr u64 kManifestMagic = 0x494e54465253544dULL; // "INTFRSTM"
+constexpr u64 kBatchMagic = 0x494e544652535442ULL;    // "INTFRSTB"
+constexpr u32 kFormatVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+/** Digest that seals a manifest: header plus every batch entry. */
+u64
+manifestDigest(u64 key, const std::vector<BatchInfo> &batches)
+{
+    Digest d;
+    d.mix(kManifestMagic);
+    d.mix(kFormatVersion);
+    d.mix(key);
+    d.mix(batches.size());
+    for (const auto &b : batches) {
+        d.mix(b.first);
+        d.mix(b.count);
+        d.mix(b.checksum);
+    }
+    return d.value();
+}
+
+/** Rename @p tmp onto @p path or die; the POSIX rename is atomic. */
+void
+commitFile(const std::string &tmp, const std::string &path)
+{
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot commit store file '%s'", path.c_str());
+}
+
+void
+mixMachine(Digest &d, const core::MachineConfig &m)
+{
+    d.mixString(m.name);
+    d.mix(m.width);
+    d.mix(m.frontendDepth);
+    d.mix(m.robSize);
+    d.mix(m.l1Latency);
+    d.mix(m.l2Latency);
+    d.mix(m.memLatency);
+    d.mix(m.maxMlp);
+    d.mixString(m.predictorSpec);
+    d.mix(m.btbSets);
+    d.mix(m.btbWays);
+    d.mix(m.rasDepth);
+    d.mix(m.misfetchPenalty);
+    for (const auto *c :
+         {&m.hierarchy.l1i, &m.hierarchy.l1d, &m.hierarchy.l2}) {
+        d.mixString(c->name);
+        d.mix(c->sizeBytes);
+        d.mix(c->assoc);
+        d.mix(c->lineBytes);
+        d.mix(static_cast<u64>(c->replacement));
+    }
+    d.mixBool(m.hierarchy.nextLinePrefetch);
+    d.mixDouble(m.warmupFraction);
+}
+
+void
+mixRunner(Digest &d, const core::RunnerConfig &r)
+{
+    d.mix(r.runsPerGroup);
+    d.mixDouble(r.noise.jitterSigma);
+    d.mixDouble(r.noise.spikeProb);
+    d.mixDouble(r.noise.spikeMax);
+    d.mixBool(r.noise.quiescent);
+}
+
+} // anonymous namespace
+
+u64
+campaignKey(const trace::Program &prog, u64 behaviour_seed,
+            const interferometry::CampaignConfig &cfg)
+{
+    Digest d;
+    d.mix(kFormatVersion); // A format bump invalidates every entry.
+    d.mix(trace::programChecksum(prog));
+    d.mix(behaviour_seed);
+    d.mix(cfg.instructionBudget);
+    d.mix(cfg.initialLayouts);
+    d.mix(cfg.escalationStep);
+    d.mix(cfg.maxLayouts);
+    d.mixDouble(cfg.alpha);
+    d.mixDouble(cfg.minMpkiCv);
+    d.mixBool(cfg.randomizeHeap);
+    d.mixBool(cfg.physicalPages);
+    d.mix(cfg.layoutSeedBase);
+    mixMachine(d, cfg.machine);
+    mixRunner(d, cfg.runner);
+    // cfg.jobs and cfg.storeDir are intentionally NOT mixed: neither
+    // can change a sample's bytes (see campaignKey's doc comment).
+    return d.value();
+}
+
+CampaignStore::CampaignStore(const std::string &root, u64 key)
+    : key_(key)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(root) / digestHex(key);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create store directory '%s': %s",
+              dir.string().c_str(), ec.message().c_str());
+    dir_ = dir.string();
+    readManifest();
+}
+
+std::string
+CampaignStore::manifestPath() const
+{
+    return dir_ + "/manifest.bin";
+}
+
+std::string
+CampaignStore::batchPath(u32 first) const
+{
+    return dir_ + strprintf("/batch-%08u.bin", first);
+}
+
+void
+CampaignStore::readManifest()
+{
+    std::ifstream is(manifestPath(), std::ios::binary);
+    if (!is)
+        return; // No manifest yet: an empty (cold) store.
+
+    u64 magic = 0, key = 0;
+    u32 version = 0, n_batches = 0;
+    readPod(is, magic);
+    readPod(is, version);
+    if (!is || magic != kManifestMagic)
+        fatal("'%s' is not a store manifest (bad magic)",
+              manifestPath().c_str());
+    if (version != kFormatVersion)
+        fatal("store manifest '%s' has unsupported format version %u",
+              manifestPath().c_str(), version);
+    readPod(is, key);
+    readPod(is, n_batches);
+    if (!is)
+        fatal("truncated store manifest '%s'", manifestPath().c_str());
+    if (key != key_)
+        fatal("store manifest '%s' belongs to a different campaign "
+              "(key mismatch)",
+              manifestPath().c_str());
+
+    std::vector<BatchInfo> batches(n_batches);
+    for (auto &b : batches) {
+        readPod(is, b.first);
+        readPod(is, b.count);
+        readPod(is, b.checksum);
+    }
+    u64 digest = 0;
+    readPod(is, digest);
+    if (!is)
+        fatal("truncated store manifest '%s'", manifestPath().c_str());
+    if (digest != manifestDigest(key_, batches))
+        fatal("store manifest '%s' is corrupt (digest mismatch)",
+              manifestPath().c_str());
+
+    u32 next = 0;
+    for (const auto &b : batches) {
+        if (b.first != next || b.count == 0)
+            fatal("store manifest '%s' batches are not contiguous",
+                  manifestPath().c_str());
+        next += b.count;
+    }
+    batches_ = std::move(batches);
+    storedCount_ = next;
+}
+
+void
+CampaignStore::writeManifest() const
+{
+    std::string tmp = manifestPath() + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '%s' for writing", tmp.c_str());
+        writePod(os, kManifestMagic);
+        writePod(os, kFormatVersion);
+        writePod(os, key_);
+        writePod(os, static_cast<u32>(batches_.size()));
+        for (const auto &b : batches_) {
+            writePod(os, b.first);
+            writePod(os, b.count);
+            writePod(os, b.checksum);
+        }
+        writePod(os, manifestDigest(key_, batches_));
+        os.flush();
+        if (!os)
+            fatal("store manifest write to '%s' failed", tmp.c_str());
+    }
+    commitFile(tmp, manifestPath());
+}
+
+std::vector<core::Measurement>
+CampaignStore::loadSamples() const
+{
+    std::vector<core::Measurement> samples;
+    samples.reserve(storedCount_);
+    for (const auto &entry : batches_) {
+        std::string path = batchPath(entry.first);
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            fatal("store batch '%s' is missing", path.c_str());
+
+        u64 magic = 0, key = 0, checksum = 0;
+        u32 version = 0, first = 0, count = 0;
+        readPod(is, magic);
+        readPod(is, version);
+        if (!is || magic != kBatchMagic)
+            fatal("'%s' is not a store batch (bad magic)", path.c_str());
+        if (version != kFormatVersion)
+            fatal("store batch '%s' has unsupported format version %u",
+                  path.c_str(), version);
+        readPod(is, key);
+        readPod(is, first);
+        readPod(is, count);
+        readPod(is, checksum);
+        if (!is)
+            fatal("truncated store batch '%s'", path.c_str());
+        if (key != key_)
+            fatal("store batch '%s' belongs to a different campaign "
+                  "(key mismatch)",
+                  path.c_str());
+        if (first != entry.first || count != entry.count ||
+            checksum != entry.checksum)
+            fatal("store batch '%s' does not match its manifest entry",
+                  path.c_str());
+
+        auto batch = readSamples(is, count);
+        if (!is)
+            fatal("truncated store batch '%s'", path.c_str());
+        if (samplesChecksum(batch) != entry.checksum)
+            fatal("store batch '%s' payload checksum mismatch "
+                  "(corrupt samples)",
+                  path.c_str());
+        samples.insert(samples.end(), batch.begin(), batch.end());
+    }
+    return samples;
+}
+
+void
+CampaignStore::appendBatch(u32 first,
+                           const std::vector<core::Measurement> &samples)
+{
+    if (samples.empty())
+        return;
+    // Contiguity is the caller's contract; violating it is a bug, not
+    // a user error.
+    if (first != storedCount_)
+        panic("store append at layout %u, expected %u (non-contiguous)",
+              first, storedCount_);
+
+    BatchInfo entry;
+    entry.first = first;
+    entry.count = static_cast<u32>(samples.size());
+    entry.checksum = samplesChecksum(samples);
+
+    std::string path = batchPath(first);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '%s' for writing", tmp.c_str());
+        writePod(os, kBatchMagic);
+        writePod(os, kFormatVersion);
+        writePod(os, key_);
+        writePod(os, entry.first);
+        writePod(os, entry.count);
+        writePod(os, entry.checksum);
+        writeSamples(os, samples);
+        os.flush();
+        if (!os)
+            fatal("store batch write to '%s' failed", tmp.c_str());
+    }
+    // Batch before manifest: a crash in between leaves an unindexed
+    // batch file that the next run simply overwrites.
+    commitFile(tmp, path);
+    batches_.push_back(entry);
+    writeManifest();
+    storedCount_ += entry.count;
+}
+
+} // namespace interf::store

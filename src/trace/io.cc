@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/digest.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -15,12 +16,6 @@ namespace
 
 constexpr u64 kMagic = 0x494e544652545243ULL; // "INTFRTRC"
 constexpr u32 kVersion = 1;
-
-void
-mix(u64 &state, u64 value)
-{
-    state ^= value + 0x9e3779b97f4a7c15ULL + (state << 6) + (state >> 2);
-}
 
 template <typename T>
 void
@@ -41,29 +36,31 @@ readPod(std::istream &is, T &value)
 u64
 programChecksum(const Program &prog)
 {
-    u64 h = 0x1f0e3dad99158a12ULL;
-    mix(h, prog.procedures().size());
-    mix(h, prog.regions().size());
+    // Digest's default seed and mixer match this function's historical
+    // definition, so existing trace files keep validating.
+    Digest d;
+    d.mix(prog.procedures().size());
+    d.mix(prog.regions().size());
     for (const auto &region : prog.regions()) {
-        mix(h, static_cast<u64>(region.kind));
-        mix(h, region.size);
+        d.mix(static_cast<u64>(region.kind));
+        d.mix(region.size);
     }
     for (const auto &proc : prog.procedures()) {
-        mix(h, proc.blocks.size());
+        d.mix(proc.blocks.size());
         for (const auto &bb : proc.blocks) {
-            mix(h, bb.bytes);
-            mix(h, bb.nInsts);
-            mix(h, static_cast<u64>(bb.branch.kind));
-            mix(h, bb.branch.targetProc);
-            mix(h, bb.branch.targetBlock);
-            mix(h, bb.memRefs.size());
+            d.mix(bb.bytes);
+            d.mix(bb.nInsts);
+            d.mix(static_cast<u64>(bb.branch.kind));
+            d.mix(bb.branch.targetProc);
+            d.mix(bb.branch.targetBlock);
+            d.mix(bb.memRefs.size());
             for (const auto &ref : bb.memRefs) {
-                mix(h, ref.regionId);
-                mix(h, static_cast<u64>(ref.pattern));
+                d.mix(ref.regionId);
+                d.mix(static_cast<u64>(ref.pattern));
             }
         }
     }
-    return h;
+    return d.value();
 }
 
 void

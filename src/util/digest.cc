@@ -1,0 +1,50 @@
+#include "util/digest.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace interf
+{
+
+void
+Digest::mixDouble(double value)
+{
+    mix(std::bit_cast<u64>(value));
+}
+
+void
+Digest::mixString(std::string_view s)
+{
+    mix(s.size());
+    for (unsigned char c : s)
+        mix(c);
+}
+
+std::string
+digestHex(u64 digest)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(digest));
+}
+
+bool
+parseDigestHex(std::string_view text, u64 &digest)
+{
+    if (text.size() != 16)
+        return false;
+    u64 value = 0;
+    for (char c : text) {
+        u64 nibble = 0;
+        if (c >= '0' && c <= '9')
+            nibble = static_cast<u64>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = static_cast<u64>(c - 'a') + 10;
+        else
+            return false;
+        value = (value << 4) | nibble;
+    }
+    digest = value;
+    return true;
+}
+
+} // namespace interf

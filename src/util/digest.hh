@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Streaming 64-bit structural digest.
+ *
+ * One mixing function shared by everything that fingerprints state:
+ * trace/io.cc binds traces to the program that generated them, and
+ * store/ binds cached campaign samples to the exact (program, config)
+ * that produced them. The mixer is the classic Fibonacci-hash combine
+ * (boost::hash_combine's 64-bit form); it is pure integer arithmetic on
+ * explicitly-serialized fields, so digests are stable across runs,
+ * builds and machines of the same endianness — a requirement for any
+ * value that names an on-disk artifact.
+ */
+
+#ifndef INTERF_UTIL_DIGEST_HH
+#define INTERF_UTIL_DIGEST_HH
+
+#include <string>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace interf
+{
+
+/** Accumulates a 64-bit digest over explicitly-fed fields. */
+class Digest
+{
+  public:
+    /** The historical seed of trace::programChecksum. */
+    static constexpr u64 kDefaultSeed = 0x1f0e3dad99158a12ULL;
+
+    explicit Digest(u64 seed = kDefaultSeed) : state_(seed) {}
+
+    /** Fold one 64-bit value into the digest. */
+    void mix(u64 value)
+    {
+        state_ ^= value + 0x9e3779b97f4a7c15ULL + (state_ << 6) +
+                  (state_ >> 2);
+    }
+
+    /** Fold a double by bit pattern (not by value rounding). */
+    void mixDouble(double value);
+
+    /** Fold a bool as 0/1. */
+    void mixBool(bool value) { mix(value ? 1 : 0); }
+
+    /** Fold a string: length plus every byte. */
+    void mixString(std::string_view s);
+
+    /** The digest of everything mixed so far. */
+    u64 value() const { return state_; }
+
+  private:
+    u64 state_;
+};
+
+/** Render a digest the way store directories are named: 16 hex digits. */
+std::string digestHex(u64 digest);
+
+/**
+ * Parse a digestHex() string back to a value.
+ *
+ * @return false if @p text is not exactly 16 lower-case hex digits.
+ */
+bool parseDigestHex(std::string_view text, u64 &digest);
+
+} // namespace interf
+
+#endif // INTERF_UTIL_DIGEST_HH

@@ -1,5 +1,7 @@
 /** @file Tests for interferometry campaigns (layout sweeps +
- *  escalation). */
+ *  escalation + artifact-store checkpoint/resume). */
+
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
@@ -226,6 +228,170 @@ TEST(Campaign, RunEscalatesIdenticallyUnderParallelism)
     EXPECT_EQ(ra.layoutsUsed, rb.layoutsUsed);
     EXPECT_GT(rb.layoutsUsed, cfg.initialLayouts); // escalation happened
     expectSamplesIdentical(ra.samples, rb.samples);
+}
+
+/** Scratch artifact-store root, removed on destruction. */
+struct TempStore
+{
+    std::string path;
+
+    TempStore()
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path = ::testing::TempDir() + "interf_campaign_store_" +
+               std::string(info->name());
+        std::filesystem::remove_all(path);
+    }
+
+    ~TempStore() { std::filesystem::remove_all(path); }
+};
+
+/** The escalating configuration used by the store tests: a flat
+ *  benchmark that always runs 3 batches of 6 layouts. */
+CampaignConfig
+escalatingConfig(const std::string &store_dir, u32 jobs)
+{
+    CampaignConfig cfg;
+    cfg.instructionBudget = 60000;
+    cfg.initialLayouts = 6;
+    cfg.escalationStep = 6;
+    cfg.maxLayouts = 18;
+    cfg.storeDir = store_dir;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+class CampaignStoreTest : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(CampaignStoreTest, RepeatRunIsAPureCacheHit)
+{
+    const u32 jobs = GetParam();
+    auto spec = workloads::specFor("470.lbm");
+    TempStore store;
+
+    Campaign cold(spec.profile, escalatingConfig(store.path, jobs));
+    auto cold_res = cold.run();
+    EXPECT_EQ(cold_res.measuredLayouts, 18u);
+    EXPECT_EQ(cold_res.cachedLayouts, 0u);
+
+    // A fresh campaign over the same configuration performs zero new
+    // measurements and returns byte-identical samples — even at a
+    // different worker count, since jobs is not part of the store key.
+    for (u32 warm_jobs : {1u, 4u}) {
+        Campaign warm(spec.profile,
+                      escalatingConfig(store.path, warm_jobs));
+        auto warm_res = warm.run();
+        EXPECT_EQ(warm_res.measuredLayouts, 0u) << warm_jobs;
+        EXPECT_EQ(warm_res.cachedLayouts, 18u) << warm_jobs;
+        EXPECT_EQ(warm_res.significant, cold_res.significant);
+        EXPECT_EQ(warm_res.enoughMpkiRange, cold_res.enoughMpkiRange);
+        EXPECT_EQ(warm_res.layoutsUsed, cold_res.layoutsUsed);
+        expectSamplesIdentical(warm_res.samples, cold_res.samples);
+    }
+}
+
+TEST_P(CampaignStoreTest, InterruptedCampaignResumes)
+{
+    const u32 jobs = GetParam();
+    auto spec = workloads::specFor("470.lbm");
+
+    // The reference: a storeless cold run of the full escalation.
+    Campaign reference(spec.profile, escalatingConfig("", jobs));
+    auto ref = reference.run();
+    ASSERT_EQ(ref.samples.size(), 18u);
+
+    // The "killed" campaign persisted 7 layouts — one full batch plus
+    // one layout of the second — before dying.
+    TempStore store;
+    {
+        Campaign partial(spec.profile,
+                         escalatingConfig(store.path, jobs));
+        partial.measureLayouts(0, 7);
+    }
+
+    // Resume: the completed prefix is loaded, only the remaining 11
+    // layouts are measured, and the samples match the uninterrupted
+    // run byte for byte.
+    Campaign resumed(spec.profile, escalatingConfig(store.path, jobs));
+    auto res = resumed.run();
+    EXPECT_EQ(res.cachedLayouts, 7u);
+    EXPECT_EQ(res.measuredLayouts, 11u);
+    EXPECT_EQ(res.significant, ref.significant);
+    EXPECT_EQ(res.layoutsUsed, ref.layoutsUsed);
+    expectSamplesIdentical(res.samples, ref.samples);
+}
+
+TEST_P(CampaignStoreTest, MeasureLayoutsServedFromStore)
+{
+    // The benches' path: measureLayouts directly, no escalation loop.
+    const u32 jobs = GetParam();
+    auto profile = workloads::defaultProfile("camp");
+    auto cfg = quickConfig(8);
+    cfg.jobs = jobs;
+    TempStore store;
+    cfg.storeDir = store.path;
+
+    Campaign cold(profile, cfg);
+    auto a = cold.measureLayouts(0, 8);
+    EXPECT_EQ(cold.measuredLayouts(), 8u);
+
+    Campaign warm(profile, cfg);
+    auto b = warm.measureLayouts(0, 8);
+    EXPECT_EQ(warm.measuredLayouts(), 0u);
+    EXPECT_EQ(warm.cachedLayouts(), 8u);
+    expectSamplesIdentical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(JobsSerialAndParallel, CampaignStoreTest,
+                         ::testing::Values(1u, 4u));
+
+TEST(CampaignStore, DistinctConfigsDoNotShareSamples)
+{
+    // Changing any key field (here the instruction budget) must miss
+    // the cache rather than serve another campaign's samples.
+    auto profile = workloads::defaultProfile("camp");
+    TempStore store;
+    auto cfg = quickConfig(4);
+    cfg.storeDir = store.path;
+    Campaign first(profile, cfg);
+    first.measureLayouts(0, 4);
+
+    auto other_cfg = cfg;
+    other_cfg.instructionBudget += 10000;
+    Campaign second(profile, other_cfg);
+    second.measureLayouts(0, 4);
+    EXPECT_EQ(second.measuredLayouts(), 4u);
+    EXPECT_EQ(second.cachedLayouts(), 0u);
+}
+
+TEST(CampaignStore, GapBeyondStoreIsMeasuredNotPersisted)
+{
+    // Jumping past the persisted prefix still measures correctly; the
+    // store only ever grows by contiguous batches.
+    auto profile = workloads::defaultProfile("camp");
+    TempStore store;
+    auto cfg = quickConfig(12);
+    cfg.storeDir = store.path;
+
+    Campaign camp(profile, cfg);
+    auto tail = camp.measureLayouts(6, 3); // gap: nothing persisted yet
+    EXPECT_EQ(camp.measuredLayouts(), 3u);
+
+    Campaign again(profile, cfg);
+    auto tail2 = again.measureLayouts(6, 3);
+    EXPECT_EQ(again.cachedLayouts(), 0u); // nothing was persisted
+    expectSamplesIdentical(tail, tail2);
+
+    // Contiguous prefix appends still work afterwards.
+    auto head = again.measureLayouts(0, 6);
+    Campaign third(profile, cfg);
+    auto head2 = third.measureLayouts(0, 6);
+    EXPECT_EQ(third.cachedLayouts(), 6u);
+    EXPECT_EQ(third.measuredLayouts(), 0u);
+    expectSamplesIdentical(head, head2);
 }
 
 TEST(Campaign, TraceSharedAcrossLayouts)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Inspect a campaign artifact store.
+ *
+ * Lists every campaign key under a store root with its batch table and
+ * sample count; --verify additionally loads and checksums every batch
+ * (the same fail-closed validation a resuming campaign performs).
+ *
+ *   store_ls --dir /tmp/interf-store [--verify]
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include "store/store.hh"
+#include "util/digest.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+using namespace interf;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("store_ls",
+                      "list (and optionally verify) the campaigns in an "
+                      "artifact store");
+    opts.addString("dir", "", "store root directory");
+    opts.addFlag("verify", "load and checksum every batch");
+    opts.parse(argc, argv);
+
+    const std::string root = opts.getString("dir");
+    if (root.empty())
+        fatal("--dir is required");
+    if (!std::filesystem::is_directory(root))
+        fatal("'%s' is not a directory", root.c_str());
+
+    const bool verify = opts.getFlag("verify");
+    u32 campaigns = 0;
+    u64 total_samples = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(root)) {
+        if (!entry.is_directory())
+            continue;
+        u64 key = 0;
+        if (!parseDigestHex(entry.path().filename().string(), key)) {
+            warn("skipping '%s': not a campaign key directory",
+                 entry.path().string().c_str());
+            continue;
+        }
+        store::CampaignStore st(root, key);
+        std::printf("%s  %4u samples in %zu batches\n",
+                    digestHex(key).c_str(), st.storedCount(),
+                    st.batches().size());
+        for (const auto &b : st.batches())
+            std::printf("    batch-%08u  layouts [%u, %u)  checksum %s\n",
+                        b.first, b.first, b.first + b.count,
+                        digestHex(b.checksum).c_str());
+        if (verify) {
+            auto samples = st.loadSamples(); // fatal()s on corruption
+            std::printf("    verified %zu samples\n", samples.size());
+        }
+        ++campaigns;
+        total_samples += st.storedCount();
+    }
+    std::printf("%u campaigns, %llu samples total%s\n", campaigns,
+                static_cast<unsigned long long>(total_samples),
+                verify ? " (all verified)" : "");
+    return 0;
+}
