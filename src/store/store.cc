@@ -1,5 +1,9 @@
 #include "store/store.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -50,12 +54,43 @@ manifestDigest(u64 key, const std::vector<BatchInfo> &batches)
     return d.value();
 }
 
-/** Rename @p tmp onto @p path or die; the POSIX rename is atomic. */
+/** fsync @p path (a regular file or a directory) or die. */
 void
-commitFile(const std::string &tmp, const std::string &path)
+syncPath(const std::string &path, bool directory)
 {
+    int fd = ::open(path.c_str(),
+                    directory ? (O_RDONLY | O_DIRECTORY)
+                              : (O_RDONLY | O_CLOEXEC));
+    const bool ok = fd >= 0 && ::fsync(fd) == 0;
+    if (fd >= 0)
+        ::close(fd);
+    if (!ok)
+        fatal("cannot fsync store %s '%s'",
+              directory ? "directory" : "file", path.c_str());
+}
+
+/**
+ * Durably rename @p tmp onto @p path; the POSIX rename is atomic. The
+ * temp file is fsynced before the rename and @p dir after it, so a
+ * power loss can never make the rename durable while the contents are
+ * not — which would brick the store with a permanently-empty artifact.
+ */
+void
+commitFile(const std::string &tmp, const std::string &path,
+           const std::string &dir)
+{
+    syncPath(tmp, false);
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         fatal("cannot commit store file '%s'", path.c_str());
+    syncPath(dir, true);
+}
+
+/** A per-process unique temp sibling of @p path (crash leftovers of
+ *  other processes can then never be half-overwritten). */
+std::string
+tmpPathFor(const std::string &path)
+{
+    return path + strprintf(".tmp.%ld", static_cast<long>(::getpid()));
 }
 
 void
@@ -104,7 +139,10 @@ campaignKey(const trace::Program &prog, u64 behaviour_seed,
 {
     Digest d;
     d.mix(kFormatVersion); // A format bump invalidates every entry.
-    d.mix(trace::programChecksum(prog));
+    // The exhaustive digest, not the trace-file checksum: every Program
+    // field that can shape the trace or the layout must bind the key
+    // (see campaignKey's doc comment).
+    d.mix(trace::programStructureDigest(prog));
     d.mix(behaviour_seed);
     d.mix(cfg.instructionBudget);
     d.mix(cfg.initialLayouts);
@@ -134,6 +172,42 @@ CampaignStore::CampaignStore(const std::string &root, u64 key)
               dir.string().c_str(), ec.message().c_str());
     dir_ = dir.string();
     readManifest();
+}
+
+CampaignStore::~CampaignStore()
+{
+    if (writeLockFd_ >= 0)
+        ::close(writeLockFd_); // Releases the flock.
+}
+
+void
+CampaignStore::acquireWriteLock()
+{
+    if (writeLockFd_ >= 0)
+        return;
+    const std::string path = dir_ + "/.lock";
+    int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0)
+        fatal("cannot open store lock '%s'", path.c_str());
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        fatal("store entry '%s' is locked by another process; two "
+              "campaigns cannot write the same store entry concurrently",
+              dir_.c_str());
+    }
+    writeLockFd_ = fd;
+    // Now that we are the exclusive writer, make sure no racing
+    // campaign extended the entry between our (lockless) open and this
+    // first write — appending from a stale view would clobber its
+    // batches with differently-sized ones the manifest no longer
+    // describes.
+    const u64 opened = manifestDigest(key_, batches_);
+    readManifest();
+    if (manifestDigest(key_, batches_) != opened)
+        fatal("store entry '%s' changed on disk since it was opened "
+              "(a concurrent campaign wrote it); re-run to resume from "
+              "its samples",
+              dir_.c_str());
 }
 
 std::string
@@ -174,6 +248,21 @@ CampaignStore::readManifest()
               "(key mismatch)",
               manifestPath().c_str());
 
+    // Bound the batch table against the file size before allocating:
+    // a corrupt count must fail closed, not bad_alloc trying to
+    // reserve up to 64 GiB of entries.
+    constexpr u64 kHeaderBytes = 8 + 4 + 8 + 4; // magic+version+key+count
+    constexpr u64 kEntryBytes = 4 + 4 + 8;      // first+count+checksum
+    constexpr u64 kSealBytes = 8;               // trailing digest
+    std::error_code size_ec;
+    const u64 file_size =
+        std::filesystem::file_size(manifestPath(), size_ec);
+    if (size_ec || file_size < kHeaderBytes + kSealBytes ||
+        n_batches > (file_size - kHeaderBytes - kSealBytes) / kEntryBytes)
+        fatal("truncated store manifest '%s' (batch table overruns "
+              "the file)",
+              manifestPath().c_str());
+
     std::vector<BatchInfo> batches(n_batches);
     for (auto &b : batches) {
         readPod(is, b.first);
@@ -202,7 +291,7 @@ CampaignStore::readManifest()
 void
 CampaignStore::writeManifest() const
 {
-    std::string tmp = manifestPath() + ".tmp";
+    std::string tmp = tmpPathFor(manifestPath());
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
@@ -221,7 +310,7 @@ CampaignStore::writeManifest() const
         if (!os)
             fatal("store manifest write to '%s' failed", tmp.c_str());
     }
-    commitFile(tmp, manifestPath());
+    commitFile(tmp, manifestPath(), dir_);
 }
 
 std::vector<core::Measurement>
@@ -277,6 +366,9 @@ CampaignStore::appendBatch(u32 first,
 {
     if (samples.empty())
         return;
+    // Exclusive writer for the rest of this store's lifetime; may
+    // fatal() on a concurrent or raced writer.
+    acquireWriteLock();
     // Contiguity is the caller's contract; violating it is a bug, not
     // a user error.
     if (first != storedCount_)
@@ -289,7 +381,7 @@ CampaignStore::appendBatch(u32 first,
     entry.checksum = samplesChecksum(samples);
 
     std::string path = batchPath(first);
-    std::string tmp = path + ".tmp";
+    std::string tmp = tmpPathFor(path);
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
@@ -307,7 +399,7 @@ CampaignStore::appendBatch(u32 first,
     }
     // Batch before manifest: a crash in between leaves an unindexed
     // batch file that the next run simply overwrites.
-    commitFile(tmp, path);
+    commitFile(tmp, path, dir_);
     batches_.push_back(entry);
     writeManifest();
     storedCount_ += entry.count;

@@ -44,6 +44,14 @@ namespace interf::store
  * influence a sample's bytes — machine, runner/noise protocol, layout
  * seed range and escalation shape included.
  *
+ * The program is bound via trace::programStructureDigest — the
+ * exhaustive every-field digest — not just the trace-file checksum,
+ * because programChecksum omits behaviour- and layout-determining
+ * fields (branch bias/period/history/load-dependence, store vs load,
+ * strides and churn windows, extra exec cycles, alignment, authored
+ * link order). Two profiles differing only in such knobs must never
+ * share a cache entry.
+ *
  * Deliberately excluded: `jobs` (the executor guarantees byte-identical
  * samples at any worker count, so serial and parallel runs share cache
  * entries) and `storeDir` (where the cache lives cannot affect what it
@@ -69,6 +77,14 @@ struct BatchInfo
  * against the manifest and its own payload checksum. Append order is
  * the only write protocol: appendBatch(first, ...) requires
  * first == storedCount().
+ *
+ * Concurrency: opening and loading are lockless (committed files are
+ * immutable and renames are atomic), but the first appendBatch takes an
+ * exclusive advisory flock on the key directory, held for the store's
+ * lifetime. A second concurrent writer on the same key fails fast with
+ * a clear error instead of interleaving writes, and a writer whose
+ * entry changed on disk between open and first append (a racing
+ * campaign that finished first) refuses to clobber it.
  */
 class CampaignStore
 {
@@ -78,6 +94,12 @@ class CampaignStore
      * @p root. Reads and validates the manifest if one exists.
      */
     CampaignStore(const std::string &root, u64 key);
+
+    /** Releases the write lock, if held. */
+    ~CampaignStore();
+
+    CampaignStore(const CampaignStore &) = delete;
+    CampaignStore &operator=(const CampaignStore &) = delete;
 
     u64 key() const { return key_; }
 
@@ -111,11 +133,13 @@ class CampaignStore
   private:
     void readManifest();
     void writeManifest() const;
+    void acquireWriteLock();
 
     std::string dir_;
     u64 key_;
     std::vector<BatchInfo> batches_;
     u32 storedCount_ = 0;
+    int writeLockFd_ = -1; ///< flock fd; -1 until the first append.
 };
 
 } // namespace interf::store

@@ -63,6 +63,58 @@ programChecksum(const Program &prog)
     return d.value();
 }
 
+u64
+programStructureDigest(const Program &prog)
+{
+    Digest d;
+    d.mix(prog.files().size());
+    for (const auto &file : prog.files()) {
+        d.mixString(file.name);
+        d.mix(file.procIds.size());
+        for (u32 proc_id : file.procIds)
+            d.mix(proc_id);
+    }
+    d.mix(prog.regions().size());
+    for (const auto &region : prog.regions()) {
+        d.mix(region.id);
+        d.mix(static_cast<u64>(region.kind));
+        d.mix(region.size);
+    }
+    d.mix(prog.procedures().size());
+    for (const auto &proc : prog.procedures()) {
+        d.mixString(proc.name);
+        d.mix(proc.id);
+        d.mix(proc.fileIndex);
+        d.mix(proc.align);
+        d.mix(proc.blocks.size());
+        for (const auto &bb : proc.blocks) {
+            d.mix(bb.bytes);
+            d.mix(bb.nInsts);
+            d.mix(bb.extraExecCycles);
+            const auto &br = bb.branch;
+            d.mix(static_cast<u64>(br.kind));
+            d.mix(static_cast<u64>(br.pattern));
+            d.mixDouble(br.takenProb);
+            d.mix(br.period);
+            d.mix(br.historyBits);
+            d.mixBool(br.dependsOnLoad);
+            d.mix(br.targetProc);
+            d.mix(br.targetBlock);
+            d.mix(br.indirectTargets);
+            d.mix(bb.memRefs.size());
+            for (const auto &ref : bb.memRefs) {
+                d.mix(ref.regionId);
+                d.mixBool(ref.isStore);
+                d.mix(static_cast<u64>(ref.pattern));
+                d.mix(ref.stride);
+                d.mix(ref.churnSpan);
+                d.mix(ref.genId);
+            }
+        }
+    }
+    return d.value();
+}
+
 void
 saveTrace(std::ostream &os, const Program &prog, const Trace &trace)
 {

@@ -27,8 +27,27 @@ namespace interf::trace
  * Structural checksum of a program (procedures, block geometry, branch
  * sites, memory sites). Identical programs hash identically on any
  * platform.
+ *
+ * This is the historical digest embedded in trace files; it does NOT
+ * cover every Program field (branch behaviour parameters, memory
+ * strides, alignment, authored link order...). Anything that must
+ * distinguish programs by *full* structure — notably the campaign
+ * artifact store's key — needs programStructureDigest() instead.
  */
 u64 programChecksum(const Program &prog);
+
+/**
+ * Exhaustive structural digest of a program: every field of every
+ * region, object file (including authored order), procedure, block,
+ * branch site and memory reference site. Two programs digest equal iff
+ * they are field-for-field identical, so any knob that can change the
+ * trace or the layout — branch bias, load dependence, strides, churn
+ * windows, alignment, file grouping — changes the digest.
+ *
+ * Kept separate from programChecksum() so existing trace files keep
+ * validating; new binding uses (e.g. store keys) should prefer this.
+ */
+u64 programStructureDigest(const Program &prog);
 
 /** Serialize a trace to a stream. */
 void saveTrace(std::ostream &os, const Program &prog, const Trace &trace);

@@ -13,6 +13,7 @@
 
 #include "store/serialize.hh"
 #include "store/store.hh"
+#include "trace/io.hh"
 #include "util/digest.hh"
 #include "workloads/builder.hh"
 
@@ -346,6 +347,47 @@ TEST(StoreDeathTest, ManifestVersionSkewRejected)
                 "unsupported format version");
 }
 
+TEST(StoreDeathTest, ManifestHugeBatchCountRejected)
+{
+    // A corrupt batch count must fail closed before the batch table is
+    // allocated — not OOM trying to reserve billions of entries. The
+    // count is the u32 after magic+version+key; flipping its high byte
+    // turns 1 into ~1.5e9.
+    TempRoot root;
+    CampaignStore st(root.path, kKey);
+    st.appendBatch(0, samplesAt(4));
+    flipByte(st.manifestPath(), 8 + 4 + 8 + 3);
+    EXPECT_EXIT((void)CampaignStore(root.path, kKey),
+                ::testing::ExitedWithCode(1),
+                "truncated store manifest");
+}
+
+TEST(StoreDeathTest, ConcurrentWriterRejected)
+{
+    // Two live campaigns writing the same key must not interleave
+    // writes; the second writer dies with a clear error instead.
+    TempRoot root;
+    CampaignStore a(root.path, kKey);
+    a.appendBatch(0, samplesAt(2)); // a now holds the write lock
+    CampaignStore b(root.path, kKey);
+    EXPECT_DEATH(b.appendBatch(2, samplesAt(2, 2)),
+                 "locked by another process");
+}
+
+TEST(StoreDeathTest, StaleWriterRejected)
+{
+    // A writer whose entry was extended on disk after it opened (by a
+    // racing campaign that has since finished) must not clobber the
+    // newer batches from its stale view.
+    TempRoot root;
+    CampaignStore late(root.path, kKey); // opened while still cold
+    {
+        CampaignStore writer(root.path, kKey);
+        writer.appendBatch(0, samplesAt(2));
+    } // writer's lock released
+    EXPECT_DEATH(late.appendBatch(0, samplesAt(2)), "changed on disk");
+}
+
 TEST(StoreDeathTest, TruncatedManifestRejected)
 {
     TempRoot root;
@@ -510,6 +552,193 @@ TEST(StoreKey, ProgramAndBehaviourBindTheKey)
     profile.structureSeed += 1;
     auto other = workloads::buildProgram(profile);
     EXPECT_NE(campaignKey(other, 2, baseConfig()), base);
+}
+
+/**
+ * Build a small two-procedure program by hand, with every
+ * behaviour-bearing field at a non-default value, letting @p mutate
+ * tweak the first procedure before it is frozen into the Program
+ * (Program exposes no mutable access afterwards).
+ */
+trace::Program
+handProgram(const std::function<void(trace::Procedure &)> &mutate = {})
+{
+    using namespace trace;
+    Procedure p;
+    p.name = "hot";
+    p.align = 16;
+
+    BasicBlock body;
+    body.bytes = 48;
+    body.nInsts = 9;
+    body.extraExecCycles = 2;
+    body.branch.kind = OpClass::CondBranch;
+    body.branch.pattern = BranchPattern::Biased;
+    body.branch.takenProb = 0.8f;
+    body.branch.period = 5;
+    body.branch.historyBits = 4;
+    body.branch.dependsOnLoad = false;
+    body.branch.targetProc = 0;
+    body.branch.targetBlock = 1;
+    body.branch.indirectTargets = 0;
+    MemRef ref;
+    ref.regionId = 0;
+    ref.isStore = false;
+    ref.pattern = MemPattern::Stride;
+    ref.stride = 8;
+    ref.churnSpan = 96 << 10;
+    ref.genId = 0;
+    body.memRefs.push_back(ref);
+    p.blocks.push_back(body);
+
+    BasicBlock ret;
+    ret.bytes = 8;
+    ret.nInsts = 1;
+    ret.branch.kind = OpClass::Return;
+    p.blocks.push_back(ret);
+
+    if (mutate)
+        mutate(p);
+
+    Procedure cold;
+    cold.name = "cold";
+    cold.align = 16;
+    cold.blocks.push_back(ret);
+
+    Program prog;
+    u32 hot_id = prog.addProcedure(std::move(p));
+    u32 cold_id = prog.addProcedure(std::move(cold));
+    u32 file = prog.addFile("a.o");
+    prog.placeInFile(file, hot_id);
+    prog.placeInFile(file, cold_id);
+    prog.addRegion(trace::RegionKind::Heap, 4096);
+    return prog;
+}
+
+TEST(StoreKey, EveryProgramFieldChangesTheKey)
+{
+    // The fields the trace-file checksum does NOT cover: branch
+    // behaviour parameters, memory-site details, intrinsic stalls and
+    // linker alignment. Each one shapes the trace or the layout, so
+    // each must produce a distinct store key — a collision here means
+    // a warm store can serve another profile's samples.
+    using trace::Procedure;
+    const std::vector<
+        std::pair<const char *, std::function<void(Procedure &)>>>
+        mutators = {
+            {"align", [](Procedure &p) { p.align = 32; }},
+            {"extraExecCycles",
+             [](Procedure &p) { p.blocks[0].extraExecCycles = 5; }},
+            {"branch.pattern",
+             [](Procedure &p) {
+                 p.blocks[0].branch.pattern =
+                     trace::BranchPattern::Periodic;
+             }},
+            {"branch.takenProb",
+             [](Procedure &p) { p.blocks[0].branch.takenProb = 0.75f; }},
+            {"branch.period",
+             [](Procedure &p) { p.blocks[0].branch.period = 6; }},
+            {"branch.historyBits",
+             [](Procedure &p) { p.blocks[0].branch.historyBits = 7; }},
+            {"branch.dependsOnLoad",
+             [](Procedure &p) {
+                 p.blocks[0].branch.dependsOnLoad = true;
+             }},
+            {"branch.indirectTargets",
+             [](Procedure &p) {
+                 p.blocks[0].branch.indirectTargets = 3;
+             }},
+            {"memRef.isStore",
+             [](Procedure &p) { p.blocks[0].memRefs[0].isStore = true; }},
+            {"memRef.pattern",
+             [](Procedure &p) {
+                 p.blocks[0].memRefs[0].pattern = trace::MemPattern::Hot;
+             }},
+            {"memRef.stride",
+             [](Procedure &p) { p.blocks[0].memRefs[0].stride = 64; }},
+            {"memRef.churnSpan",
+             [](Procedure &p) {
+                 p.blocks[0].memRefs[0].churnSpan = 128 << 10;
+             }},
+            {"memRef.genId",
+             [](Procedure &p) { p.blocks[0].memRefs[0].genId = 9; }},
+        };
+
+    const u64 base = campaignKey(handProgram(), 2, baseConfig());
+    EXPECT_EQ(base, campaignKey(handProgram(), 2, baseConfig()));
+    std::set<u64> keys{base};
+    for (const auto &[name, mutate] : mutators) {
+        const u64 key =
+            campaignKey(handProgram(mutate), 2, baseConfig());
+        EXPECT_NE(key, base) << name;
+        EXPECT_TRUE(keys.insert(key).second)
+            << name << " collides with an earlier mutation";
+    }
+}
+
+TEST(StoreKey, AuthoredLinkOrderChangesTheKey)
+{
+    // The linker permutes the *authored* order, so two programs whose
+    // procedures are authored in swapped file order are different
+    // experiments even though their procedure sets are identical.
+    using namespace trace;
+    auto build = [](bool swapped) {
+        Program prog;
+        Procedure a, b;
+        a.name = "a";
+        b.name = "b";
+        BasicBlock ret;
+        ret.bytes = 8;
+        ret.nInsts = 1;
+        ret.branch.kind = OpClass::Return;
+        a.blocks.push_back(ret);
+        b.blocks.push_back(ret);
+        u32 ia = prog.addProcedure(std::move(a));
+        u32 ib = prog.addProcedure(std::move(b));
+        u32 file = prog.addFile("a.o");
+        prog.placeInFile(file, swapped ? ib : ia);
+        prog.placeInFile(file, swapped ? ia : ib);
+        return prog;
+    };
+    EXPECT_NE(campaignKey(build(false), 2, baseConfig()),
+              campaignKey(build(true), 2, baseConfig()));
+}
+
+TEST(StoreKey, ProfileBehaviourKnobsChangeTheKey)
+{
+    // End-to-end over the builder: profile knobs that only alter
+    // branch/memory *behaviour* (not block geometry) were invisible to
+    // the trace-file checksum; each must still change the store key.
+    using workloads::WorkloadProfile;
+    const std::vector<
+        std::pair<const char *, std::function<void(WorkloadProfile &)>>>
+        knobs = {
+            {"biasMin", [](WorkloadProfile &p) { p.biasMin = 0.50; }},
+            {"biasMax", [](WorkloadProfile &p) { p.biasMax = 0.80; }},
+            {"periodMax", [](WorkloadProfile &p) { p.periodMax = 40; }},
+            {"historyBitsMax",
+             [](WorkloadProfile &p) { p.historyBitsMax = 14; }},
+            {"branchLoadDepProb",
+             [](WorkloadProfile &p) { p.branchLoadDepProb = 0.9; }},
+            {"meanExtraExecCycles",
+             [](WorkloadProfile &p) { p.meanExtraExecCycles = 4.0; }},
+            {"storesPerInst",
+             [](WorkloadProfile &p) { p.storesPerInst = 0.25; }},
+            {"churnWindow",
+             [](WorkloadProfile &p) { p.churnWindow = 192 << 10; }},
+        };
+
+    const u64 base = campaignKey(keyProgram(), 2, baseConfig());
+    std::set<u64> keys{base};
+    for (const auto &[name, tweak] : knobs) {
+        auto profile = workloads::defaultProfile("key");
+        tweak(profile);
+        const u64 key = campaignKey(workloads::buildProgram(profile), 2,
+                                    baseConfig());
+        EXPECT_NE(key, base) << name;
+        EXPECT_TRUE(keys.insert(key).second)
+            << name << " collides with an earlier mutation";
+    }
 }
 
 } // anonymous namespace
