@@ -11,7 +11,10 @@
 #ifndef INTERF_BENCH_COMMON_HH
 #define INTERF_BENCH_COMMON_HH
 
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "interferometry/campaign.hh"
 #include "util/logging.hh"
@@ -28,7 +31,82 @@ struct Scale
     u32 jobs = 0; ///< Measurement worker threads (0 = all hardware).
     std::string storeDir; ///< Campaign artifact store (empty = off).
     std::string csvPath;
+    std::string jsonPath; ///< Machine-readable result file (empty = off).
     std::string only; ///< Restrict to benchmarks containing this text.
+};
+
+/** One machine-readable throughput row for the --json report. */
+struct JsonRow
+{
+    std::string benchmark; ///< e.g. "micro_replay/plan".
+    std::string config;    ///< e.g. "jobs=1 layouts=40".
+    double layoutsPerSec = 0.0;
+    double eventsPerSec = 0.0; ///< 0 when the bench has no event axis.
+    double wallMs = 0.0;       ///< Wall time of one measured batch.
+};
+
+/**
+ * Collects JsonRow records and writes them as a single JSON document:
+ *
+ *   { "schema": "interf-bench-1",
+ *     "rows": [ { "benchmark": ..., "config": ...,
+ *                 "layouts_per_sec": ..., "events_per_sec": ...,
+ *                 "wall_ms": ... }, ... ] }
+ *
+ * CI jobs upload this file as the perf artifact, so the field names are
+ * a (small) stable interface; extend, don't rename.
+ */
+class JsonReport
+{
+  public:
+    void add(JsonRow row) { rows_.push_back(std::move(row)); }
+
+    bool empty() const { return rows_.empty(); }
+
+    /** Write the document to @p path; fatal() if unwritable. */
+    void write(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write JSON report to '%s'", path.c_str());
+        out << "{\n  \"schema\": \"interf-bench-1\",\n  \"rows\": [";
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            const JsonRow &r = rows_[i];
+            out << (i ? ",\n" : "\n")
+                << "    {\"benchmark\": \"" << escaped(r.benchmark)
+                << "\", \"config\": \"" << escaped(r.config)
+                << "\", \"layouts_per_sec\": " << num(r.layoutsPerSec)
+                << ", \"events_per_sec\": " << num(r.eventsPerSec)
+                << ", \"wall_ms\": " << num(r.wallMs) << "}";
+        }
+        out << "\n  ]\n}\n";
+        if (!out.flush())
+            fatal("failed writing JSON report to '%s'", path.c_str());
+    }
+
+  private:
+    static std::string escaped(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    /** Fixed-notation number; JSON has no Inf/NaN, map those to 0. */
+    static std::string num(double v)
+    {
+        if (!(v == v) || v > 1e300 || v < -1e300)
+            return "0";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", v);
+        return buf;
+    }
+
+    std::vector<JsonRow> rows_;
 };
 
 /** Register the shared flags on a parser. */
@@ -50,6 +128,10 @@ addScaleOptions(OptionParser &opts, u32 default_layouts = 40,
                    "byte-identical samples instead of re-measuring "
                    "(empty = off)");
     opts.addString("csv", "", "also write results to this CSV file");
+    opts.addString("json", "",
+                   "write a machine-readable throughput report "
+                   "(benchmark, config, layouts/sec, events/sec, "
+                   "wall ms) to this file");
     opts.addString("only", "",
                    "restrict to benchmarks whose name contains this");
 }
@@ -63,6 +145,7 @@ readScale(const OptionParser &opts)
     s.instructions = static_cast<u64>(opts.getInt("instructions"));
     s.storeDir = opts.getString("store");
     s.csvPath = opts.getString("csv");
+    s.jsonPath = opts.getString("json");
     s.only = opts.getString("only");
     if (s.layouts < 1)
         fatal("--layouts must be >= 1");

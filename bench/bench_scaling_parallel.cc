@@ -8,15 +8,19 @@
  * versus the jobs argument: on an N-core machine the figure-scale
  * campaign should scale near-linearly until jobs reaches N, because
  * layouts are embarrassingly parallel and workers share only immutable
- * state. Run with --benchmark_format=json to record the series in
- * BENCH JSON (items_per_second per jobs value); pair a jobs:1 and a
- * jobs:4 row to read off the speedup.
+ * state. Run with --benchmark_format=json to record google-benchmark's
+ * native series, or --json <file> (ours, stripped before
+ * benchmark::Initialize sees argv) to write the repo-standard
+ * interf-bench-1 report the CI perf job uploads.
  */
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
 
 #include "exec/threadpool.hh"
 #include "interferometry/campaign.hh"
@@ -89,6 +93,91 @@ BM_ParallelForDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelForDispatch)->Apply(JobsArgs)->UseRealTime();
 
+/**
+ * Console reporter that also captures each run as a JsonRow. One item
+ * is one layout (SetItemsProcessed), so items_per_second is
+ * layouts/sec; the dispatch bench's items are loop indices, which the
+ * row's config string spells out.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonCaptureReporter(bench::JsonReport &report)
+        : report_(report)
+    {
+    }
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration)
+                continue;
+            auto it = run.counters.find("items_per_second");
+            double items = it == run.counters.end()
+                               ? 0.0
+                               : static_cast<double>(it->second);
+            bool layouts =
+                run.benchmark_name().find("CampaignMeasureLayouts") !=
+                std::string::npos;
+            bench::JsonRow row;
+            row.benchmark = "scaling_parallel/" + run.benchmark_name();
+            row.config = layouts ? "item=layout workload=445.gobmk "
+                                   "layouts=40 instructions=300000"
+                                 : "item=index n=1024";
+            row.layoutsPerSec = layouts ? items : 0.0;
+            row.eventsPerSec = 0.0;
+            row.wallMs = run.GetAdjustedRealTime() *
+                         (run.time_unit == benchmark::kMillisecond
+                              ? 1.0
+                              : run.time_unit == benchmark::kSecond
+                                    ? 1e3
+                                    : 1e-6);
+            report_.add(row);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::JsonReport &report_;
+};
+
+/**
+ * Pull "--json <file>" / "--json=<file>" out of argv before
+ * benchmark::Initialize (which rejects flags it doesn't know).
+ */
+std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return path;
+}
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path = extractJsonPath(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bench::JsonReport report;
+    JsonCaptureReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_path.empty())
+        report.write(json_path);
+    return 0;
+}

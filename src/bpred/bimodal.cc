@@ -11,23 +11,6 @@ BimodalPredictor::BimodalPredictor(u32 entries)
     INTERF_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0);
 }
 
-u32
-BimodalPredictor::indexFor(Addr pc) const
-{
-    // x86 branch addresses are byte-aligned; use the low bits directly,
-    // mixed slightly so adjacent branches spread across the table.
-    return static_cast<u32>(pc ^ (pc >> 16)) & mask_;
-}
-
-bool
-BimodalPredictor::predictAndTrain(Addr pc, bool taken)
-{
-    u8 &ctr = table_[indexFor(pc)];
-    bool prediction = counter2::predict(ctr);
-    ctr = counter2::update(ctr, taken);
-    return prediction;
-}
-
 void
 BimodalPredictor::reset()
 {

@@ -22,13 +22,26 @@ class BimodalPredictor : public BranchPredictor
     /** @param entries Table entries; must be a power of two. */
     explicit BimodalPredictor(u32 entries);
 
-    bool predictAndTrain(Addr pc, bool taken) override;
+    bool predictAndTrain(Addr pc, bool taken) override
+    {
+        u8 &ctr = table_[indexFor(pc)];
+        bool prediction = counter2::predict(ctr);
+        ctr = counter2::update(ctr, taken);
+        return prediction;
+    }
+
     void reset() override;
     std::string name() const override;
     u64 sizeBits() const override;
 
     /** Table index used for a PC (exposed for tests). */
-    u32 indexFor(Addr pc) const;
+    u32 indexFor(Addr pc) const
+    {
+        // x86 branch addresses are byte-aligned; use the low bits
+        // directly, mixed slightly so adjacent branches spread across
+        // the table.
+        return static_cast<u32>(pc ^ (pc >> 16)) & mask_;
+    }
 
   private:
     std::vector<u8> table_;

@@ -1,5 +1,7 @@
 #include "bpred/btb.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace interf::bpred
@@ -9,62 +11,23 @@ Btb::Btb(u32 sets, u32 ways) : sets_(sets), ways_(ways)
 {
     INTERF_ASSERT(sets >= 1 && (sets & (sets - 1)) == 0);
     INTERF_ASSERT(ways >= 1);
-    entries_.resize(static_cast<size_t>(sets) * ways);
-}
-
-u32
-Btb::setIndex(Addr pc) const
-{
-    return static_cast<u32>(pc ^ (pc >> 13)) & (sets_ - 1);
-}
-
-Addr
-Btb::tagOf(Addr pc) const
-{
-    return pc; // full tags: conflicts come from the set index only
-}
-
-BtbResult
-Btb::lookup(Addr pc) const
-{
-    const Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];
-    for (u32 w = 0; w < ways_; ++w) {
-        if (row[w].valid && row[w].tag == tagOf(pc))
-            return {true, row[w].target};
-    }
-    return {};
-}
-
-void
-Btb::update(Addr pc, Addr target)
-{
-    Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];
-    ++lruClock_;
-    // Hit: refresh.
-    for (u32 w = 0; w < ways_; ++w) {
-        if (row[w].valid && row[w].tag == tagOf(pc)) {
-            row[w].target = target;
-            row[w].lru = lruClock_;
-            return;
-        }
-    }
-    // Miss: replace invalid or LRU way.
-    u32 victim = 0;
-    for (u32 w = 0; w < ways_; ++w) {
-        if (!row[w].valid) {
-            victim = w;
-            break;
-        }
-        if (row[w].lru < row[victim].lru)
-            victim = w;
-    }
-    row[victim] = {true, tagOf(pc), target, lruClock_};
+    size_t n = static_cast<size_t>(sets) * ways;
+    tags_.resize(n, kNoTag);
+    tagsLo_.resize(n, static_cast<u32>(kNoTag));
+    tagsHi_.resize(n, static_cast<u32>(kNoTag >> 32));
+    targets_.resize(n, 0);
+    lru_.resize(n, 0);
 }
 
 void
 Btb::reset()
 {
-    std::fill(entries_.begin(), entries_.end(), Entry());
+    std::fill(tags_.begin(), tags_.end(), kNoTag);
+    std::fill(tagsLo_.begin(), tagsLo_.end(), static_cast<u32>(kNoTag));
+    std::fill(tagsHi_.begin(), tagsHi_.end(),
+              static_cast<u32>(kNoTag >> 32));
+    std::fill(targets_.begin(), targets_.end(), Addr{0});
+    std::fill(lru_.begin(), lru_.end(), 0u);
     lruClock_ = 0;
 }
 

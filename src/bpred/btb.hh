@@ -20,6 +20,11 @@
 
 #include "util/types.hh"
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#define INTERF_BTB_HAVE_SSE2 1
+#endif
+
 namespace interf::bpred
 {
 
@@ -40,11 +45,86 @@ class Btb
      */
     Btb(u32 sets, u32 ways);
 
-    /** Look up the predicted target for a branch; no state change. */
-    BtbResult lookup(Addr pc) const;
+    /**
+     * Look up the predicted target for a branch; no state change.
+     * Inlined (with SoA tag storage) for the replay kernel, which
+     * calls this once per taken branch.
+     */
+    BtbResult lookup(Addr pc) const
+    {
+        const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
+        u32 w = findWay(base, tagOf(pc));
+        if (w != ways_)
+            return {true, targets_[base + w]};
+        return {};
+    }
+
+    /**
+     * lookup() followed by update() with a single tag scan: returns
+     * what lookup(pc) would have, then installs/refreshes the target.
+     * The replay kernel always pairs the two on taken branches, and
+     * the scan is the dominant cost of each.
+     */
+    BtbResult lookupUpdate(Addr pc, Addr target)
+    {
+        const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
+        const Addr tag = tagOf(pc);
+        ++lruClock_;
+        u32 w = findWay(base, tag);
+        if (w != ways_) {
+            BtbResult before{true, targets_[base + w]};
+            targets_[base + w] = target;
+            lru_[base + w] = lruClock_;
+            return before;
+        }
+        Addr *tags = tags_.data() + base;
+        u32 victim = 0;
+        for (u32 v = 0; v < ways_; ++v) {
+            if (tags[v] == kNoTag) {
+                victim = v;
+                break;
+            }
+            if (lru_[base + v] < lru_[base + victim])
+                victim = v;
+        }
+        tags[victim] = tag;
+        tagsLo_[base + victim] = static_cast<u32>(tag);
+        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
+        targets_[base + victim] = target;
+        lru_[base + victim] = lruClock_;
+        return {};
+    }
 
     /** Install/refresh the target for a branch (LRU update). */
-    void update(Addr pc, Addr target);
+    void update(Addr pc, Addr target)
+    {
+        const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
+        Addr *tags = tags_.data() + base;
+        const Addr tag = tagOf(pc);
+        ++lruClock_;
+        // Hit: refresh.
+        u32 w = findWay(base, tag);
+        if (w != ways_) {
+            targets_[base + w] = target;
+            lru_[base + w] = lruClock_;
+            return;
+        }
+        // Miss: replace invalid or LRU way.
+        u32 victim = 0;
+        for (u32 v = 0; v < ways_; ++v) {
+            if (tags[v] == kNoTag) {
+                victim = v;
+                break;
+            }
+            if (lru_[base + v] < lru_[base + victim])
+                victim = v;
+        }
+        tags[victim] = tag;
+        tagsLo_[base + victim] = static_cast<u32>(tag);
+        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
+        targets_[base + victim] = target;
+        lru_[base + victim] = lruClock_;
+    }
 
     /** Restore the power-on (empty) state. */
     void reset();
@@ -56,21 +136,73 @@ class Btb
     u64 sizeBits() const;
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        Addr tag = 0;
-        Addr target = 0;
-        u32 lru = 0; ///< Higher = more recently used.
-    };
+    /**
+     * Tag of an invalid way; branch PCs are virtual code addresses far
+     * below the all-ones value, so the sentinel can never collide.
+     */
+    static constexpr Addr kNoTag = ~Addr{0};
 
-    u32 setIndex(Addr pc) const;
-    Addr tagOf(Addr pc) const;
+    u32 setIndex(Addr pc) const
+    {
+        return static_cast<u32>(pc ^ (pc >> 13)) & (sets_ - 1);
+    }
+
+    static Addr tagOf(Addr pc)
+    {
+        return pc; // full tags: conflicts come from the set index only
+    }
+
+    /**
+     * Way of the row at @p base holding @p tag, or ways_ if absent.
+     * Branchless packed compare of both tag halves ANDed into an exact
+     * equality mask — same scheme as cache::Cache::findWay (see the
+     * rationale there).
+     */
+    u32 findWay(size_t base, Addr tag) const
+    {
+#ifdef INTERF_BTB_HAVE_SSE2
+        if (ways_ % 4 == 0 && ways_ <= 32) {
+            const u32 *lo = tagsLo_.data() + base;
+            const u32 *hi = tagsHi_.data() + base;
+            const __m128i key_lo =
+                _mm_set1_epi32(static_cast<int>(static_cast<u32>(tag)));
+            const __m128i key_hi = _mm_set1_epi32(
+                static_cast<int>(static_cast<u32>(tag >> 32)));
+            u32 mask = 0;
+            for (u32 w = 0; w < ways_; w += 4) {
+                __m128i eq = _mm_and_si128(
+                    _mm_cmpeq_epi32(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(lo + w)),
+                        key_lo),
+                    _mm_cmpeq_epi32(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(hi + w)),
+                        key_hi));
+                mask |= static_cast<u32>(
+                            _mm_movemask_ps(_mm_castsi128_ps(eq)))
+                        << w;
+            }
+            return mask ? static_cast<u32>(__builtin_ctz(mask)) : ways_;
+        }
+#endif
+        const Addr *tags = tags_.data() + base;
+        for (u32 w = 0; w < ways_; ++w)
+            if (tags[w] == tag)
+                return w;
+        return ways_;
+    }
 
     u32 sets_;
     u32 ways_;
     u32 lruClock_ = 0;
-    std::vector<Entry> entries_; ///< sets_ * ways_, row-major by set.
+    /** @{ sets_ * ways_, row-major by set; parallel arrays. */
+    std::vector<Addr> tags_;
+    std::vector<u32> tagsLo_; ///< @{ Split halves of tags_: the scan
+    std::vector<u32> tagsHi_; ///< compares both packed. @}
+    std::vector<Addr> targets_;
+    std::vector<u32> lru_; ///< Higher = more recently used.
+    /** @} */
 };
 
 } // namespace interf::bpred

@@ -11,25 +11,6 @@ GlobalHistory::GlobalHistory(u32 bits) : width_(bits)
 }
 
 void
-GlobalHistory::push(bool taken)
-{
-    value_ = (value_ << 1) | (taken ? 1u : 0u);
-    if (width_ < 64)
-        value_ &= (u64{1} << width_) - 1;
-}
-
-u64
-GlobalHistory::low(u32 bits) const
-{
-    INTERF_ASSERT(bits <= width_);
-    if (bits == 0)
-        return 0;
-    if (bits >= 64)
-        return value_;
-    return value_ & ((u64{1} << bits) - 1);
-}
-
-void
 FoldedHistory::configure(u32 orig_len, u32 folded_len)
 {
     INTERF_ASSERT(folded_len >= 1 && folded_len <= 32);

@@ -24,11 +24,23 @@ class GlobalHistory
   public:
     explicit GlobalHistory(u32 bits = 64);
 
-    /** Shift in one outcome. */
-    void push(bool taken);
+    /** Shift in one outcome. Inlined: once per conditional branch. */
+    void push(bool taken)
+    {
+        value_ = (value_ << 1) | (taken ? 1u : 0u);
+        if (width_ < 64)
+            value_ &= (u64{1} << width_) - 1;
+    }
 
     /** The low `bits` history bits (bits <= width). */
-    u64 low(u32 bits) const;
+    u64 low(u32 bits) const
+    {
+        if (bits == 0)
+            return 0;
+        if (bits >= 64)
+            return value_;
+        return value_ & ((u64{1} << bits) - 1);
+    }
 
     /** Full register value. */
     u64 value() const { return value_; }

@@ -17,25 +17,6 @@ HybridPredictor::HybridPredictor(u32 gas_entries, u32 gas_history,
                   (chooser_entries & (chooser_entries - 1)) == 0);
 }
 
-bool
-HybridPredictor::predictAndTrain(Addr pc, bool taken)
-{
-    u8 &choose = chooser_[static_cast<u32>(pc ^ (pc >> 16)) & chooserMask_];
-    bool use_gas = choose >= 2;
-
-    // Train both components; each returns its own pre-update guess.
-    bool gas_pred = gas_.predictAndTrain(pc, taken);
-    bool bim_pred = bimodal_.predictAndTrain(pc, taken);
-    bool prediction = use_gas ? gas_pred : bim_pred;
-
-    // Train the chooser only when the components disagree.
-    if (gas_pred != bim_pred) {
-        bool gas_correct = gas_pred == taken;
-        choose = counter2::update(choose, gas_correct);
-    }
-    return prediction;
-}
-
 void
 HybridPredictor::reset()
 {

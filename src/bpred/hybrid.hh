@@ -20,8 +20,10 @@
 namespace interf::bpred
 {
 
-/** Chooser-based hybrid of a GAs component and a bimodal component. */
-class HybridPredictor : public BranchPredictor
+/** Chooser-based hybrid of a GAs component and a bimodal component.
+ *  Final so the replay kernel's devirtualized call inlines the whole
+ *  predict-and-train chain. */
+class HybridPredictor final : public BranchPredictor
 {
   public:
     /**
@@ -38,7 +40,24 @@ class HybridPredictor : public BranchPredictor
                     u32 chooser_entries,
                     TwoLevelScheme scheme = TwoLevelScheme::GAs);
 
-    bool predictAndTrain(Addr pc, bool taken) override;
+    bool predictAndTrain(Addr pc, bool taken) override
+    {
+        u8 &choose =
+            chooser_[static_cast<u32>(pc ^ (pc >> 16)) & chooserMask_];
+        bool use_gas = choose >= 2;
+
+        // Train both components; each returns its own pre-update guess.
+        bool gas_pred = gas_.predictAndTrain(pc, taken);
+        bool bim_pred = bimodal_.predictAndTrain(pc, taken);
+        bool prediction = use_gas ? gas_pred : bim_pred;
+
+        // Train the chooser only when the components disagree
+        // (branchless: agreement keeps the old value).
+        u8 trained = counter2::update(choose, gas_pred == taken);
+        choose = gas_pred != bim_pred ? trained : choose;
+        return prediction;
+    }
+
     void reset() override;
     std::string name() const override;
     u64 sizeBits() const override;

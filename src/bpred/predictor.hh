@@ -66,13 +66,20 @@ using PredictorPtr = std::unique_ptr<BranchPredictor>;
 namespace counter2
 {
 
-/** Update a 2-bit counter toward taken/not-taken. */
+/**
+ * Update a 2-bit counter toward taken/not-taken: +1 saturating at 3,
+ * -1 saturating at 0. Written branchlessly (the compiler emits
+ * conditional moves): the direction bit is the least predictable data
+ * the replay kernel consumes, and a branch here mispredicts on the
+ * host about as often as the modeled counter itself is wrong.
+ */
 inline u8
 update(u8 ctr, bool taken)
 {
-    if (taken)
-        return ctr < 3 ? ctr + 1 : 3;
-    return ctr > 0 ? ctr - 1 : 0;
+    int next = static_cast<int>(ctr) + (taken ? 1 : -1);
+    next = next < 0 ? 0 : next;
+    next = next > 3 ? 3 : next;
+    return static_cast<u8>(next);
 }
 
 /** Predicted direction of a 2-bit counter. */

@@ -24,32 +24,6 @@ TwoLevelPredictor::TwoLevelPredictor(TwoLevelScheme scheme, u32 entries,
         INTERF_ASSERT(history_bits <= indexBits_);
 }
 
-u32
-TwoLevelPredictor::indexFor(Addr pc) const
-{
-    u32 addr_mix = static_cast<u32>(pc ^ (pc >> 16));
-    u64 hist = history_.low(historyBits_);
-    if (scheme_ == TwoLevelScheme::GAs) {
-        // Concatenate: {addr bits, history bits}.
-        u32 addr_bits = indexBits_ - historyBits_;
-        u32 addr_part = addr_mix & ((u32{1} << addr_bits) - 1);
-        return ((addr_part << historyBits_) |
-                static_cast<u32>(hist)) & mask_;
-    }
-    // gshare: XOR.
-    return (addr_mix ^ static_cast<u32>(hist)) & mask_;
-}
-
-bool
-TwoLevelPredictor::predictAndTrain(Addr pc, bool taken)
-{
-    u8 &ctr = table_[indexFor(pc)];
-    bool prediction = counter2::predict(ctr);
-    ctr = counter2::update(ctr, taken);
-    history_.push(taken);
-    return prediction;
-}
-
 void
 TwoLevelPredictor::reset()
 {

@@ -37,13 +37,34 @@ class TwoLevelPredictor : public BranchPredictor
      */
     TwoLevelPredictor(TwoLevelScheme scheme, u32 entries, u32 history_bits);
 
-    bool predictAndTrain(Addr pc, bool taken) override;
+    bool predictAndTrain(Addr pc, bool taken) override
+    {
+        u8 &ctr = table_[indexFor(pc)];
+        bool prediction = counter2::predict(ctr);
+        ctr = counter2::update(ctr, taken);
+        history_.push(taken);
+        return prediction;
+    }
+
     void reset() override;
     std::string name() const override;
     u64 sizeBits() const override;
 
     /** Table index for (pc, current history) (exposed for tests). */
-    u32 indexFor(Addr pc) const;
+    u32 indexFor(Addr pc) const
+    {
+        u32 addr_mix = static_cast<u32>(pc ^ (pc >> 16));
+        u64 hist = history_.low(historyBits_);
+        if (scheme_ == TwoLevelScheme::GAs) {
+            // Concatenate: {addr bits, history bits}.
+            u32 addr_bits = indexBits_ - historyBits_;
+            u32 addr_part = addr_mix & ((u32{1} << addr_bits) - 1);
+            return ((addr_part << historyBits_) |
+                    static_cast<u32>(hist)) & mask_;
+        }
+        // gshare: XOR.
+        return (addr_mix ^ static_cast<u32>(hist)) & mask_;
+    }
 
     u32 historyBits() const { return historyBits_; }
 

@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
@@ -36,87 +37,23 @@ Cache::Cache(const CacheConfig &config) : cfg_(config)
 {
     cfg_.validate();
     sets_ = cfg_.numSets();
+    assoc_ = cfg_.assoc;
+    lruTracked_ = cfg_.replacement == Replacement::Lru;
     lineShift_ = static_cast<u32>(std::countr_zero(cfg_.lineBytes));
-    lines_.resize(static_cast<size_t>(sets_) * cfg_.assoc);
-}
-
-u32
-Cache::setIndex(Addr addr) const
-{
-    return static_cast<u32>(addr >> lineShift_) & (sets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr addr) const
-{
-    return addr >> lineShift_;
-}
-
-bool
-Cache::access(Addr addr)
-{
-    ++stats_.accesses;
-    Line *row = &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
-    Addr tag = tagOf(addr);
-    ++lruClock_;
-    for (u32 w = 0; w < cfg_.assoc; ++w) {
-        if (row[w].valid && row[w].tag == tag) {
-            row[w].lru = lruClock_;
-            return true;
-        }
-    }
-    ++stats_.misses;
-    row[pickVictim(row)] = {true, tag, lruClock_};
-    return false;
-}
-
-bool
-Cache::contains(Addr addr) const
-{
-    const Line *row =
-        &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
-    Addr tag = tagOf(addr);
-    for (u32 w = 0; w < cfg_.assoc; ++w)
-        if (row[w].valid && row[w].tag == tag)
-            return true;
-    return false;
-}
-
-void
-Cache::install(Addr addr)
-{
-    Line *row = &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
-    Addr tag = tagOf(addr);
-    ++lruClock_;
-    for (u32 w = 0; w < cfg_.assoc; ++w) {
-        if (row[w].valid && row[w].tag == tag) {
-            row[w].lru = lruClock_;
-            return;
-        }
-    }
-    row[pickVictim(row)] = {true, tag, lruClock_};
-}
-
-u32
-Cache::pickVictim(const Line *row)
-{
-    // Invalid ways first under either policy.
-    for (u32 w = 0; w < cfg_.assoc; ++w)
-        if (!row[w].valid)
-            return w;
-    if (cfg_.replacement == Replacement::Random)
-        return static_cast<u32>(victimRng_.uniformInt(cfg_.assoc));
-    u32 victim = 0;
-    for (u32 w = 1; w < cfg_.assoc; ++w)
-        if (row[w].lru < row[victim].lru)
-            victim = w;
-    return victim;
+    tags_.resize(static_cast<size_t>(sets_) * assoc_, kNoTag);
+    tagsLo_.resize(tags_.size(), static_cast<u32>(kNoTag));
+    tagsHi_.resize(tags_.size(), static_cast<u32>(kNoTag >> 32));
+    lru_.resize(tags_.size(), 0);
 }
 
 void
 Cache::reset()
 {
-    std::fill(lines_.begin(), lines_.end(), Line());
+    std::fill(tags_.begin(), tags_.end(), kNoTag);
+    std::fill(tagsLo_.begin(), tagsLo_.end(), static_cast<u32>(kNoTag));
+    std::fill(tagsHi_.begin(), tagsHi_.end(),
+              static_cast<u32>(kNoTag >> 32));
+    std::fill(lru_.begin(), lru_.end(), 0u);
     lruClock_ = 0;
     stats_ = CacheStats();
     victimRng_ = Rng(0x5eed); // deterministic runs

@@ -8,6 +8,13 @@
  * reordering perturbs the L1I, and heap randomization the L1D/L2.
  * The model tracks hits and misses only (no data), which is all the
  * PMU observes.
+ *
+ * The replay kernel calls access() roughly once per trace event and
+ * once per memory reference, so the lookup path is inlined here and
+ * the ways are stored as parallel tag/LRU arrays (an invalid way holds
+ * the kNoTag sentinel) rather than an array of line structs: a set's
+ * tags share one cache line and the common hit case touches nothing
+ * else.
  */
 
 #ifndef INTERF_CACHE_CACHE_HH
@@ -16,8 +23,14 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/types.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#define INTERF_CACHE_HAVE_SSE2 1
+#endif
 
 namespace interf::cache
 {
@@ -70,17 +83,79 @@ class Cache
      * Access one address (a single line).
      *
      * @return true on hit, false on miss (the line is then installed).
+     *
+     * The way scan dispatches to a fixed-associativity instantiation
+     * for the geometries the machine models actually use (8-way L1s,
+     * 24-way L2), letting the compiler fully unroll it.
      */
-    bool access(Addr addr);
+    bool access(Addr addr)
+    {
+        switch (assoc_) {
+          case 8:
+            return accessT<8>(addr);
+          case 24:
+            return accessT<24>(addr);
+          default:
+            return accessT<0>(addr);
+        }
+    }
 
     /** Probe without updating replacement state or installing. */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const
+    {
+        return probeWay(addr) != assoc_;
+    }
+
+    /**
+     * Way currently holding @p addr's line, or assoc() if absent; no
+     * state change. Lets callers that will touch the line again skip
+     * the next scan (see MemoryHierarchy's prefetch memo).
+     */
+    u32 probeWay(Addr addr) const
+    {
+        switch (assoc_) {
+          case 8:
+            return probeWayT<8>(addr);
+          case 24:
+            return probeWayT<24>(addr);
+          default:
+            return probeWayT<0>(addr);
+        }
+    }
+
+    /**
+     * Record a demand access that is known to hit at @p way — the
+     * caller proved presence (probeWay/install with no intervening
+     * state change to the set). Statistics and LRU updates are exactly
+     * those of a hitting access(), without the scan.
+     */
+    void accessAt(Addr addr, u32 way)
+    {
+        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc_;
+        INTERF_ASSERT(way < assoc_ && tags_[base + way] == tagOf(addr));
+        ++stats_.accesses;
+        ++lruClock_;
+        if (lruTracked_)
+            lru_[base + way] = lruClock_;
+    }
 
     /**
      * Install a line without touching the hit/miss statistics (used for
      * prefetches, which are not demand misses).
+     *
+     * @return The way the line now occupies.
      */
-    void install(Addr addr);
+    u32 install(Addr addr)
+    {
+        switch (assoc_) {
+          case 8:
+            return installT<8>(addr);
+          case 24:
+            return installT<24>(addr);
+          default:
+            return installT<0>(addr);
+        }
+    }
 
     /** Invalidate everything and clear statistics. */
     void reset();
@@ -92,25 +167,164 @@ class Cache
     const CacheStats &stats() const { return stats_; }
 
     /** Set index for an address (exposed for tests). */
-    u32 setIndex(Addr addr) const;
+    u32 setIndex(Addr addr) const
+    {
+        return static_cast<u32>(addr >> lineShift_) & (sets_ - 1);
+    }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        Addr tag = 0;
-        u32 lru = 0;
-    };
+    /**
+     * Tag value of an invalid way. Real tags are line numbers (address
+     * >> lineShift), far below 2^52 for any address the layout engines
+     * produce, so the all-ones value can never collide.
+     */
+    static constexpr Addr kNoTag = ~Addr{0};
 
-    Addr tagOf(Addr addr) const;
-    u32 pickVictim(const Line *row);
+    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+
+    /**
+     * Way of the row at @p base holding @p tag, or assoc if absent.
+     *
+     * The scan is branchless across the ways: packed compares against
+     * the parallel low- and high-half tag arrays AND together into an
+     * exact 64-bit-equality bitmask (lo equal and hi equal iff the full
+     * tags are equal), so the hit way is a single ctz away with no
+     * data-dependent load or branch. The per-way early-exit loop this
+     * replaces paid one mispredict per lookup — the way holding a tag
+     * is effectively random — which dominated the replay kernel's
+     * cycle budget.
+     */
+    template <u32 kAssoc>
+    u32 findWay(size_t base, Addr tag) const
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
+#ifdef INTERF_CACHE_HAVE_SSE2
+        if (assoc % 4 == 0 && assoc <= 32) { // mask is a u32; odd rows
+                                             // (kAssoc == 0) scan scalar
+            const u32 *lo = tagsLo_.data() + base;
+            const u32 *hi = tagsHi_.data() + base;
+            const __m128i key_lo =
+                _mm_set1_epi32(static_cast<int>(static_cast<u32>(tag)));
+            const __m128i key_hi = _mm_set1_epi32(
+                static_cast<int>(static_cast<u32>(tag >> 32)));
+            u32 mask = 0;
+            for (u32 w = 0; w < assoc; w += 4) {
+                __m128i eq = _mm_and_si128(
+                    _mm_cmpeq_epi32(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(lo + w)),
+                        key_lo),
+                    _mm_cmpeq_epi32(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(hi + w)),
+                        key_hi));
+                mask |= static_cast<u32>(
+                            _mm_movemask_ps(_mm_castsi128_ps(eq)))
+                        << w;
+            }
+            return mask ? static_cast<u32>(__builtin_ctz(mask)) : assoc;
+        }
+#endif
+        const Addr *tags = tags_.data() + base;
+        for (u32 w = 0; w < assoc; ++w)
+            if (tags[w] == tag)
+                return w;
+        return assoc;
+    }
+
+    /** @{ Fixed-associativity bodies; kAssoc == 0 = runtime assoc_. */
+    template <u32 kAssoc>
+    bool accessT(Addr addr)
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
+        ++stats_.accesses;
+        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
+        const Addr tag = tagOf(addr);
+        ++lruClock_;
+        u32 w = findWay<kAssoc>(base, tag);
+        if (w != assoc) {
+            if (lruTracked_)
+                lru_[base + w] = lruClock_;
+            return true;
+        }
+        ++stats_.misses;
+        u32 victim = pickVictim<kAssoc>(base);
+        tags_[base + victim] = tag;
+        tagsLo_[base + victim] = static_cast<u32>(tag);
+        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
+        if (lruTracked_)
+            lru_[base + victim] = lruClock_;
+        return false;
+    }
+
+    template <u32 kAssoc>
+    u32 probeWayT(Addr addr) const
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
+        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
+        return findWay<kAssoc>(base, tagOf(addr));
+    }
+
+    template <u32 kAssoc>
+    u32 installT(Addr addr)
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
+        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
+        const Addr tag = tagOf(addr);
+        ++lruClock_;
+        u32 w = findWay<kAssoc>(base, tag);
+        if (w != assoc) {
+            if (lruTracked_)
+                lru_[base + w] = lruClock_;
+            return w;
+        }
+        u32 victim = pickVictim<kAssoc>(base);
+        tags_[base + victim] = tag;
+        tagsLo_[base + victim] = static_cast<u32>(tag);
+        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
+        if (lruTracked_)
+            lru_[base + victim] = lruClock_;
+        return victim;
+    }
+
+    /**
+     * Victim way: invalid ways first (in way order, which the kNoTag
+     * scan preserves since candidates are visited low way first), then
+     * the policy's choice.
+     */
+    template <u32 kAssoc>
+    u32 pickVictim(size_t base)
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
+        u32 invalid = findWay<kAssoc>(base, kNoTag);
+        if (invalid != assoc)
+            return invalid;
+        if (cfg_.replacement == Replacement::Random)
+            return static_cast<u32>(victimRng_.uniformInt(assoc));
+        const u32 *lru = lru_.data() + base;
+        u32 victim = 0;
+        for (u32 w = 1; w < assoc; ++w)
+            if (lru[w] < lru[victim])
+                victim = w;
+        return victim;
+    }
+    /** @} */
 
     CacheConfig cfg_;
     u32 sets_;
+    u32 assoc_;
     u32 lineShift_;
+    /** LRU timestamps are only ever read under Replacement::Lru;
+     *  Random caches (the large L2) skip the stores — the lru_ array
+     *  is as big as the tag arrays, and dead writes to it evict real
+     *  state from the host's caches. */
+    bool lruTracked_;
     u32 lruClock_ = 0;
     Rng victimRng_{0x5eed};
-    std::vector<Line> lines_; ///< sets_ * assoc, row-major by set.
+    std::vector<Addr> tags_;   ///< sets_ * assoc, row-major by set.
+    std::vector<u32> tagsLo_;  ///< @{ Split halves of tags_: the scan
+    std::vector<u32> tagsHi_;  ///< compares both packed. @}
+    std::vector<u32> lru_;     ///< Parallel to tags_.
     CacheStats stats_;
 };
 

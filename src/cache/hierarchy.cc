@@ -6,51 +6,7 @@ namespace interf::cache
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
     : cfg_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
 {
-}
-
-HitLevel
-MemoryHierarchy::fetchInst(Addr addr)
-{
-    HitLevel level;
-    if (l1i_.access(addr)) {
-        level = HitLevel::L1;
-    } else if (l2_.access(addr)) {
-        level = HitLevel::L2;
-    } else {
-        level = HitLevel::Memory;
-        ++l2InstMisses_;
-    }
-
-    // Sequential next-line prefetch: bring in the following line so
-    // straight-line fetch rarely misses; conflict misses among hot
-    // lines (the layout-sensitive kind) remain.
-    if (cfg_.nextLinePrefetch) {
-        u32 line_bytes = cfg_.l1i.lineBytes;
-        Addr line = addr / line_bytes;
-        if (line != lastFetchLine_) {
-            lastFetchLine_ = line;
-            Addr next = (line + 1) * line_bytes;
-            if (!l1i_.contains(next)) {
-                // The prefetch fills L1I via L2 without counting as a
-                // demand L1I miss.
-                if (!l2_.access(next))
-                    ++l2PrefMisses_;
-                l1i_.install(next);
-            }
-        }
-    }
-    return level;
-}
-
-HitLevel
-MemoryHierarchy::accessData(Addr addr)
-{
-    if (l1d_.access(addr))
-        return HitLevel::L1;
-    if (l2_.access(addr))
-        return HitLevel::L2;
-    ++l2DataMisses_;
-    return HitLevel::Memory;
+    prefMemoSafe_ = config.l1i.numSets() > 1;
 }
 
 void
@@ -60,6 +16,7 @@ MemoryHierarchy::reset()
     l1d_.reset();
     l2_.reset();
     lastFetchLine_ = ~Addr{0};
+    prefLine_ = ~Addr{0};
     l2InstMisses_ = 0;
     l2PrefMisses_ = 0;
     l2DataMisses_ = 0;

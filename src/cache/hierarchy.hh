@@ -48,11 +48,68 @@ class MemoryHierarchy
   public:
     explicit MemoryHierarchy(const HierarchyConfig &config);
 
-    /** Instruction fetch of one line-covered address. */
-    HitLevel fetchInst(Addr addr);
+    /**
+     * Instruction fetch of one line-covered address. Inlined: this and
+     * accessData() are the two hottest calls in the replay kernel.
+     */
+    HitLevel fetchInst(Addr addr)
+    {
+        HitLevel level;
+        if (addr == prefLine_) {
+            // Sequential fetch of the line the previous call's prefetch
+            // check just proved present. Nothing can have evicted it
+            // since: only fetchInst mutates the L1I, every other call
+            // refreshes this memo, and the hierarchy-deduped call (same
+            // line re-fetch) touches the *previous* line's set, never
+            // this one's (consecutive lines map to consecutive sets).
+            // accessAt applies a hitting access's exact state updates.
+            l1i_.accessAt(addr, prefWay_);
+            level = HitLevel::L1;
+        } else if (l1i_.access(addr)) {
+            level = HitLevel::L1;
+        } else if (l2_.access(addr)) {
+            level = HitLevel::L2;
+        } else {
+            level = HitLevel::Memory;
+            ++l2InstMisses_;
+        }
+
+        // Sequential next-line prefetch: bring in the following line so
+        // straight-line fetch rarely misses; conflict misses among hot
+        // lines (the layout-sensitive kind) remain.
+        if (cfg_.nextLinePrefetch) {
+            u32 line_bytes = cfg_.l1i.lineBytes;
+            Addr line = addr / line_bytes;
+            if (line != lastFetchLine_) {
+                lastFetchLine_ = line;
+                Addr next = (line + 1) * line_bytes;
+                u32 way = l1i_.probeWay(next);
+                if (way == l1i_.config().assoc) {
+                    // The prefetch fills L1I via L2 without counting as
+                    // a demand L1I miss.
+                    if (!l2_.access(next))
+                        ++l2PrefMisses_;
+                    way = l1i_.install(next);
+                }
+                if (prefMemoSafe_) {
+                    prefLine_ = next;
+                    prefWay_ = way;
+                }
+            }
+        }
+        return level;
+    }
 
     /** Data access (load or store; the model is allocate-on-miss). */
-    HitLevel accessData(Addr addr);
+    HitLevel accessData(Addr addr)
+    {
+        if (l1d_.access(addr))
+            return HitLevel::L1;
+        if (l2_.access(addr))
+            return HitLevel::L2;
+        ++l2DataMisses_;
+        return HitLevel::Memory;
+    }
 
     /** Invalidate all levels and clear statistics. */
     void reset();
@@ -69,6 +126,14 @@ class MemoryHierarchy
     Cache l1d_;
     Cache l2_;
     Addr lastFetchLine_ = ~Addr{0};
+    /** @{ Prefetch memo: the line the last prefetch check proved
+     *  present in the L1I, and its way. The sequential-set argument in
+     *  fetchInst() needs >= 2 L1I sets, so single-set geometries leave
+     *  the memo disarmed. */
+    Addr prefLine_ = ~Addr{0};
+    u32 prefWay_ = 0;
+    bool prefMemoSafe_ = false;
+    /** @} */
     Count l2InstMisses_ = 0;
     Count l2PrefMisses_ = 0;
     Count l2DataMisses_ = 0;

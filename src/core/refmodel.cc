@@ -1,0 +1,197 @@
+#include "core/refmodel.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace interf::core::refmodel
+{
+
+RefCache::RefCache(const cache::CacheConfig &config) : cfg_(config)
+{
+    cfg_.validate();
+    sets_ = cfg_.numSets();
+    lineShift_ = static_cast<u32>(std::countr_zero(cfg_.lineBytes));
+    lines_.resize(static_cast<size_t>(sets_) * cfg_.assoc);
+}
+
+bool
+RefCache::access(Addr addr)
+{
+    ++stats_.accesses;
+    Line *row = &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
+    Addr tag = tagOf(addr);
+    ++lruClock_;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].lru = lruClock_;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    row[pickVictim(row)] = {true, tag, lruClock_};
+    return false;
+}
+
+bool
+RefCache::contains(Addr addr) const
+{
+    const Line *row =
+        &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
+    Addr tag = tagOf(addr);
+    for (u32 w = 0; w < cfg_.assoc; ++w)
+        if (row[w].valid && row[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+RefCache::install(Addr addr)
+{
+    Line *row = &lines_[static_cast<size_t>(setIndex(addr)) * cfg_.assoc];
+    Addr tag = tagOf(addr);
+    ++lruClock_;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].lru = lruClock_;
+            return;
+        }
+    }
+    row[pickVictim(row)] = {true, tag, lruClock_};
+}
+
+u32
+RefCache::pickVictim(const Line *row)
+{
+    // Invalid ways first under either policy.
+    for (u32 w = 0; w < cfg_.assoc; ++w)
+        if (!row[w].valid)
+            return w;
+    if (cfg_.replacement == cache::Replacement::Random)
+        return static_cast<u32>(victimRng_.uniformInt(cfg_.assoc));
+    u32 victim = 0;
+    for (u32 w = 1; w < cfg_.assoc; ++w)
+        if (row[w].lru < row[victim].lru)
+            victim = w;
+    return victim;
+}
+
+RefHierarchy::RefHierarchy(const cache::HierarchyConfig &config)
+    : cfg_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{
+}
+
+cache::HitLevel
+RefHierarchy::fetchInst(Addr addr)
+{
+    cache::HitLevel level;
+    if (l1i_.access(addr)) {
+        level = cache::HitLevel::L1;
+    } else if (l2_.access(addr)) {
+        level = cache::HitLevel::L2;
+    } else {
+        level = cache::HitLevel::Memory;
+        ++l2InstMisses_;
+    }
+
+    // Sequential next-line prefetch: bring in the following line so
+    // straight-line fetch rarely misses; conflict misses among hot
+    // lines (the layout-sensitive kind) remain.
+    if (cfg_.nextLinePrefetch) {
+        u32 line_bytes = cfg_.l1i.lineBytes;
+        Addr line = addr / line_bytes;
+        if (line != lastFetchLine_) {
+            lastFetchLine_ = line;
+            Addr next = (line + 1) * line_bytes;
+            if (!l1i_.contains(next)) {
+                // The prefetch fills L1I via L2 without counting as a
+                // demand L1I miss.
+                if (!l2_.access(next))
+                    ++l2PrefMisses_;
+                l1i_.install(next);
+            }
+        }
+    }
+    return level;
+}
+
+cache::HitLevel
+RefHierarchy::accessData(Addr addr)
+{
+    if (l1d_.access(addr))
+        return cache::HitLevel::L1;
+    if (l2_.access(addr))
+        return cache::HitLevel::L2;
+    ++l2DataMisses_;
+    return cache::HitLevel::Memory;
+}
+
+void
+RefHierarchy::clearStats()
+{
+    l1i_.clearStats();
+    l1d_.clearStats();
+    l2_.clearStats();
+    l2InstMisses_ = 0;
+    l2PrefMisses_ = 0;
+    l2DataMisses_ = 0;
+}
+
+cache::HierarchyStats
+RefHierarchy::stats() const
+{
+    cache::HierarchyStats s;
+    s.l1i = l1i_.stats();
+    s.l1d = l1d_.stats();
+    s.l2 = l2_.stats();
+    s.l2InstMisses = l2InstMisses_;
+    s.l2PrefMisses = l2PrefMisses_;
+    s.l2DataMisses = l2DataMisses_;
+    return s;
+}
+
+RefBtb::RefBtb(u32 sets, u32 ways) : sets_(sets), ways_(ways)
+{
+    INTERF_ASSERT(sets >= 1 && (sets & (sets - 1)) == 0);
+    INTERF_ASSERT(ways >= 1);
+    entries_.resize(static_cast<size_t>(sets) * ways);
+}
+
+bpred::BtbResult
+RefBtb::lookup(Addr pc) const
+{
+    const Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];
+    for (u32 w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].tag == tagOf(pc))
+            return {true, row[w].target};
+    }
+    return {};
+}
+
+void
+RefBtb::update(Addr pc, Addr target)
+{
+    Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];
+    ++lruClock_;
+    // Hit: refresh.
+    for (u32 w = 0; w < ways_; ++w) {
+        if (row[w].valid && row[w].tag == tagOf(pc)) {
+            row[w].target = target;
+            row[w].lru = lruClock_;
+            return;
+        }
+    }
+    // Miss: replace invalid or LRU way.
+    u32 victim = 0;
+    for (u32 w = 0; w < ways_; ++w) {
+        if (!row[w].valid) {
+            victim = w;
+            break;
+        }
+        if (row[w].lru < row[victim].lru)
+            victim = w;
+    }
+    row[victim] = {true, tagOf(pc), target, lruClock_};
+}
+
+} // namespace interf::core::refmodel

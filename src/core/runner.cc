@@ -54,26 +54,52 @@ MeasurementRunner::measureWithTruth(const trace::Program &prog,
                                     const layout::PageMap &pages,
                                     u64 noise_seed)
 {
+    return protocol(machine_.run(prog, trace, code, heap, pages),
+                    noise_seed);
+}
+
+Measurement
+MeasurementRunner::measure(const trace::ReplayPlan &plan,
+                           const trace::LayoutTables &tables,
+                           u64 noise_seed)
+{
+    return measureWithTruth(plan, tables, noise_seed).sample;
+}
+
+MeasuredRun
+MeasurementRunner::measureWithTruth(const trace::ReplayPlan &plan,
+                                    const trace::LayoutTables &tables,
+                                    u64 noise_seed)
+{
+    return protocol(machine_.replay(plan, tables), noise_seed);
+}
+
+MeasuredRun
+MeasurementRunner::protocol(RunResult truth_in, u64 noise_seed)
+{
     MeasuredRun out;
-    out.truth = machine_.run(prog, trace, code, heap, pages);
+    out.truth = truth_in;
     const RunResult &truth = out.truth;
     NoiseModel noise(cfg_.noise, noise_seed);
 
     auto groups = pmu::standardGroups();
     INTERF_ASSERT(groups.size() == 3);
 
-    // Per group: five noisy runs; keep the median-cycle run.
+    // Per group: five noisy runs; keep the median-cycle run. The
+    // sample buffer lives outside the lambda so one measurement makes
+    // one allocation, not one per group.
+    std::vector<double> cycle_samples;
+    cycle_samples.reserve(cfg_.runsPerGroup);
     auto median_cycles_for_group = [&](u32 group_idx) -> Cycle {
-        std::vector<double> cycles;
-        cycles.reserve(cfg_.runsPerGroup);
+        cycle_samples.clear();
         for (u32 rep = 0; rep < cfg_.runsPerGroup; ++rep) {
             u64 run_id = static_cast<u64>(group_idx) * cfg_.runsPerGroup +
                          rep;
-            cycles.push_back(static_cast<double>(
+            cycle_samples.push_back(static_cast<double>(
                 noise.perturbCycles(run_id, truth.cycles)));
         }
-        size_t keep = stats::medianIndex(cycles);
-        return static_cast<Cycle>(cycles[keep]);
+        size_t keep = stats::medianIndex(cycle_samples);
+        return static_cast<Cycle>(cycle_samples[keep]);
     };
 
     auto truth_count = [&](pmu::Event ev) -> u64 {

@@ -117,7 +117,24 @@ class MeasurementRunner
                                  u64 noise_seed);
     /** @} */
 
+    /**
+     * @{ Plan-based measurement: the campaign hot path. Replays a
+     * compiled ReplayPlan under one layout's address tables instead of
+     * walking Program + Trace; identical protocol, identical results
+     * (the replay kernel is bit-identical to the reference loop).
+     */
+    Measurement measure(const trace::ReplayPlan &plan,
+                        const trace::LayoutTables &tables, u64 noise_seed);
+
+    MeasuredRun measureWithTruth(const trace::ReplayPlan &plan,
+                                 const trace::LayoutTables &tables,
+                                 u64 noise_seed);
+    /** @} */
+
   private:
+    /** The three-group median-of-five protocol over one truth run. */
+    MeasuredRun protocol(RunResult truth, u64 noise_seed);
+
     Machine machine_;
     RunnerConfig cfg_;
 };

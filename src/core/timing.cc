@@ -1,8 +1,11 @@
 #include "core/timing.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "bpred/factory.hh"
+#include "bpred/hybrid.hh"
+#include "core/refmodel.hh"
 #include "util/logging.hh"
 
 namespace interf::core
@@ -60,7 +63,26 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
              const layout::CodeLayout &code, const layout::HeapLayout &heap,
              const layout::PageMap &pages)
 {
-    resetState();
+    trace::ReplayPlan plan(prog, trace);
+    trace::LayoutTables tables(plan, code, heap, pages,
+                               cfg_.hierarchy.l1i.lineBytes);
+    return replay(plan, tables);
+}
+
+RunResult
+Machine::runReference(const trace::Program &prog, const trace::Trace &trace,
+                      const layout::CodeLayout &code,
+                      const layout::HeapLayout &heap,
+                      const layout::PageMap &pages)
+{
+    // Fresh reference components per run: power-on state, and fully
+    // independent of the optimized SoA structures the replay kernel
+    // uses (see core/refmodel.hh). The predictor is driven through its
+    // virtual interface, as the pre-plan measurement path did.
+    refmodel::RefHierarchy hierarchy(cfg_.hierarchy);
+    refmodel::RefBtb btb(cfg_.btbSets, cfg_.btbWays);
+    bpred::PredictorPtr predictor = bpred::makePredictor(cfg_.predictorSpec);
+    bpred::ReturnAddressStack ras(cfg_.rasDepth);
     RunResult res;
 
     const u32 line_bytes = cfg_.hierarchy.l1i.lineBytes;
@@ -102,7 +124,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
             slot_carry = 0;
             cluster_start_inst = 0;
             cluster_outstanding = 0;
-            hierarchy_.clearStats();
+            hierarchy.clearStats();
         }
         const auto &ev = trace.events[ev_idx];
         const trace::BasicBlock &bb = prog.block(ev.proc, ev.block);
@@ -117,7 +139,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
                 continue; // same fetch group continuing
             last_fetch_line = line;
             cache::HitLevel level =
-                hierarchy_.fetchInst(pages.translate(line));
+                hierarchy.fetchInst(pages.translate(line));
             if (level != cache::HitLevel::L1) {
                 // Demand I-miss stalls fetch; the decode queue hides a
                 // few cycles of it.
@@ -139,7 +161,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
         for (const auto &ref : bb.memRefs) {
             Addr daddr = heap.dataAddr(trace.memIds[mem_cursor++]);
             cache::HitLevel level =
-                hierarchy_.accessData(pages.translate(daddr));
+                hierarchy.accessData(pages.translate(daddr));
             u32 lat = mem_latency(level);
             if (!ref.isStore)
                 last_load_latency = lat;
@@ -171,7 +193,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
         if (br.isConditional()) {
             ++res.condBranches;
             bool taken = ev.taken != 0;
-            bool pred = predictor_->predictAndTrain(branch_pc, taken);
+            bool pred = predictor->predictAndTrain(branch_pc, taken);
             if (pred != taken) {
                 ++res.mispredicts;
                 mispredicted = true;
@@ -189,7 +211,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
         // stack; a pop that disagrees with the actual fall-back target
         // (stack overflow on deep chains) costs a full redirect.
         if (br.kind == trace::OpClass::Return) {
-            Addr predicted = ras_.pop();
+            Addr predicted = ras.pop();
             Addr actual = 0;
             if (ev_idx + 1 < trace.events.size()) {
                 const auto &next = trace.events[ev_idx + 1];
@@ -212,7 +234,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
                 // Push the fall-through (return) address.
                 u32 next_block = static_cast<u32>(ev.block) + 1;
                 if (next_block < prog.proc(ev.proc).blocks.size())
-                    ras_.push(code.blockAddr(ev.proc, next_block));
+                    ras.push(code.blockAddr(ev.proc, next_block));
                 break;
               }
               case trace::OpClass::IndirectBranch:
@@ -223,7 +245,7 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
               default:
                 target = code.blockAddr(br.targetProc, br.targetBlock);
             }
-            bpred::BtbResult hit = btb_.lookup(branch_pc);
+            bpred::BtbResult hit = btb.lookup(branch_pc);
             bool target_ok = hit.hit && hit.target == target;
             if (!target_ok) {
                 ++res.btbMisses;
@@ -240,13 +262,270 @@ Machine::run(const trace::Program &prog, const trace::Trace &trace,
                     }
                 }
             }
-            btb_.update(branch_pc, target);
+            btb.update(branch_pc, target);
             // Any taken branch breaks the sequential fetch run.
             last_fetch_line = ~Addr{0};
         }
     }
 
     INTERF_ASSERT(mem_cursor == trace.memIds.size());
+
+    auto hs = hierarchy.stats();
+    res.l1iMisses = hs.l1i.misses;
+    res.l1dMisses = hs.l1d.misses;
+    res.l2Misses = hs.l2.misses;
+    res.l2InstMisses = hs.l2InstMisses;
+    res.l2PrefMisses = hs.l2PrefMisses;
+    res.l2DataMisses = hs.l2DataMisses;
+    res.cycles = cycles;
+    return res;
+}
+
+RunResult
+Machine::replay(const trace::ReplayPlan &plan,
+                const trace::LayoutTables &tables)
+{
+    INTERF_ASSERT(tables.hasData());
+    INTERF_ASSERT(tables.siteAddr.size() == plan.siteCount());
+    INTERF_ASSERT(tables.dataAddr.size() == plan.memCount());
+    if (tables.identityPages())
+        return replayImpl<true, false>(plan, tables);
+    // The pre-translated fetch-line table only applies when it was
+    // built for this machine's L1I line size.
+    if (tables.fetchLineBytes() == cfg_.hierarchy.l1i.lineBytes &&
+        tables.siteLineStart.size() == plan.siteCount() + 1)
+        return replayImpl<false, true>(plan, tables);
+    return replayImpl<false, false>(plan, tables);
+}
+
+/**
+ * The dense replay kernel. Mirrors runReference() block for block —
+ * the per-event model steps and their order are identical, only the
+ * operand sources differ: flat plan/table arrays instead of Program
+ * traversal and per-access address computation. Any behavioural edit
+ * here must be made in runReference() too (test_replay.cc enforces
+ * equality).
+ */
+template <bool IdentityPages, bool UseLineTable>
+RunResult
+Machine::replayImpl(const trace::ReplayPlan &plan,
+                    const trace::LayoutTables &tables)
+{
+    using trace::ReplayPlan;
+
+    resetState();
+    RunResult res;
+
+    const u32 line_bytes = cfg_.hierarchy.l1i.lineBytes;
+    const u64 line_mask = ~static_cast<u64>(line_bytes - 1);
+
+    Cycle cycles = 0;
+    u32 slot_carry = 0;
+    Addr last_fetch_line = ~Addr{0};
+    u64 cluster_start_inst = 0;
+    u32 cluster_outstanding = 0;
+    size_t mem_cursor = 0;
+
+    const layout::PageMap &pages = tables.pages();
+    const Addr *site_addr = tables.siteAddr.data();
+    const Addr *branch_addr = tables.branchAddr.data();
+    const Addr *data_addr = tables.dataAddr.data();
+    const Addr *line_phys = tables.linePhys.data();
+    const u32 *site_line_start = tables.siteLineStart.data();
+    const u32 *ev_site = plan.site.data();
+    const u32 *ev_bytes = plan.bytes.data();
+    const u16 *ev_insts = plan.nInsts.data();
+    const u8 *ev_extra = plan.extraExecCycles.data();
+    const u16 *ev_nmem = plan.nMem.data();
+    const u8 *ev_flags = plan.flags.data();
+    const u32 *ev_target = plan.targetSite.data();
+    const u32 *ev_ras_push = plan.rasPushSite.data();
+    const u32 *ev_return = plan.returnSite.data();
+    const u8 *mem_is_store = plan.memIsStore.data();
+
+    // Devirtualize the hottest polymorphic call: the standard machine
+    // predictor is the hybrid, whose final class lets the direct call
+    // inline the whole predict-and-train chain. Other predictors fall
+    // back to the virtual dispatch; results are identical either way.
+    auto *hybrid = dynamic_cast<bpred::HybridPredictor *>(predictor_.get());
+    auto predict_and_train = [&](Addr pc, bool taken) -> bool {
+        return hybrid ? hybrid->predictAndTrain(pc, taken)
+                      : predictor_->predictAndTrain(pc, taken);
+    };
+
+    // HitLevel is a dense enum (L1, L2, Memory); lookups replace the
+    // reference loop's switch and its fetch-stall conditional.
+    const u32 lat_by_level[3] = {cfg_.l1Latency, cfg_.l2Latency,
+                                 cfg_.memLatency};
+    auto stall = [](u32 lat) -> Cycle { return lat > 4 ? lat - 4 : 0; };
+    const Cycle fetch_stall_by_level[3] = {
+        0, stall(cfg_.l2Latency), stall(cfg_.memLatency)};
+    auto mem_latency = [&](cache::HitLevel level) -> u32 {
+        return lat_by_level[static_cast<u32>(level)];
+    };
+
+    // Issue width is a runtime config value, so the reference loop's
+    // `/ width` is a hardware divide on every event; all modeled
+    // machines use a power-of-two width, which reduces to shift/mask.
+    const u32 width = cfg_.width;
+    const bool width_pow2 = (width & (width - 1)) == 0;
+    const u32 width_shift =
+        static_cast<u32>(std::countr_zero(width ? width : 1u));
+
+    const size_t n = plan.eventCount();
+    const size_t warmup_events = static_cast<size_t>(
+        static_cast<double>(n) * cfg_.warmupFraction);
+
+    // The event loop body, over [lo, hi). Split at the warmup boundary
+    // so the boundary test is not paid per event (the reference loop
+    // checks `ev_idx == warmup_events` each iteration; hoisting it is
+    // behaviour-preserving).
+    auto run_events = [&](size_t lo, size_t hi) {
+    for (size_t ev_idx = lo; ev_idx < hi; ++ev_idx) {
+        const u32 s = ev_site[ev_idx];
+        const Addr addr = site_addr[s];
+
+        // ---- Front end: fetch the lines this block occupies. The
+        // last_fetch_line dedup runs on virtual lines; the hierarchy
+        // sees physical ones (pre-translated per site when the line
+        // table matches this machine's line size).
+        Addr first_line = addr & line_mask;
+        Addr last_line = (addr + ev_bytes[ev_idx] - 1) & line_mask;
+        u32 li = UseLineTable ? site_line_start[s] : 0;
+        for (Addr line = first_line; line <= last_line;
+             line += line_bytes, ++li) {
+            if (line == last_fetch_line)
+                continue; // same fetch group continuing
+            last_fetch_line = line;
+            Addr paddr = IdentityPages
+                             ? line
+                             : (UseLineTable ? line_phys[li]
+                                             : pages.translate(line));
+            cache::HitLevel level = hierarchy_.fetchInst(paddr);
+            // Demand I-miss stalls fetch; the decode queue hides a few
+            // cycles (precomputed per level, zero for L1 hits).
+            cycles += fetch_stall_by_level[static_cast<u32>(level)];
+        }
+
+        // ---- Issue/retire.
+        slot_carry += ev_insts[ev_idx];
+        if (width_pow2) {
+            cycles += slot_carry >> width_shift;
+            slot_carry &= width - 1;
+        } else {
+            cycles += slot_carry / width;
+            slot_carry %= width;
+        }
+        cycles += ev_extra[ev_idx];
+        res.instructions += ev_insts[ev_idx];
+
+        // ---- Data accesses (addresses pre-translated in the tables).
+        // L1D hits (the common, well-predicted case) skip the cluster
+        // bookkeeping entirely; a select-based rewrite measured slower
+        // because it puts the bookkeeping on every access's dependence
+        // chain.
+        u32 last_load_latency = 0;
+        for (u32 m = ev_nmem[ev_idx]; m > 0; --m, ++mem_cursor) {
+            cache::HitLevel level =
+                hierarchy_.accessData(data_addr[mem_cursor]);
+            u32 lat = mem_latency(level);
+            // Loads update the resolution latency.
+            last_load_latency =
+                mem_is_store[mem_cursor] ? last_load_latency : lat;
+            if (level != cache::HitLevel::L1) {
+                bool overlaps =
+                    res.instructions - cluster_start_inst <=
+                        cfg_.robSize &&
+                    cluster_outstanding > 0 &&
+                    cluster_outstanding < cfg_.maxMlp;
+                if (overlaps) {
+                    ++cluster_outstanding;
+                } else {
+                    cycles += lat;
+                    cluster_start_inst = res.instructions;
+                    cluster_outstanding = 1;
+                }
+            }
+        }
+
+        // ---- Branch.
+        const u8 f = ev_flags[ev_idx];
+        if (!(f & ReplayPlan::kHasBranch))
+            continue;
+        Addr branch_pc = branch_addr[s];
+        bool mispredicted = false;
+
+        if (f & ReplayPlan::kCond) {
+            ++res.condBranches;
+            bool taken = (f & ReplayPlan::kTaken) != 0;
+            bool pred = predict_and_train(branch_pc, taken);
+            if (pred != taken) {
+                ++res.mispredicts;
+                mispredicted = true;
+                u32 resolve = (f & ReplayPlan::kDependsOnLoad) &&
+                                      last_load_latency > 0
+                                  ? last_load_latency
+                                  : static_cast<u32>(ev_extra[ev_idx]) + 1;
+                cycles += cfg_.frontendDepth + resolve;
+            }
+        }
+
+        // ---- Returns through the return-address stack.
+        if (f & ReplayPlan::kReturn) {
+            Addr predicted = ras_.pop();
+            Addr actual = ev_return[ev_idx] != ReplayPlan::kNoSite
+                              ? site_addr[ev_return[ev_idx]]
+                              : 0;
+            if (actual != 0 && predicted != actual) {
+                ++res.rasMispredicts;
+                cycles += cfg_.frontendDepth;
+            }
+            last_fetch_line = ~Addr{0};
+            continue;
+        }
+
+        // ---- Target prediction (BTB) for taken redirects.
+        if (f & ReplayPlan::kTaken) {
+            Addr target = site_addr[ev_target[ev_idx]];
+            if ((f & ReplayPlan::kCall) &&
+                ev_ras_push[ev_idx] != ReplayPlan::kNoSite)
+                ras_.push(site_addr[ev_ras_push[ev_idx]]);
+            // Fused lookup + update: one tag scan (same outcome as the
+            // reference loop's separate calls).
+            bpred::BtbResult hit = btb_.lookupUpdate(branch_pc, target);
+            bool target_ok = hit.hit && hit.target == target;
+            if (!target_ok) {
+                ++res.btbMisses;
+                if (!mispredicted) {
+                    if ((f & ReplayPlan::kIndirect) && hit.hit) {
+                        cycles += cfg_.frontendDepth;
+                    } else {
+                        cycles += cfg_.misfetchPenalty;
+                    }
+                }
+            }
+            last_fetch_line = ~Addr{0};
+        }
+    }
+    };
+
+    if (warmup_events < n) {
+        run_events(0, warmup_events);
+        // End of warmup: forget everything measured so far, keep the
+        // microarchitectural state (exactly the reference loop's
+        // mid-loop clear).
+        res = RunResult();
+        cycles = 0;
+        slot_carry = 0;
+        cluster_start_inst = 0;
+        cluster_outstanding = 0;
+        hierarchy_.clearStats();
+        run_events(warmup_events, n);
+    } else {
+        run_events(0, n);
+    }
+
+    INTERF_ASSERT(mem_cursor == plan.memCount());
 
     auto hs = hierarchy_.stats();
     res.l1iMisses = hs.l1i.misses;

@@ -35,6 +35,7 @@
 #include "layout/pagemap.hh"
 #include "layout/linker.hh"
 #include "pmu/pmu.hh"
+#include "trace/replay.hh"
 #include "trace/trace.hh"
 
 namespace interf::core
@@ -74,6 +75,11 @@ class Machine
     /**
      * Execute a trace under a code + data layout.
      *
+     * A thin adapter over replay(): compiles the trace into a one-off
+     * ReplayPlan and LayoutTables, then runs the dense kernel.
+     * Callers replaying the same trace many times (campaigns, sweeps)
+     * should build the plan once and call replay() directly.
+     *
      * @param prog Static program (block geometry).
      * @param trace Dynamic trace (layout-invariant semantics).
      * @param code Address assignment for code.
@@ -93,10 +99,40 @@ class Machine
                   const layout::HeapLayout &heap,
                   const layout::PageMap &pages);
 
+    /**
+     * Replay a compiled plan under one layout's address tables: the
+     * hot path of every campaign. Iterates the plan's flat arrays with
+     * no Program or Trace access, with a specialized fast path when
+     * the page mapping is the identity.
+     *
+     * Bit-identical to runReference() on the same (trace, layout) —
+     * every counter and cycle count — which tests/test_replay.cc
+     * enforces. The tables must carry data addresses (not code-only).
+     */
+    RunResult replay(const trace::ReplayPlan &plan,
+                     const trace::LayoutTables &tables);
+
+    /**
+     * The event-at-a-time reference implementation: walks Program and
+     * Trace directly, one block event at a time. This is the
+     * executable specification the replay kernel is tested against
+     * (and the pre-plan measurement path benchmarked as "legacy" in
+     * bench_micro_replay); not for hot loops.
+     */
+    RunResult runReference(const trace::Program &prog,
+                           const trace::Trace &trace,
+                           const layout::CodeLayout &code,
+                           const layout::HeapLayout &heap,
+                           const layout::PageMap &pages);
+
     const MachineConfig &config() const { return cfg_; }
 
   private:
     void resetState();
+
+    template <bool IdentityPages, bool UseLineTable>
+    RunResult replayImpl(const trace::ReplayPlan &plan,
+                         const trace::LayoutTables &tables);
 
     MachineConfig cfg_;
     cache::MemoryHierarchy hierarchy_;

@@ -22,6 +22,9 @@ Campaign::Campaign(const workloads::WorkloadProfile &profile,
     trace::TraceGenerator gen(program_, profile.behaviourSeed);
     trace_ = gen.makeTrace(cfg_.instructionBudget);
     trace_.validate(program_);
+    // Compile the trace once; every layout measurement replays the
+    // plan through flat per-layout address tables.
+    plan_ = trace::ReplayPlan(program_, trace_);
 }
 
 Campaign::~Campaign() = default;
@@ -72,8 +75,9 @@ Campaign::measureOne(core::MeasurementRunner &runner, u32 index) const
 {
     layout::CodeLayout code = codeLayoutFor(index);
     layout::HeapLayout heap = heapLayoutFor(index);
-    return runner.measure(program_, trace_, code, heap,
-                          pageMapFor(index), cfg_.layoutSeedBase + index);
+    trace::LayoutTables tables(plan_, code, heap, pageMapFor(index),
+                               cfg_.machine.hierarchy.l1i.lineBytes);
+    return runner.measure(plan_, tables, cfg_.layoutSeedBase + index);
 }
 
 void

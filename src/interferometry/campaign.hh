@@ -27,6 +27,7 @@
 #include "layout/linker.hh"
 #include "layout/pagemap.hh"
 #include "trace/generator.hh"
+#include "trace/replay.hh"
 #include "workloads/profile.hh"
 
 namespace interf::store
@@ -140,6 +141,12 @@ class Campaign
     /** The layout-invariant dynamic trace (generated once). */
     const trace::Trace &trace() const { return trace_; }
 
+    /**
+     * The compiled replay plan (trace flattened once per campaign);
+     * immutable, shared read-only by all pool workers.
+     */
+    const trace::ReplayPlan &plan() const { return plan_; }
+
     /** The code layout for layout index i. */
     layout::CodeLayout codeLayoutFor(u32 index) const;
 
@@ -175,6 +182,7 @@ class Campaign
     CampaignConfig cfg_;
     trace::Program program_;
     trace::Trace trace_;
+    trace::ReplayPlan plan_;
     layout::Linker linker_;
     core::MeasurementRunner runner_; ///< Serial path (jobs == 1).
     std::unique_ptr<exec::ThreadPool> pool_; ///< Lazily sized to jobs.

@@ -66,6 +66,35 @@ PinSim::run(const trace::Program &prog, const trace::Trace &trace,
     return results;
 }
 
+std::vector<PredictorResult>
+PinSim::replay(const trace::ReplayPlan &plan,
+               const trace::LayoutTables &tables)
+{
+    INTERF_ASSERT(tables.branchAddr.size() == plan.siteCount());
+    std::vector<PredictorResult> results(predictors_.size());
+    for (size_t i = 0; i < predictors_.size(); ++i) {
+        predictors_[i]->reset();
+        results[i].name = names_[i];
+        results[i].instructions = plan.instCount;
+    }
+
+    const u32 *cond_site = plan.condSite.data();
+    const u8 *cond_taken = plan.condTaken.data();
+    const Addr *branch_addr = tables.branchAddr.data();
+    const size_t n = plan.condSite.size();
+    for (size_t j = 0; j < n; ++j) {
+        Addr pc = branch_addr[cond_site[j]];
+        bool taken = cond_taken[j] != 0;
+        for (size_t i = 0; i < predictors_.size(); ++i) {
+            bool pred = predictors_[i]->predictAndTrain(pc, taken);
+            ++results[i].branches;
+            if (pred != taken)
+                ++results[i].mispredicts;
+        }
+    }
+    return results;
+}
+
 std::vector<double>
 averageMpki(const std::vector<std::vector<PredictorResult>> &per_layout)
 {

@@ -23,6 +23,7 @@
 
 #include "bpred/predictor.hh"
 #include "layout/linker.hh"
+#include "trace/replay.hh"
 #include "trace/trace.hh"
 
 namespace interf::pinsim
@@ -57,6 +58,15 @@ class PinSim
     std::vector<PredictorResult> run(const trace::Program &prog,
                                      const trace::Trace &trace,
                                      const layout::CodeLayout &code);
+
+    /**
+     * As run(), but over a compiled plan's conditional-branch
+     * substream and a layout's flat address tables — the hot path when
+     * the same trace replays under many layouts (Figure 7/8 sweeps).
+     * Bit-identical results to run() on the same (trace, layout).
+     */
+    std::vector<PredictorResult> replay(const trace::ReplayPlan &plan,
+                                        const trace::LayoutTables &tables);
 
     /** Number of predictors simulated. */
     size_t numPredictors() const { return predictors_.size(); }
