@@ -6,6 +6,7 @@
 #include "stats/hypothesis.hh"
 #include "store/store.hh"
 #include "util/logging.hh"
+#include "verify/verify.hh"
 #include "workloads/builder.hh"
 
 namespace interf::interferometry
@@ -22,6 +23,14 @@ Campaign::Campaign(const workloads::WorkloadProfile &profile,
     trace::TraceGenerator gen(program_, profile.behaviourSeed);
     trace_ = gen.makeTrace(cfg_.instructionBudget);
     trace_.validate(program_);
+    // Trust boundary: Debug builds / INTERF_VERIFY=1 prove the built
+    // program and generated trace before compiling anything from them.
+    if (verify::verifyOnTrust()) {
+        verify::requireClean(verify::verifyProgram(program_),
+                             "Campaign program");
+        verify::requireClean(verify::verifyTrace(program_, trace_),
+                             "Campaign trace");
+    }
     // Compile the trace once; every layout measurement replays the
     // plan through flat per-layout address tables.
     plan_ = trace::ReplayPlan(program_, trace_);

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * On-disk format constants of the campaign artifact store.
+ *
+ * Shared between the store's fail-closed read/write path (store.cc)
+ * and the StoreVerifier pass (verify/store.cc), which re-parses the
+ * same bytes leniently so a lint tool can report *every* problem in a
+ * corrupt entry instead of dying at the first. Keeping the constants
+ * in one place means a format change cannot drift between the two
+ * readers; the layouts themselves are documented in store.hh.
+ */
+
+#ifndef INTERF_STORE_FORMAT_HH
+#define INTERF_STORE_FORMAT_HH
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf::store
+{
+
+struct BatchInfo;
+
+namespace format
+{
+
+inline constexpr u64 kManifestMagic = 0x494e54465253544dULL; // INTFRSTM
+inline constexpr u64 kBatchMagic = 0x494e544652535442ULL;    // INTFRSTB
+inline constexpr u32 kFormatVersion = 1;
+
+/** @{ Fixed framing sizes (bytes). */
+inline constexpr u64 kManifestHeaderBytes = 8 + 4 + 8 + 4;
+inline constexpr u64 kManifestEntryBytes = 4 + 4 + 8;
+inline constexpr u64 kManifestSealBytes = 8;
+inline constexpr u64 kBatchHeaderBytes = 8 + 4 + 8 + 4 + 4 + 8;
+/** @} */
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+/** Digest that seals a manifest: header plus every batch entry. */
+u64 manifestDigest(u64 key, const std::vector<BatchInfo> &batches);
+
+} // namespace format
+
+} // namespace interf::store
+
+#endif // INTERF_STORE_FORMAT_HH

@@ -8,36 +8,19 @@
 #include <filesystem>
 #include <fstream>
 
+#include "store/format.hh"
 #include "store/serialize.hh"
 #include "trace/io.hh"
 #include "util/digest.hh"
 #include "util/logging.hh"
+#include "verify/verify.hh"
 
 namespace interf::store
 {
 
-namespace
+namespace format
 {
 
-constexpr u64 kManifestMagic = 0x494e54465253544dULL; // "INTFRSTM"
-constexpr u64 kBatchMagic = 0x494e544652535442ULL;    // "INTFRSTB"
-constexpr u32 kFormatVersion = 1;
-
-template <typename T>
-void
-writePod(std::ostream &os, const T &value)
-{
-    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
-}
-
-template <typename T>
-void
-readPod(std::istream &is, T &value)
-{
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-}
-
-/** Digest that seals a manifest: header plus every batch entry. */
 u64
 manifestDigest(u64 key, const std::vector<BatchInfo> &batches)
 {
@@ -53,6 +36,18 @@ manifestDigest(u64 key, const std::vector<BatchInfo> &batches)
     }
     return d.value();
 }
+
+} // namespace format
+
+namespace
+{
+
+using format::kBatchMagic;
+using format::kFormatVersion;
+using format::kManifestMagic;
+using format::manifestDigest;
+using format::readPod;
+using format::writePod;
 
 /** fsync @p path (a regular file or a directory) or die. */
 void
@@ -171,6 +166,20 @@ CampaignStore::CampaignStore(const std::string &root, u64 key)
         fatal("cannot create store directory '%s': %s",
               dir.string().c_str(), ec.message().c_str());
     dir_ = dir.string();
+    // Opt-in trust boundary (INTERF_VERIFY=1, not Debug by default:
+    // the deep pass re-reads every batch, and campaigns open stores
+    // constantly). Corrupt-on-disk is a user-environment problem, so
+    // fatal() — the fail-closed read below would do the same, but the
+    // verifier reports every problem in the entry first.
+    if (verify::verifyEnvRequested()) {
+        auto result = verify::verifyStoreEntry(root, key, true);
+        if (!result.ok()) {
+            for (const auto &d : result.diagnostics())
+                warn("%s", d.text().c_str());
+            fatal("store entry '%s' failed verification: %s",
+                  dir_.c_str(), result.summary().c_str());
+        }
+    }
     readManifest();
 }
 
@@ -251,9 +260,9 @@ CampaignStore::readManifest()
     // Bound the batch table against the file size before allocating:
     // a corrupt count must fail closed, not bad_alloc trying to
     // reserve up to 64 GiB of entries.
-    constexpr u64 kHeaderBytes = 8 + 4 + 8 + 4; // magic+version+key+count
-    constexpr u64 kEntryBytes = 4 + 4 + 8;      // first+count+checksum
-    constexpr u64 kSealBytes = 8;               // trailing digest
+    constexpr u64 kHeaderBytes = format::kManifestHeaderBytes;
+    constexpr u64 kEntryBytes = format::kManifestEntryBytes;
+    constexpr u64 kSealBytes = format::kManifestSealBytes;
     std::error_code size_ec;
     const u64 file_size =
         std::filesystem::file_size(manifestPath(), size_ec);

@@ -7,6 +7,7 @@
 #include "util/digest.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "verify/verify.hh"
 
 namespace interf::trace
 {
@@ -147,8 +148,9 @@ saveTrace(const std::string &path, const Program &prog, const Trace &trace)
     saveTrace(out, prog, trace);
 }
 
-Trace
-loadTrace(std::istream &is, const Program &prog)
+bool
+tryLoadTrace(std::istream &is, const Program &prog, Trace &trace,
+             std::string &error)
 {
     u64 magic = 0;
     u32 version = 0;
@@ -156,15 +158,20 @@ loadTrace(std::istream &is, const Program &prog)
     readPod(is, magic);
     readPod(is, version);
     readPod(is, checksum);
-    if (!is || magic != kMagic)
-        fatal("not a trace file (bad magic)");
-    if (version != kVersion)
-        fatal("unsupported trace version %u", version);
-    if (checksum != programChecksum(prog))
-        fatal("trace was generated from a different program "
-              "(checksum mismatch)");
+    if (!is || magic != kMagic) {
+        error = "not a trace file (bad magic)";
+        return false;
+    }
+    if (version != kVersion) {
+        error = strprintf("unsupported trace version %u", version);
+        return false;
+    }
+    if (checksum != programChecksum(prog)) {
+        error = "trace was generated from a different program "
+                "(checksum mismatch)";
+        return false;
+    }
 
-    Trace trace;
     readPod(is, trace.instCount);
     readPod(is, trace.condBranches);
     readPod(is, trace.takenBranches);
@@ -173,17 +180,66 @@ loadTrace(std::istream &is, const Program &prog)
     u64 n_events = 0, n_mem = 0;
     readPod(is, n_events);
     readPod(is, n_mem);
-    if (!is)
-        fatal("truncated trace header");
+    if (!is) {
+        error = "truncated trace header";
+        return false;
+    }
+
+    // Bound the allocations against what the stream can actually hold,
+    // so a corrupted count fails as "truncated" instead of trying to
+    // resize to exabytes. Seekable streams only; pipes skip the bound
+    // and rely on the read check below.
+    const auto body_start = is.tellg();
+    if (body_start != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        const auto stream_end = is.tellg();
+        is.seekg(body_start);
+        if (is && stream_end != std::istream::pos_type(-1)) {
+            const u64 remaining =
+                static_cast<u64>(stream_end - body_start);
+            if (n_events > remaining / sizeof(BlockEvent) ||
+                n_mem > (remaining - n_events * sizeof(BlockEvent)) /
+                            sizeof(u64)) {
+                error = "truncated trace body (event/memory counts "
+                        "overrun the stream)";
+                return false;
+            }
+        } else {
+            is.clear();
+            is.seekg(body_start);
+        }
+    }
+
     trace.events.resize(n_events);
     trace.memIds.resize(n_mem);
     is.read(reinterpret_cast<char *>(trace.events.data()),
             static_cast<std::streamsize>(n_events * sizeof(BlockEvent)));
     is.read(reinterpret_cast<char *>(trace.memIds.data()),
             static_cast<std::streamsize>(n_mem * sizeof(u64)));
-    if (!is)
-        fatal("truncated trace body");
+    if (!is) {
+        error = "truncated trace body";
+        return false;
+    }
+    return true;
+}
+
+Trace
+loadTrace(std::istream &is, const Program &prog)
+{
+    Trace trace;
+    std::string error;
+    if (!tryLoadTrace(is, prog, trace, error))
+        fatal("%s", error.c_str());
     trace.validate(prog);
+    if (verify::verifyOnTrust()) {
+        auto result = verify::verifyTrace(prog, trace, "<trace>");
+        if (!result.ok()) {
+            for (const auto &d : result.diagnostics())
+                warn("%s", d.text().c_str());
+            fatal("loaded trace failed verification: %s",
+                  result.summary().c_str());
+        }
+    }
     return trace;
 }
 

@@ -62,6 +62,17 @@ void saveTrace(const std::string &path, const Program &prog,
  */
 Trace loadTrace(std::istream &is, const Program &prog);
 
+/**
+ * Non-fatal core of loadTrace(): deserialize a trace from a stream,
+ * returning false (with the would-be fatal() message in @p error)
+ * instead of exiting on bad magic, version or checksum mismatch,
+ * truncation, or an event/memory count that overruns the stream.
+ * Performs no semantic validation of the decoded events — that is
+ * TraceVerifier's job (verify/verify.hh).
+ */
+bool tryLoadTrace(std::istream &is, const Program &prog, Trace &trace,
+                  std::string &error);
+
 /** Deserialize a trace from a file; fatal() on failure. */
 Trace loadTrace(const std::string &path, const Program &prog);
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "util/logging.hh"
+#include "verify/verify.hh"
 
 namespace interf::trace
 {
@@ -125,6 +126,13 @@ ReplayPlan::ReplayPlan(const Program &prog, const Trace &trace)
     }
     INTERF_ASSERT(mem_cursor == memId.size());
     instCount = trace.instCount;
+
+    // Trust boundary: everything downstream (layout tables, the replay
+    // kernel, the campaign cache key) assumes this plan restates the
+    // trace exactly. Debug builds / INTERF_VERIFY=1 prove it here.
+    if (verify::verifyOnTrust())
+        verify::requireClean(verify::verifyPlan(prog, trace, *this),
+                             "ReplayPlan");
 }
 
 u64

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * ProgramVerifier: CFG well-formedness of the static program IR.
+ *
+ * Re-derives every invariant Program::validate() panics on — and more
+ * — as diagnostics: dense procedure/region numbering, the object-file
+ * partition, branch targets resolving to real blocks, memory-reference
+ * site sanity (region in range and large enough for the reference
+ * pattern), and agreement with an externally recorded
+ * programStructureDigest. Never dereferences an out-of-range index:
+ * unlike the builder-facing validate(), this pass must survive
+ * arbitrarily corrupt artifacts.
+ */
+
+#include <vector>
+
+#include "verify/verify.hh"
+
+#include "trace/io.hh"
+#include "trace/program.hh"
+#include "util/logging.hh"
+
+namespace interf::verify
+{
+
+namespace
+{
+
+using trace::BasicBlock;
+using trace::BranchPattern;
+using trace::MemPattern;
+using trace::OpClass;
+using trace::Procedure;
+using trace::Program;
+using trace::StaticBranch;
+
+class ProgramVerifier : public Pass
+{
+  public:
+    const char *name() const override { return "program"; }
+
+    bool applicable(const Artifacts &a) const override
+    {
+        return a.program != nullptr;
+    }
+
+    void run(const Artifacts &a, VerifyResult &out) const override;
+};
+
+void
+checkBranch(const Program &prog, const StaticBranch &br, u64 site,
+            Sink &sink)
+{
+    if (!br.exists())
+        return;
+    switch (br.kind) {
+      case OpClass::CondBranch:
+      case OpClass::UncondBranch:
+      case OpClass::IndirectBranch:
+      case OpClass::Call:
+      case OpClass::Return:
+        break;
+      default:
+        sink.error(EntityKind::Branch, site,
+                   strprintf("invalid terminator kind %d",
+                             static_cast<int>(br.kind)));
+        return;
+    }
+
+    if (br.isConditional()) {
+        if (br.pattern == BranchPattern::None)
+            sink.error(EntityKind::Branch, site,
+                       "conditional branch has no outcome pattern");
+        if (br.pattern == BranchPattern::Biased &&
+            !(br.takenProb >= 0.0f && br.takenProb <= 1.0f))
+            sink.error(EntityKind::Branch, site,
+                       strprintf("biased branch probability %f outside "
+                                 "[0, 1]",
+                                 static_cast<double>(br.takenProb)));
+        if (br.pattern == BranchPattern::Periodic && br.period == 0)
+            sink.error(EntityKind::Branch, site,
+                       "periodic branch with period 0");
+        if (br.pattern == BranchPattern::HistoryParity &&
+            (br.historyBits == 0 || br.historyBits > 64))
+            sink.error(EntityKind::Branch, site,
+                       strprintf("history branch depth %u outside "
+                                 "[1, 64]",
+                                 br.historyBits));
+    }
+
+    if (br.kind == OpClass::Return)
+        return; // Returns resolve through the call stack, no target.
+
+    const auto &procs = prog.procedures();
+    if (br.targetProc >= procs.size()) {
+        sink.error(EntityKind::Branch, site,
+                   strprintf("branch target procedure %u out of range "
+                             "(%zu procedures)",
+                             br.targetProc, procs.size()));
+        return;
+    }
+    const size_t target_blocks = procs[br.targetProc].blocks.size();
+    if (br.kind == OpClass::IndirectBranch) {
+        if (br.indirectTargets == 0)
+            sink.error(EntityKind::Branch, site,
+                       "indirect branch with no targets");
+        else if (br.targetBlock +
+                     static_cast<u32>(br.indirectTargets) >
+                 target_blocks)
+            sink.error(EntityKind::Branch, site,
+                       strprintf("indirect target window [%u, %u) "
+                                 "overruns procedure %u (%zu blocks)",
+                                 br.targetBlock,
+                                 br.targetBlock + br.indirectTargets,
+                                 br.targetProc, target_blocks));
+    } else if (br.targetBlock >= target_blocks) {
+        sink.error(EntityKind::Branch, site,
+                   strprintf("branch target block %u out of range in "
+                             "procedure %u (%zu blocks)",
+                             br.targetBlock, br.targetProc,
+                             target_blocks));
+    }
+}
+
+void
+checkMemRefs(const Program &prog, const BasicBlock &bb, u64 site,
+             Sink &sink)
+{
+    const auto &regions = prog.regions();
+    for (size_t r = 0; r < bb.memRefs.size(); ++r) {
+        const auto &ref = bb.memRefs[r];
+        if (ref.regionId >= regions.size()) {
+            sink.error(EntityKind::MemRef, site,
+                       strprintf("ref %zu names region %u out of range "
+                                 "(%zu regions)",
+                                 r, ref.regionId, regions.size()));
+            continue;
+        }
+        const u64 region_size = regions[ref.regionId].size;
+        if (region_size == 0)
+            sink.error(EntityKind::MemRef, site,
+                       strprintf("ref %zu targets empty region %u", r,
+                                 ref.regionId));
+        if (ref.pattern == MemPattern::Stride) {
+            if (ref.stride == 0)
+                sink.error(EntityKind::MemRef, site,
+                           strprintf("ref %zu has stride 0", r));
+            else if (region_size != 0 && ref.stride > region_size)
+                sink.error(EntityKind::MemRef, site,
+                           strprintf("ref %zu stride %u exceeds region "
+                                     "%u size %llu",
+                                     r, ref.stride, ref.regionId,
+                                     static_cast<unsigned long long>(
+                                         region_size)));
+        }
+        if (ref.pattern == MemPattern::Churn && ref.churnSpan == 0)
+            sink.error(EntityKind::MemRef, site,
+                       strprintf("ref %zu has churn window 0", r));
+    }
+}
+
+void
+ProgramVerifier::run(const Artifacts &a, VerifyResult &out) const
+{
+    const Program &prog = *a.program;
+    Sink sink(out, a.path, name());
+
+    const auto &procs = prog.procedures();
+    const auto &files = prog.files();
+    const auto &regions = prog.regions();
+
+    // Dense, sorted numbering: procedure/region extents are identified
+    // by their table index everywhere downstream.
+    for (size_t i = 0; i < procs.size(); ++i)
+        if (procs[i].id != i)
+            sink.error(EntityKind::Procedure, i,
+                       strprintf("procedure id %u does not match its "
+                                 "table index",
+                                 procs[i].id));
+    for (size_t i = 0; i < regions.size(); ++i)
+        if (regions[i].id != i)
+            sink.error(EntityKind::Region, i,
+                       strprintf("region id %u does not match its "
+                                 "table index",
+                                 regions[i].id));
+
+    // Object files must partition the procedures: every procedure in
+    // exactly one file, with a consistent back-reference.
+    std::vector<u32> placed(procs.size(), 0);
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+        for (u32 pid : files[fi].procIds) {
+            if (pid >= procs.size()) {
+                sink.error(EntityKind::ObjectFile, fi,
+                           strprintf("file '%s' lists procedure %u out "
+                                     "of range (%zu procedures)",
+                                     files[fi].name.c_str(), pid,
+                                     procs.size()));
+                continue;
+            }
+            if (++placed[pid] == 2)
+                sink.error(EntityKind::Procedure, pid,
+                           "procedure appears in multiple object files");
+            if (procs[pid].fileIndex != fi && placed[pid] == 1)
+                sink.error(EntityKind::Procedure, pid,
+                           strprintf("procedure is listed in file %zu "
+                                     "but claims file %u",
+                                     fi, procs[pid].fileIndex));
+        }
+    }
+    for (size_t pid = 0; pid < placed.size(); ++pid)
+        if (placed[pid] == 0)
+            sink.error(EntityKind::Procedure, pid,
+                       "procedure is not in any object file");
+
+    // Per-procedure structure: alignment, block geometry, branch
+    // targets and memory sites. Sites are numbered densely proc-major,
+    // matching ReplayPlan's numbering, so diagnostics line up across
+    // passes.
+    u64 site = 0;
+    for (size_t pid = 0; pid < procs.size(); ++pid) {
+        const Procedure &p = procs[pid];
+        if (p.align == 0 || (p.align & (p.align - 1)) != 0)
+            sink.error(EntityKind::Procedure, pid,
+                       strprintf("alignment %u is not a power of two",
+                                 p.align));
+        if (p.blocks.empty())
+            sink.error(EntityKind::Procedure, pid,
+                       "procedure has no blocks");
+        if (p.fileIndex >= files.size() && !files.empty())
+            sink.error(EntityKind::Procedure, pid,
+                       strprintf("file index %u out of range (%zu "
+                                 "files)",
+                                 p.fileIndex, files.size()));
+        for (const BasicBlock &bb : p.blocks) {
+            if (bb.bytes == 0)
+                sink.error(EntityKind::Block, site,
+                           "block has zero code bytes");
+            if (bb.nInsts == 0)
+                sink.error(EntityKind::Block, site,
+                           "block retires zero instructions");
+            checkBranch(prog, bb.branch, site, sink);
+            checkMemRefs(prog, bb, site, sink);
+            ++site;
+        }
+    }
+
+    // Structure-digest agreement with an externally recorded value
+    // (e.g. the digest a store key or campaign was built against).
+    if (a.expectedProgramDigest != 0) {
+        const u64 got = trace::programStructureDigest(prog);
+        if (got != a.expectedProgramDigest)
+            sink.error(EntityKind::Artifact, 0,
+                       strprintf("program structure digest %016llx does "
+                                 "not match expected %016llx",
+                                 static_cast<unsigned long long>(got),
+                                 static_cast<unsigned long long>(
+                                     a.expectedProgramDigest)));
+    }
+}
+
+} // anonymous namespace
+
+std::unique_ptr<Pass>
+makeProgramVerifier()
+{
+    return std::make_unique<ProgramVerifier>();
+}
+
+} // namespace interf::verify

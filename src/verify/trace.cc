@@ -1,0 +1,350 @@
+/**
+ * @file
+ * TraceVerifier: dynamic traces checked against the static program.
+ *
+ * Three layers of checks, each re-derived from the Program rather than
+ * trusted from the trace header:
+ *
+ *   1. per-event structure — site ids in range, outcome bits legal for
+ *      the block's terminator kind (branchless blocks never redirect,
+ *      unconditional terminators always do, indirect choices inside
+ *      the target window);
+ *   2. the memory stream — exactly as long as the executed blocks'
+ *      static reference counts, every id naming the region its static
+ *      site names, every offset inside that region;
+ *   3. control-flow continuity — a call-stack-tracking re-walk proving
+ *      each event's successor is the one the CFG dictates for the
+ *      recorded outcome (the interferometry invariant: a trace is one
+ *      fixed path through the program, layouts only move addresses);
+ *
+ * plus a recount of the five header aggregates. verifyTraceFile wraps
+ * the same pass behind a non-fatal binary reader so lint tools can
+ * diagnose corrupt files instead of dying on the first bad byte.
+ */
+
+#include <fstream>
+
+#include "verify/verify.hh"
+
+#include "trace/io.hh"
+#include "trace/program.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace interf::verify
+{
+
+namespace
+{
+
+using trace::BasicBlock;
+using trace::BlockEvent;
+using trace::OpClass;
+using trace::Program;
+using trace::Trace;
+
+class TraceVerifier : public Pass
+{
+  public:
+    const char *name() const override { return "trace"; }
+
+    bool applicable(const Artifacts &a) const override
+    {
+        return a.program != nullptr && a.trace != nullptr;
+    }
+
+    void run(const Artifacts &a, VerifyResult &out) const override;
+};
+
+/** (proc, block) of one executed site, bounds-unchecked storage. */
+struct Pos
+{
+    u32 proc;
+    u32 block;
+
+    bool operator==(const Pos &o) const
+    {
+        return proc == o.proc && block == o.block;
+    }
+};
+
+/**
+ * Re-walk the trace's control flow with a tracked call stack, proving
+ * each successor consistent with the recorded outcome. Precondition:
+ * every event's (proc, block) is in range. Stops at the first
+ * mismatch — everything after it would mismatch too.
+ */
+void
+checkContinuity(const Program &prog, const Trace &trace, Sink &sink)
+{
+    const auto &events = trace.events;
+    if (events.empty())
+        return;
+    if (events[0].proc != 0 || events[0].block != 0) {
+        sink.error(EntityKind::Event, 0,
+                   strprintf("trace starts at (proc %u, block %u), not "
+                             "at main's entry",
+                             events[0].proc, events[0].block));
+        return;
+    }
+
+    std::vector<Pos> stack;
+    for (size_t i = 0; i + 1 < events.size(); ++i) {
+        const BlockEvent &ev = events[i];
+        const Pos actual = {events[i + 1].proc, events[i + 1].block};
+        const BasicBlock &bb = prog.block(ev.proc, ev.block);
+        const auto &br = bb.branch;
+        const u32 n_blocks =
+            static_cast<u32>(prog.proc(ev.proc).blocks.size());
+        const Pos fallthrough = {ev.proc, static_cast<u32>(ev.block) + 1};
+
+        Pos expected;
+        bool is_return = false;
+        if (!br.exists()) {
+            if (fallthrough.block < n_blocks)
+                expected = fallthrough;
+            else
+                is_return = true; // Implicit return off the last block.
+        } else {
+            switch (br.kind) {
+              case OpClass::CondBranch:
+                expected = ev.taken
+                               ? Pos{br.targetProc, br.targetBlock}
+                               : fallthrough;
+                break;
+              case OpClass::UncondBranch:
+                expected = {br.targetProc, br.targetBlock};
+                break;
+              case OpClass::Call: {
+                const Pos callee = {br.targetProc, 0};
+                if (actual == callee) {
+                    // Taken call: the fall-through is the return site.
+                    stack.push_back(fallthrough);
+                    continue;
+                }
+                // Depth-limited (skipped) call: falls through, no push.
+                expected = fallthrough;
+                break;
+              }
+              case OpClass::IndirectBranch:
+                expected = {br.targetProc,
+                            static_cast<u32>(br.targetBlock) +
+                                ev.indirectChoice};
+                break;
+              case OpClass::Return:
+              default:
+                is_return = true;
+                break;
+            }
+        }
+
+        if (is_return) {
+            if (!stack.empty()) {
+                expected = stack.back();
+                stack.pop_back();
+            } else {
+                // Return from main: the next event, if any, is the
+                // next main invocation of the run-length rule.
+                expected = {0, 0};
+            }
+        }
+
+        if (!(actual == expected)) {
+            sink.error(EntityKind::Event, i + 1,
+                       strprintf("control flow reaches (proc %u, block "
+                                 "%u) but event %zu's outcome leads to "
+                                 "(proc %u, block %u)",
+                                 actual.proc, actual.block, i,
+                                 expected.proc, expected.block));
+            return;
+        }
+    }
+}
+
+void
+TraceVerifier::run(const Artifacts &a, VerifyResult &out) const
+{
+    const Program &prog = *a.program;
+    const Trace &trace = *a.trace;
+    Sink sink(out, a.path, name());
+
+    const auto &procs = prog.procedures();
+    const auto &regions = prog.regions();
+
+    // Layer 1: per-event structure, plus the header recount and the
+    // expected memory-stream length, gathered in one scan.
+    bool sites_ok = true;
+    u64 expected_mem = 0;
+    u64 insts = 0, conds = 0, takens = 0, loads = 0, stores = 0;
+    for (size_t i = 0; i < trace.events.size(); ++i) {
+        const BlockEvent &ev = trace.events[i];
+        if (ev.proc >= procs.size()) {
+            sink.error(EntityKind::Event, i,
+                       strprintf("procedure %u out of range (%zu "
+                                 "procedures)",
+                                 ev.proc, procs.size()));
+            sites_ok = false;
+            continue;
+        }
+        const auto &blocks = procs[ev.proc].blocks;
+        if (ev.block >= blocks.size()) {
+            sink.error(EntityKind::Event, i,
+                       strprintf("block %u out of range in procedure "
+                                 "%u (%zu blocks)",
+                                 ev.block, ev.proc, blocks.size()));
+            sites_ok = false;
+            continue;
+        }
+        const BasicBlock &bb = blocks[ev.block];
+        const auto &br = bb.branch;
+
+        if (ev.taken > 1)
+            sink.error(EntityKind::Event, i,
+                       strprintf("taken flag %u is not 0/1", ev.taken));
+        if (!br.exists() && ev.taken)
+            sink.error(EntityKind::Event, i,
+                       "branchless block recorded a taken redirect");
+        if (br.exists() && !br.isConditional() && !ev.taken)
+            sink.error(EntityKind::Event, i,
+                       strprintf("unconditional terminator (kind %d) "
+                                 "recorded as not taken",
+                                 static_cast<int>(br.kind)));
+        if (br.kind == OpClass::IndirectBranch) {
+            if (ev.indirectChoice >= br.indirectTargets)
+                sink.error(EntityKind::Event, i,
+                           strprintf("indirect choice %u outside the "
+                                     "site's %u targets",
+                                     ev.indirectChoice,
+                                     br.indirectTargets));
+        } else if (ev.indirectChoice != 0) {
+            sink.error(EntityKind::Event, i,
+                       "non-indirect event carries an indirect choice");
+        }
+        if (ev.pad != 0)
+            sink.warning(EntityKind::Event, i,
+                         "event padding bytes are not zero");
+
+        expected_mem += bb.memRefs.size();
+        insts += bb.nInsts;
+        loads += bb.loads();
+        stores += bb.stores();
+        if (br.isConditional())
+            ++conds;
+        if (ev.taken)
+            ++takens;
+    }
+
+    // Layer 2: the memory stream against the executed blocks' static
+    // reference sites.
+    if (expected_mem != trace.memIds.size()) {
+        sink.error(EntityKind::Artifact, 0,
+                   strprintf("memory stream has %zu ids, executed "
+                             "blocks reference %llu",
+                             trace.memIds.size(),
+                             static_cast<unsigned long long>(
+                                 expected_mem)));
+    } else if (sites_ok) {
+        size_t j = 0;
+        for (size_t i = 0; i < trace.events.size(); ++i) {
+            const BlockEvent &ev = trace.events[i];
+            const BasicBlock &bb = prog.block(ev.proc, ev.block);
+            for (const auto &ref : bb.memRefs) {
+                const u64 id = trace.memIds[j];
+                const u32 region = trace::dataIdRegion(id);
+                if (ref.regionId >= regions.size()) {
+                    // The static site itself is bad; the program pass
+                    // owns that diagnostic.
+                } else if (region != ref.regionId)
+                    sink.error(EntityKind::MemAccess, j,
+                               strprintf("access names region %u but "
+                                         "its static site (event %zu) "
+                                         "names region %u",
+                                         region, i, ref.regionId));
+                else if (trace::dataIdOffset(id) >= regions[region].size)
+                    sink.error(EntityKind::MemAccess, j,
+                               strprintf("offset %llu outside region "
+                                         "%u (%llu bytes)",
+                                         static_cast<unsigned long long>(
+                                             trace::dataIdOffset(id)),
+                                         region,
+                                         static_cast<unsigned long long>(
+                                             regions[region].size)));
+                ++j;
+            }
+        }
+    }
+
+    // Header aggregates: recomputed, never trusted.
+    if (sites_ok) {
+        if (trace.instCount != insts)
+            sink.error(EntityKind::Artifact, 0,
+                       strprintf("header instCount %llu, events retire "
+                                 "%llu",
+                                 static_cast<unsigned long long>(
+                                     trace.instCount),
+                                 static_cast<unsigned long long>(insts)));
+        if (trace.condBranches != conds)
+            sink.error(EntityKind::Artifact, 0,
+                       strprintf("header condBranches %llu, events "
+                                 "execute %llu",
+                                 static_cast<unsigned long long>(
+                                     trace.condBranches),
+                                 static_cast<unsigned long long>(conds)));
+        if (trace.takenBranches != takens)
+            sink.error(EntityKind::Artifact, 0,
+                       strprintf("header takenBranches %llu, events "
+                                 "record %llu",
+                                 static_cast<unsigned long long>(
+                                     trace.takenBranches),
+                                 static_cast<unsigned long long>(
+                                     takens)));
+        if (trace.loads != loads)
+            sink.error(EntityKind::Artifact, 0,
+                       strprintf("header loads %llu, events issue %llu",
+                                 static_cast<unsigned long long>(
+                                     trace.loads),
+                                 static_cast<unsigned long long>(loads)));
+        if (trace.stores != stores)
+            sink.error(EntityKind::Artifact, 0,
+                       strprintf("header stores %llu, events issue %llu",
+                                 static_cast<unsigned long long>(
+                                     trace.stores),
+                                 static_cast<unsigned long long>(
+                                     stores)));
+    }
+
+    // Layer 3: control-flow continuity (needs every site in range).
+    if (sites_ok)
+        checkContinuity(prog, trace, sink);
+}
+
+} // anonymous namespace
+
+std::unique_ptr<Pass>
+makeTraceVerifier()
+{
+    return std::make_unique<TraceVerifier>();
+}
+
+VerifyResult
+verifyTraceFile(const std::string &path, const trace::Program &prog)
+{
+    VerifyResult out;
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        Sink sink(out, path, "trace-file");
+        sink.error(EntityKind::Artifact, 0, "cannot open trace file");
+        return out;
+    }
+    Trace loaded;
+    std::string error;
+    if (!trace::tryLoadTrace(is, prog, loaded, error)) {
+        Sink sink(out, path, "trace-file");
+        sink.error(EntityKind::Artifact, 0, error);
+        return out;
+    }
+    out.merge(verifyTrace(prog, loaded, path));
+    return out;
+}
+
+} // namespace interf::verify

@@ -50,10 +50,11 @@ TEST(Builder, CallGraphIsDag)
     auto prog = buildProgram(defaultProfile("t"));
     for (const auto &proc : prog.procedures()) {
         for (const auto &bb : proc.blocks) {
-            if (bb.branch.kind == OpClass::Call)
+            if (bb.branch.kind == OpClass::Call) {
                 EXPECT_GT(bb.branch.targetProc, proc.id)
                     << "call from " << proc.id << " must go to a "
                     << "higher id (DAG)";
+            }
         }
     }
 }
@@ -72,8 +73,9 @@ TEST(Builder, ConditionalsHavePatterns)
     auto prog = buildProgram(defaultProfile("t"));
     for (const auto &proc : prog.procedures())
         for (const auto &bb : proc.blocks)
-            if (bb.branch.isConditional())
+            if (bb.branch.isConditional()) {
                 EXPECT_NE(bb.branch.pattern, BranchPattern::None);
+            }
 }
 
 TEST(Builder, ProducesValidProgram)

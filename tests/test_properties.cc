@@ -152,8 +152,9 @@ TEST_P(PageMapBijection, NoCollisionsOffsetsPreserved)
         // distinct pages must stay distinct.
         static thread_local std::map<Addr, Addr> forward;
         auto it = forward.find(vpage);
-        if (it != forward.end())
+        if (it != forward.end()) {
             EXPECT_EQ(it->second, ppage);
+        }
         forward[vpage] = ppage;
         (void)seen;
     }

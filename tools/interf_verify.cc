@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Run the artifact verifier passes from the command line.
+ *
+ * Front-end to src/verify: builds or loads the requested artifacts and
+ * runs every applicable pass, printing diagnostics as text (default) or
+ * JSON (--json). The exit code is the machine-readable verdict:
+ *
+ *   0  every requested artifact verified clean (warnings allowed);
+ *   1  at least one error-severity diagnostic;
+ *   2  usage error (unknown profile, missing required flag, ...).
+ *
+ * Examples:
+ *   interf_verify --profile 400.perlbench --budget 200000 --layouts 8
+ *   interf_verify --profile 429.mcf --trace /tmp/mcf.trace
+ *   interf_verify --store /tmp/interf-store --json
+ *   interf_verify --store /tmp/interf-store --key 1234abcd5678ef01
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "layout/linker.hh"
+#include "layout/pagemap.hh"
+#include "trace/generator.hh"
+#include "trace/io.hh"
+#include "trace/replay.hh"
+#include "util/digest.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "verify/verify.hh"
+#include "workloads/builder.hh"
+#include "workloads/spec.hh"
+
+using namespace interf;
+
+namespace
+{
+
+constexpr int kExitClean = 0;
+constexpr int kExitDiagnostics = 1;
+constexpr int kExitUsage = 2;
+
+int
+usageError(const char *msg)
+{
+    std::fprintf(stderr, "interf_verify: %s\n", msg);
+    return kExitUsage;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("interf_verify",
+                      "run the static-analysis verifier passes over "
+                      "interferometry artifacts");
+    opts.addString("profile", "",
+                   "suite benchmark whose program to build and verify "
+                   "(e.g. 400.perlbench)");
+    opts.addInt("budget", 0,
+                "instruction budget: generate a trace of this size and "
+                "verify trace + replay plan (requires --profile)");
+    opts.addInt("layouts", 0,
+                "link this many seeded layouts and verify placements "
+                "and page maps (requires --profile)");
+    opts.addString("trace", "",
+                   "trace file to lint against the profile's program "
+                   "(requires --profile)");
+    opts.addString("store", "", "artifact store root to verify");
+    opts.addString("key", "",
+                   "verify only this campaign key under --store "
+                   "(16-digit hex, as printed by store_ls)");
+    opts.addFlag("shallow",
+                 "skip batch payload checksum recomputation in store "
+                 "verification");
+    opts.addFlag("json", "print diagnostics as JSON on stdout");
+    opts.parse(argc, argv);
+
+    const std::string profile_name = opts.getString("profile");
+    const std::string trace_path = opts.getString("trace");
+    const std::string store_root = opts.getString("store");
+    const std::string key_text = opts.getString("key");
+    const i64 budget = opts.getInt("budget");
+    const i64 layouts = opts.getInt("layouts");
+
+    if (profile_name.empty() && store_root.empty())
+        return usageError("nothing to verify: pass --profile and/or "
+                          "--store (see --help)");
+    if (profile_name.empty() &&
+        (budget > 0 || layouts > 0 || !trace_path.empty()))
+        return usageError("--budget, --layouts and --trace require "
+                          "--profile");
+    if (!key_text.empty() && store_root.empty())
+        return usageError("--key requires --store");
+    if (budget < 0 || layouts < 0)
+        return usageError("--budget and --layouts must be >= 0");
+
+    verify::VerifyResult all;
+
+    if (!profile_name.empty()) {
+        if (!workloads::isSuiteBenchmark(profile_name))
+            return usageError(strprintf("unknown profile '%s' (see "
+                                        "workloads/spec.hh)",
+                                        profile_name.c_str())
+                                  .c_str());
+        const auto &profile = workloads::specFor(profile_name).profile;
+        const trace::Program prog = workloads::buildProgram(profile);
+        const std::string label = "profile:" + profile_name;
+        all.merge(verify::verifyProgram(prog, label));
+
+        if (budget > 0) {
+            trace::TraceGenerator gen(prog, profile.behaviourSeed);
+            const trace::Trace tr =
+                gen.makeTrace(static_cast<u64>(budget));
+            all.merge(verify::verifyTrace(prog, tr, label + ":trace"));
+            const trace::ReplayPlan plan(prog, tr);
+            all.merge(
+                verify::verifyPlan(prog, tr, plan, label + ":plan"));
+        }
+
+        const layout::Linker linker;
+        for (i64 i = 0; i < layouts; ++i) {
+            layout::LayoutKey key;
+            key.seed = static_cast<u64>(i);
+            const layout::CodeLayout code = linker.link(prog, key);
+            all.merge(verify::verifyLayout(
+                prog, code,
+                strprintf("%s:layout[%lld]", label.c_str(),
+                          static_cast<long long>(i))));
+            const layout::PageMap pages(static_cast<u64>(i) + 1);
+            verify::verifyPageMap(
+                pages, 1u << 14,
+                strprintf("%s:pagemap[%lld]", label.c_str(),
+                          static_cast<long long>(i)),
+                all);
+        }
+
+        if (!trace_path.empty())
+            all.merge(verify::verifyTraceFile(trace_path, prog));
+    }
+
+    if (!store_root.empty()) {
+        const bool deep = !opts.getFlag("shallow");
+        if (!key_text.empty()) {
+            u64 key = 0;
+            if (!parseDigestHex(key_text, key))
+                return usageError("--key must be a 16-digit hex "
+                                  "campaign key");
+            all.merge(verify::verifyStoreEntry(store_root, key, deep));
+        } else {
+            all.merge(verify::verifyStoreRoot(store_root, deep));
+        }
+    }
+
+    if (opts.getFlag("json"))
+        std::printf("%s\n", all.toJson().c_str());
+    else
+        all.printText(stdout);
+    return all.ok() ? kExitClean : kExitDiagnostics;
+}

@@ -3,8 +3,12 @@
  * Inspect a campaign artifact store.
  *
  * Lists every campaign key under a store root with its batch table and
- * sample count; --verify additionally loads and checksums every batch
- * (the same fail-closed validation a resuming campaign performs).
+ * sample count; --verify additionally recomputes every batch's payload
+ * checksum. Corrupt entries do not abort the listing: each entry is
+ * first linted by the StoreVerifier pass (verify/verify.hh), and an
+ * entry with errors is reported diagnostic-by-diagnostic while the
+ * remaining entries still get listed. The exit code is 1 when any
+ * entry had errors, 0 otherwise.
  *
  *   store_ls --dir /tmp/interf-store [--verify]
  */
@@ -16,6 +20,7 @@
 #include "util/digest.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
+#include "verify/verify.hh"
 
 using namespace interf;
 
@@ -26,7 +31,7 @@ main(int argc, char **argv)
                       "list (and optionally verify) the campaigns in an "
                       "artifact store");
     opts.addString("dir", "", "store root directory");
-    opts.addFlag("verify", "load and checksum every batch");
+    opts.addFlag("verify", "recompute every batch's payload checksum");
     opts.parse(argc, argv);
 
     const std::string root = opts.getString("dir");
@@ -35,8 +40,9 @@ main(int argc, char **argv)
     if (!std::filesystem::is_directory(root))
         fatal("'%s' is not a directory", root.c_str());
 
-    const bool verify = opts.getFlag("verify");
+    const bool deep = opts.getFlag("verify");
     u32 campaigns = 0;
+    u32 corrupt = 0;
     u64 total_samples = 0;
     for (const auto &entry : std::filesystem::directory_iterator(root)) {
         if (!entry.is_directory())
@@ -47,6 +53,20 @@ main(int argc, char **argv)
                  entry.path().string().c_str());
             continue;
         }
+        ++campaigns;
+
+        // Lint before opening: CampaignStore's own read path is
+        // fail-closed (first corrupt byte is fatal), which is right
+        // for a resuming campaign but would kill this listing.
+        auto lint = verify::verifyStoreEntry(root, key, deep);
+        if (!lint.ok()) {
+            ++corrupt;
+            std::printf("%s  CORRUPT (%s)\n", digestHex(key).c_str(),
+                        lint.summary().c_str());
+            lint.printText(stdout);
+            continue;
+        }
+
         store::CampaignStore st(root, key);
         std::printf("%s  %4u samples in %zu batches\n",
                     digestHex(key).c_str(), st.storedCount(),
@@ -55,15 +75,17 @@ main(int argc, char **argv)
             std::printf("    batch-%08u  layouts [%u, %u)  checksum %s\n",
                         b.first, b.first, b.first + b.count,
                         digestHex(b.checksum).c_str());
-        if (verify) {
-            auto samples = st.loadSamples(); // fatal()s on corruption
+        if (deep) {
+            auto samples = st.loadSamples();
             std::printf("    verified %zu samples\n", samples.size());
         }
-        ++campaigns;
         total_samples += st.storedCount();
     }
-    std::printf("%u campaigns, %llu samples total%s\n", campaigns,
+    std::printf("%u campaigns, %llu samples total%s", campaigns,
                 static_cast<unsigned long long>(total_samples),
-                verify ? " (all verified)" : "");
-    return 0;
+                deep ? " (payloads verified)" : "");
+    if (corrupt)
+        std::printf(", %u CORRUPT", corrupt);
+    std::printf("\n");
+    return corrupt == 0 ? 0 : 1;
 }
