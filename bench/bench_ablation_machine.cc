@@ -112,5 +112,6 @@ main(int argc, char **argv)
                  "counter with cold-start transients; 'L2 true LRU' "
                  "narrows the placement sensitivity that random "
                  "(pseudo-LRU-like) replacement spreads smoothly.\n";
+    bench::finishTelemetry(scale);
     return 0;
 }

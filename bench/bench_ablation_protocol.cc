@@ -108,5 +108,6 @@ main(int argc, char **argv)
                  "median-of-five protocol recovers most of the loss, "
                  "and quiescing the system is worth more than extra "
                  "repetitions — the paper's §5.5 choices in numbers.\n";
+    bench::finishTelemetry(scale);
     return 0;
 }

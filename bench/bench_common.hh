@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "interferometry/campaign.hh"
+#include "telemetry/span.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 
@@ -32,6 +34,7 @@ struct Scale
     std::string storeDir; ///< Campaign artifact store (empty = off).
     std::string csvPath;
     std::string jsonPath; ///< Machine-readable result file (empty = off).
+    std::string telemetryDir; ///< --telemetry-out: traces + manifests.
     std::string only; ///< Restrict to benchmarks containing this text.
 };
 
@@ -49,12 +52,18 @@ struct JsonRow
  * Collects JsonRow records and writes them as a single JSON document:
  *
  *   { "schema": "interf-bench-1",
+ *     "schemaVersion": 2,
  *     "rows": [ { "benchmark": ..., "config": ...,
  *                 "layouts_per_sec": ..., "events_per_sec": ...,
- *                 "wall_ms": ... }, ... ] }
+ *                 "wall_ms": ... }, ... ],
+ *     "phases": [ { "name": ..., "count": ...,
+ *                   "wall_ms": ..., "thread_ms": ... }, ... ] }
  *
  * CI jobs upload this file as the perf artifact, so the field names are
- * a (small) stable interface; extend, don't rename.
+ * a (small) stable interface; extend, don't rename. schemaVersion 2
+ * added the version field itself and the "phases" array — where the
+ * wall time went, per telemetry phase span, present when telemetry was
+ * enabled for the run (--json implies it) and empty otherwise.
  */
 class JsonReport
 {
@@ -69,7 +78,8 @@ class JsonReport
         std::ofstream out(path);
         if (!out)
             fatal("cannot write JSON report to '%s'", path.c_str());
-        out << "{\n  \"schema\": \"interf-bench-1\",\n  \"rows\": [";
+        out << "{\n  \"schema\": \"interf-bench-1\",\n"
+            << "  \"schemaVersion\": 2,\n  \"rows\": [";
         for (size_t i = 0; i < rows_.size(); ++i) {
             const JsonRow &r = rows_[i];
             out << (i ? ",\n" : "\n")
@@ -78,6 +88,16 @@ class JsonReport
                 << "\", \"layouts_per_sec\": " << num(r.layoutsPerSec)
                 << ", \"events_per_sec\": " << num(r.eventsPerSec)
                 << ", \"wall_ms\": " << num(r.wallMs) << "}";
+        }
+        out << "\n  ],\n  \"phases\": [";
+        const auto phases = telemetry::phaseStats();
+        for (size_t i = 0; i < phases.size(); ++i) {
+            const telemetry::PhaseStat &p = phases[i];
+            out << (i ? ",\n" : "\n")
+                << "    {\"name\": \"" << escaped(p.name)
+                << "\", \"count\": " << p.count
+                << ", \"wall_ms\": " << num(p.wallMs)
+                << ", \"thread_ms\": " << num(p.threadMs) << "}";
         }
         out << "\n  ]\n}\n";
         if (!out.flush())
@@ -131,7 +151,11 @@ addScaleOptions(OptionParser &opts, u32 default_layouts = 40,
     opts.addString("json", "",
                    "write a machine-readable throughput report "
                    "(benchmark, config, layouts/sec, events/sec, "
-                   "wall ms) to this file");
+                   "wall ms, per-phase durations) to this file");
+    opts.addString("telemetry-out", "",
+                   "enable telemetry and write the Perfetto-loadable "
+                   "phase trace plus per-campaign run manifests into "
+                   "this directory (empty = off)");
     opts.addString("only", "",
                    "restrict to benchmarks whose name contains this");
 }
@@ -146,6 +170,7 @@ readScale(const OptionParser &opts)
     s.storeDir = opts.getString("store");
     s.csvPath = opts.getString("csv");
     s.jsonPath = opts.getString("json");
+    s.telemetryDir = opts.getString("telemetry-out");
     s.only = opts.getString("only");
     if (s.layouts < 1)
         fatal("--layouts must be >= 1");
@@ -154,7 +179,27 @@ readScale(const OptionParser &opts)
     if (opts.getInt("jobs") < 0)
         fatal("--jobs must be >= 0");
     s.jobs = static_cast<u32>(opts.getInt("jobs"));
+    // Both outputs need phase spans recorded: --telemetry-out for the
+    // trace + manifests, --json for the embedded per-phase durations.
+    if (!s.telemetryDir.empty())
+        telemetry::setOutputDir(s.telemetryDir);
+    else if (!s.jsonPath.empty())
+        telemetry::enable();
     return s;
+}
+
+/**
+ * End-of-main telemetry hook for every bench: with --telemetry-out,
+ * exports the accumulated spans as a Chrome trace-event file
+ * (trace.json, loadable at ui.perfetto.dev) into the output directory.
+ * Campaign manifests land there on their own as campaigns destruct.
+ */
+inline void
+finishTelemetry(const Scale &scale)
+{
+    if (scale.telemetryDir.empty() || !telemetry::enabled())
+        return;
+    telemetry::writeChromeTrace(scale.telemetryDir + "/trace.json");
 }
 
 /** Campaign configuration at the requested scale. */

@@ -131,5 +131,6 @@ main(int argc, char **argv)
                  "induced CPI variance — the technique generalizes to "
                  "any address-hashed structure, as the paper "
                  "anticipates.)\n";
+    bench::finishTelemetry(scale);
     return 0;
 }

@@ -94,5 +94,6 @@ main(int argc, char **argv)
                  "-2% to +2% for sensitive benchmarks)\n";
     if (!scale.csvPath.empty())
         csv.writeCsv(scale.csvPath);
+    bench::finishTelemetry(scale);
     return 0;
 }

@@ -138,5 +138,6 @@ main(int argc, char **argv)
 
     if (!scale.csvPath.empty())
         csv.writeCsv(scale.csvPath);
+    bench::finishTelemetry(scale);
     return 0;
 }

@@ -137,5 +137,6 @@ main(int argc, char **argv)
             }
         csv.writeCsv(scale.csvPath);
     }
+    bench::finishTelemetry(scale);
     return 0;
 }

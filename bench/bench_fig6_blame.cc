@@ -99,5 +99,6 @@ main(int argc, char **argv)
                  "independent)\n";
     if (!scale.csvPath.empty())
         csv.writeCsv(scale.csvPath);
+    bench::finishTelemetry(scale);
     return 0;
 }

@@ -213,5 +213,6 @@ main(int argc, char **argv)
         report.write(scale.jsonPath);
         std::printf("wrote JSON report to %s\n", scale.jsonPath.c_str());
     }
+    bench::finishTelemetry(scale);
     return 0;
 }

@@ -146,16 +146,17 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter
  * benchmark::Initialize (which rejects flags it doesn't know).
  */
 std::string
-extractJsonPath(int &argc, char **argv)
+extractPathFlag(int &argc, char **argv, const std::string &flag)
 {
+    const std::string prefix = flag + "=";
     std::string path;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
+        if (arg == flag && i + 1 < argc) {
             path = argv[++i];
-        } else if (arg.rfind("--json=", 0) == 0) {
-            path = arg.substr(7);
+        } else if (arg.rfind(prefix, 0) == 0) {
+            path = arg.substr(prefix.size());
         } else {
             argv[out++] = argv[i];
         }
@@ -169,7 +170,13 @@ extractJsonPath(int &argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    std::string json_path = extractJsonPath(argc, argv);
+    std::string json_path = extractPathFlag(argc, argv, "--json");
+    std::string telemetry_dir =
+        extractPathFlag(argc, argv, "--telemetry-out");
+    if (!telemetry_dir.empty())
+        telemetry::setOutputDir(telemetry_dir);
+    else if (!json_path.empty())
+        telemetry::enable();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -179,5 +186,7 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     if (!json_path.empty())
         report.write(json_path);
+    if (!telemetry_dir.empty() && telemetry::enabled())
+        telemetry::writeChromeTrace(telemetry_dir + "/trace.json");
     return 0;
 }

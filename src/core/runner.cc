@@ -1,6 +1,7 @@
 #include "core/runner.hh"
 
 #include "stats/descriptive.hh"
+#include "telemetry/span.hh"
 #include "util/logging.hh"
 
 namespace interf::core
@@ -71,6 +72,7 @@ MeasurementRunner::measureWithTruth(const trace::ReplayPlan &plan,
                                     const trace::LayoutTables &tables,
                                     u64 noise_seed)
 {
+    INTERF_SPAN("runner.measure");
     return protocol(machine_.replay(plan, tables), noise_seed);
 }
 

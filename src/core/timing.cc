@@ -6,6 +6,7 @@
 #include "bpred/factory.hh"
 #include "bpred/hybrid.hh"
 #include "core/refmodel.hh"
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace interf::core
@@ -288,6 +289,8 @@ Machine::replay(const trace::ReplayPlan &plan,
     INTERF_ASSERT(tables.hasData());
     INTERF_ASSERT(tables.siteAddr.size() == plan.siteCount());
     INTERF_ASSERT(tables.dataAddr.size() == plan.memCount());
+    INTERF_TELEM_COUNT("replay.calls", 1);
+    INTERF_TELEM_COUNT("replay.events", plan.eventCount());
     if (tables.identityPages())
         return replayImpl<true, false>(plan, tables);
     // The pre-translated fetch-line table only applies when it was

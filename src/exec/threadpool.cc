@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace interf::exec
@@ -25,7 +27,12 @@ ThreadPool::ThreadPool(u32 workers)
     u32 count = resolveJobs(workers);
     threads_.reserve(count);
     for (u32 i = 0; i < count; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i); });
+    if (telemetry::enabled()) {
+        telemetry::Registry::global()
+            .gauge("pool.workers")
+            .set(static_cast<i64>(count));
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -42,11 +49,17 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push(std::move(task));
         ++inFlight_;
+        depth = queue_.size();
     }
+    INTERF_TELEM_HISTOGRAM("pool.queue_depth",
+                           (std::vector<u64>{1, 2, 4, 8, 16, 32, 64,
+                                             128, 256}),
+                           depth);
     workReady_.notify_one();
 }
 
@@ -58,8 +71,11 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(u32 index)
 {
+    if (telemetry::enabled())
+        telemetry::setCurrentThreadName(
+            strprintf("pool-worker-%u", index));
     for (;;) {
         std::function<void()> task;
         {
@@ -71,7 +87,17 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop();
         }
-        task();
+        // Busy time is sampled only when telemetry is on: nowNs() is a
+        // clock read, not free, and the loop runs once per task.
+        if (telemetry::enabled()) {
+            const u64 start = telemetry::nowNs();
+            task();
+            INTERF_TELEM_COUNT("pool.tasks", 1);
+            INTERF_TELEM_COUNT("pool.busy_ns",
+                               telemetry::nowNs() - start);
+        } else {
+            task();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--inFlight_ == 0)

@@ -83,7 +83,7 @@ class ThreadPool
     static u32 resolveJobs(u32 jobs);
 
   private:
-    void workerLoop();
+    void workerLoop(u32 index);
 
     std::mutex mutex_;
     std::condition_variable workReady_;

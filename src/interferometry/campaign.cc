@@ -4,7 +4,12 @@
 
 #include "stats/descriptive.hh"
 #include "stats/hypothesis.hh"
+#include "stats/regression.hh"
 #include "store/store.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
+#include "telemetry/telemetry.hh"
+#include "util/digest.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
 #include "workloads/builder.hh"
@@ -20,23 +25,49 @@ Campaign::Campaign(const workloads::WorkloadProfile &profile,
       linker_(),
       runner_(config.machine, config.runner)
 {
-    trace::TraceGenerator gen(program_, profile.behaviourSeed);
-    trace_ = gen.makeTrace(cfg_.instructionBudget);
-    trace_.validate(program_);
+    startNs_ = telemetry::nowNs();
+    phaseBase_ = telemetry::phaseStats();
+    {
+        INTERF_SPAN("trace.generate");
+        trace::TraceGenerator gen(program_, profile.behaviourSeed);
+        trace_ = gen.makeTrace(cfg_.instructionBudget);
+        trace_.validate(program_);
+    }
     // Trust boundary: Debug builds / INTERF_VERIFY=1 prove the built
     // program and generated trace before compiling anything from them.
     if (verify::verifyOnTrust()) {
-        verify::requireClean(verify::verifyProgram(program_),
-                             "Campaign program");
-        verify::requireClean(verify::verifyTrace(program_, trace_),
-                             "Campaign trace");
+        INTERF_SPAN("campaign.verify");
+        auto prog_result = verify::verifyProgram(program_);
+        auto trace_result = verify::verifyTrace(program_, trace_);
+        verifyErrors_ =
+            prog_result.errorCount() + trace_result.errorCount();
+        verifyWarnings_ =
+            prog_result.warningCount() + trace_result.warningCount();
+        verify::requireClean(prog_result, "Campaign program");
+        verify::requireClean(trace_result, "Campaign trace");
     }
     // Compile the trace once; every layout measurement replays the
-    // plan through flat per-layout address tables.
+    // plan through flat per-layout address tables (the ReplayPlan
+    // constructor records the "plan.compile" span itself).
     plan_ = trace::ReplayPlan(program_, trace_);
+    campaignKey_ =
+        store::campaignKey(program_, profile_.behaviourSeed, cfg_);
 }
 
-Campaign::~Campaign() = default;
+Campaign::~Campaign()
+{
+    if (!telemetry::enabled())
+        return;
+    telemetry::RunManifest manifest = buildManifest();
+    if (store_)
+        manifest.writeAtomic(store_->dir() + "/run-manifest.json");
+    std::string out_dir = telemetry::outputDir();
+    if (!out_dir.empty())
+        manifest.writeAtomic(
+            strprintf("%s/manifest-%s-%s.json", out_dir.c_str(),
+                      profile_.name.c_str(),
+                      digestHex(campaignKey_).c_str()));
+}
 
 store::CampaignStore *
 Campaign::store()
@@ -45,9 +76,7 @@ Campaign::store()
         storeOpened_ = true;
         if (!cfg_.storeDir.empty()) {
             store_ = std::make_unique<store::CampaignStore>(
-                cfg_.storeDir,
-                store::campaignKey(program_, profile_.behaviourSeed,
-                                   cfg_));
+                cfg_.storeDir, campaignKey_);
             cached_ = store_->loadSamples();
         }
     }
@@ -82,10 +111,13 @@ Campaign::pageMapFor(u32 index) const
 core::Measurement
 Campaign::measureOne(core::MeasurementRunner &runner, u32 index) const
 {
-    layout::CodeLayout code = codeLayoutFor(index);
-    layout::HeapLayout heap = heapLayoutFor(index);
-    trace::LayoutTables tables(plan_, code, heap, pageMapFor(index),
-                               cfg_.machine.hierarchy.l1i.lineBytes);
+    trace::LayoutTables tables = [&] {
+        INTERF_SPAN("layout.gen");
+        layout::CodeLayout code = codeLayoutFor(index);
+        layout::HeapLayout heap = heapLayoutFor(index);
+        return trace::LayoutTables(plan_, code, heap, pageMapFor(index),
+                                   cfg_.machine.hierarchy.l1i.lineBytes);
+    }();
     return runner.measure(plan_, tables, cfg_.layoutSeedBase + index);
 }
 
@@ -96,6 +128,7 @@ Campaign::measureRange(u32 first, u32 count,
 {
     const u32 jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
     if (jobs <= 1 || count <= 1) {
+        INTERF_SPAN("replay.batch");
         for (u32 k = 0; k < count; ++k)
             out[out_offset + k] = measureOne(runner_, first + k);
         return;
@@ -108,6 +141,7 @@ Campaign::measureRange(u32 first, u32 count,
     // out_offset + k always holds layout first + k, so scheduling
     // cannot reorder or otherwise perturb the samples.
     exec::parallelForChunks(*pool_, count, [&](size_t begin, size_t end) {
+        INTERF_SPAN("replay.batch");
         core::MeasurementRunner runner(cfg_.machine, cfg_.runner);
         for (size_t k = begin; k < end; ++k)
             out[out_offset + k] =
@@ -129,10 +163,14 @@ Campaign::measureLayouts(u32 first, u32 count)
     }
     cachedLayouts_ += have;
     measuredLayouts_ += count - have;
+    INTERF_TELEM_COUNT("store.sample_hits", have);
+    INTERF_TELEM_COUNT("store.sample_misses", count - have);
     if (have == count)
         return out;
 
+    const u64 measure_start = telemetry::nowNs();
     measureRange(first + have, count - have, out, have);
+    measureNs_ += telemetry::nowNs() - measure_start;
 
     // Checkpoint the fresh samples if they extend the persisted prefix
     // contiguously; a gap (a caller jumping ahead of the store) is
@@ -140,7 +178,11 @@ Campaign::measureLayouts(u32 first, u32 count)
     if (st && first + have == st->storedCount()) {
         std::vector<core::Measurement> fresh(out.begin() + have,
                                              out.end());
+        const u64 commit_start = telemetry::nowNs();
         st->appendBatch(first + have, fresh);
+        ++storeBatches_;
+        storeCommitMs_ +=
+            (telemetry::nowNs() - commit_start) / 1e6;
         cached_.insert(cached_.end(), fresh.begin(), fresh.end());
     }
     return out;
@@ -149,6 +191,7 @@ Campaign::measureLayouts(u32 first, u32 count)
 CampaignResult
 Campaign::run()
 {
+    INTERF_SPAN("campaign.run");
     CampaignResult res;
     res.samples.reserve(cfg_.maxLayouts);
     const u32 measured_before = measuredLayouts_;
@@ -171,6 +214,7 @@ Campaign::run()
                            batch_samples.end());
         next += count;
 
+        INTERF_SPAN("campaign.regression");
         auto test = stats::correlationTTest(mpki, cpi);
         double mean_mpki = stats::mean(mpki);
         double cv = mean_mpki > 0.0
@@ -186,7 +230,55 @@ Campaign::run()
     res.layoutsUsed = next;
     res.measuredLayouts = measuredLayouts_ - measured_before;
     res.cachedLayouts = cachedLayouts_ - cached_before;
+
+    stats::LinearFit fit(mpki, cpi);
+    regressionRan_ = true;
+    lastSignificant_ = res.significant;
+    lastEnoughRange_ = res.enoughMpkiRange;
+    lastLayoutsUsed_ = res.layoutsUsed;
+    lastSlope_ = fit.slope();
+    lastIntercept_ = fit.intercept();
+    lastR2_ = fit.r2();
     return res;
+}
+
+telemetry::RunManifest
+Campaign::buildManifest() const
+{
+    telemetry::RunManifest m;
+    m.benchmark = profile_.name;
+    m.configDigest = digestHex(campaignKey_);
+    if (store_) {
+        m.storeKey = m.configDigest;
+        m.storeDir = store_->dir();
+        m.storeBatchesCommitted = storeBatches_;
+        m.storeCommitMs = storeCommitMs_;
+    }
+    m.instructionBudget = cfg_.instructionBudget;
+    m.jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
+    m.layoutsUsed = regressionRan_ ? lastLayoutsUsed_
+                                   : measuredLayouts_ + cachedLayouts_;
+    m.layoutsMeasured = measuredLayouts_;
+    m.layoutsCached = cachedLayouts_;
+    m.wallMs = (telemetry::nowNs() - startNs_) / 1e6;
+    m.layoutsPerSec = measureNs_ > 0
+                          ? measuredLayouts_ / (measureNs_ / 1e9)
+                          : 0.0;
+    m.phases = telemetry::phaseStatsSince(phaseBase_);
+    m.verifyErrors = verifyErrors_;
+    m.verifyWarnings = verifyWarnings_;
+    telemetry::LogCaptureSnapshot logs = telemetry::logCapture();
+    m.logWarns = logs.warns;
+    m.logInforms = logs.informs;
+    m.recentWarnings = logs.recentWarnings;
+    m.regressionRan = regressionRan_;
+    m.regressionSignificant = lastSignificant_;
+    m.enoughMpkiRange = lastEnoughRange_;
+    m.slope = lastSlope_;
+    m.intercept = lastIntercept_;
+    m.r2 = lastR2_;
+    m.metrics = telemetry::Registry::global().snapshot().toJson();
+    return m;
 }
 
 } // namespace interf::interferometry

@@ -26,6 +26,7 @@
 #include "layout/heap.hh"
 #include "layout/linker.hh"
 #include "layout/pagemap.hh"
+#include "telemetry/manifest.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workloads/profile.hh"
@@ -162,6 +163,15 @@ class Campaign
 
     const CampaignConfig &config() const { return cfg_; }
 
+    /**
+     * Snapshot of everything this campaign did so far as a run
+     * manifest (see telemetry/manifest.hh). With telemetry enabled the
+     * destructor writes this next to the store and/or into
+     * telemetry::outputDir(); callers wanting the document earlier (or
+     * without telemetry) can build it themselves.
+     */
+    telemetry::RunManifest buildManifest() const;
+
   private:
     /** Link, derive and measure layout @p index with @p runner. */
     core::Measurement measureOne(core::MeasurementRunner &runner,
@@ -191,6 +201,25 @@ class Campaign
     std::vector<core::Measurement> cached_; ///< Store's samples [0, n).
     u32 measuredLayouts_ = 0;
     u32 cachedLayouts_ = 0;
+
+    /** @{ Telemetry bookkeeping for buildManifest(); maintained
+     *  unconditionally (cheap), observed only. */
+    u64 campaignKey_ = 0;
+    u64 startNs_ = 0;
+    std::vector<telemetry::PhaseStat> phaseBase_; ///< At construction.
+    u64 verifyErrors_ = 0;
+    u64 verifyWarnings_ = 0;
+    u64 measureNs_ = 0; ///< Wall time inside fresh measureRange calls.
+    u64 storeBatches_ = 0;
+    double storeCommitMs_ = 0.0;
+    bool regressionRan_ = false;
+    bool lastSignificant_ = false;
+    bool lastEnoughRange_ = false;
+    u32 lastLayoutsUsed_ = 0;
+    double lastSlope_ = 0.0;
+    double lastIntercept_ = 0.0;
+    double lastR2_ = 0.0;
+    /** @} */
 };
 
 } // namespace interf::interferometry

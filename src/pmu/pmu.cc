@@ -1,5 +1,6 @@
 #include "pmu/pmu.hh"
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace interf::pmu
@@ -56,6 +57,7 @@ Pmu::program(const EventGroup &group)
         fatal("fixed events need not occupy a programmable counter");
     group_ = group;
     programmed_ = true;
+    INTERF_TELEM_COUNT("pmu.programs", 1);
 }
 
 bool

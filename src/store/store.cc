@@ -10,6 +10,8 @@
 
 #include "store/format.hh"
 #include "store/serialize.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 #include "trace/io.hh"
 #include "util/digest.hh"
 #include "util/logging.hh"
@@ -325,6 +327,7 @@ CampaignStore::writeManifest() const
 std::vector<core::Measurement>
 CampaignStore::loadSamples() const
 {
+    INTERF_SPAN("store.load");
     std::vector<core::Measurement> samples;
     samples.reserve(storedCount_);
     for (const auto &entry : batches_) {
@@ -375,6 +378,8 @@ CampaignStore::appendBatch(u32 first,
 {
     if (samples.empty())
         return;
+    INTERF_SPAN("store.commit");
+    const u64 commit_start = telemetry::nowNs();
     // Exclusive writer for the rest of this store's lifetime; may
     // fatal() on a concurrent or raced writer.
     acquireWriteLock();
@@ -412,6 +417,12 @@ CampaignStore::appendBatch(u32 first,
     batches_.push_back(entry);
     writeManifest();
     storedCount_ += entry.count;
+    INTERF_TELEM_COUNT("store.batches_committed", 1);
+    INTERF_TELEM_COUNT("store.samples_committed", entry.count);
+    INTERF_TELEM_HISTOGRAM(
+        "store.commit_ms",
+        (std::vector<u64>{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}),
+        (telemetry::nowNs() - commit_start) / 1'000'000);
 }
 
 } // namespace interf::store

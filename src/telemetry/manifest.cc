@@ -1,0 +1,256 @@
+#include "telemetry/manifest.hh"
+
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+
+namespace interf::telemetry
+{
+
+namespace
+{
+
+/** @{ Checked field accessors for fromJson: false + error on a miss. */
+bool
+getString(const Json &doc, const char *key, std::string &out,
+          std::string *error)
+{
+    const Json &v = doc.get(key);
+    if (!v.isString()) {
+        if (error)
+            *error = strprintf("missing or non-string field '%s'", key);
+        return false;
+    }
+    out = v.asString();
+    return true;
+}
+
+bool
+getU64(const Json &doc, const char *key, u64 &out, std::string *error)
+{
+    const Json &v = doc.get(key);
+    if (!v.isNumber()) {
+        if (error)
+            *error = strprintf("missing or non-numeric field '%s'", key);
+        return false;
+    }
+    out = v.asU64();
+    return true;
+}
+
+bool
+getDouble(const Json &doc, const char *key, double &out,
+          std::string *error)
+{
+    const Json &v = doc.get(key);
+    if (!v.isNumber()) {
+        if (error)
+            *error = strprintf("missing or non-numeric field '%s'", key);
+        return false;
+    }
+    out = v.asDouble();
+    return true;
+}
+
+bool
+getBool(const Json &doc, const char *key, bool &out, std::string *error)
+{
+    const Json &v = doc.get(key);
+    if (!v.isBool()) {
+        if (error)
+            *error = strprintf("missing or non-bool field '%s'", key);
+        return false;
+    }
+    out = v.asBool();
+    return true;
+}
+/** @} */
+
+} // anonymous namespace
+
+Json
+RunManifest::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("schema", kManifestSchema);
+    doc.set("schema_version", kManifestSchemaVersion);
+    doc.set("benchmark", benchmark);
+    doc.set("config_digest", configDigest);
+    doc.set("store_key", storeKey);
+    doc.set("store_dir", storeDir);
+    doc.set("instruction_budget", instructionBudget);
+    doc.set("jobs", jobs);
+
+    Json layouts = Json::object();
+    layouts.set("used", layoutsUsed);
+    layouts.set("measured", layoutsMeasured);
+    layouts.set("cached", layoutsCached);
+    doc.set("layouts", std::move(layouts));
+
+    Json store = Json::object();
+    store.set("batches_committed", storeBatchesCommitted);
+    store.set("commit_ms", storeCommitMs);
+    doc.set("store", std::move(store));
+
+    doc.set("wall_ms", wallMs);
+    doc.set("layouts_per_sec", layoutsPerSec);
+
+    Json verify = Json::object();
+    verify.set("errors", verifyErrors);
+    verify.set("warnings", verifyWarnings);
+    doc.set("verify", std::move(verify));
+
+    Json logj = Json::object();
+    logj.set("warns", logWarns);
+    logj.set("informs", logInforms);
+    Json recent = Json::array();
+    for (const auto &msg : recentWarnings)
+        recent.push(msg);
+    logj.set("recent_warnings", std::move(recent));
+    doc.set("log", std::move(logj));
+
+    Json regression = Json::object();
+    regression.set("ran", regressionRan);
+    regression.set("significant", regressionSignificant);
+    regression.set("enough_mpki_range", enoughMpkiRange);
+    regression.set("slope", slope);
+    regression.set("intercept", intercept);
+    regression.set("r2", r2);
+    doc.set("regression", std::move(regression));
+
+    Json phasesJson = Json::array();
+    for (const auto &phase : phases) {
+        Json p = Json::object();
+        p.set("name", phase.name);
+        p.set("count", phase.count);
+        p.set("wall_ms", phase.wallMs);
+        p.set("thread_ms", phase.threadMs);
+        phasesJson.push(std::move(p));
+    }
+    doc.set("phases", std::move(phasesJson));
+
+    doc.set("metrics", metrics.isArray() ? metrics : Json::array());
+    return doc;
+}
+
+bool
+RunManifest::fromJson(const Json &doc, std::string *error)
+{
+    if (!doc.isObject()) {
+        if (error)
+            *error = "manifest is not a JSON object";
+        return false;
+    }
+    std::string schema;
+    if (!getString(doc, "schema", schema, error))
+        return false;
+    if (schema != kManifestSchema) {
+        if (error)
+            *error = strprintf("unsupported manifest schema '%s'",
+                               schema.c_str());
+        return false;
+    }
+
+    u64 scratch = 0;
+    if (!getString(doc, "benchmark", benchmark, error) ||
+        !getString(doc, "config_digest", configDigest, error) ||
+        !getString(doc, "store_key", storeKey, error) ||
+        !getString(doc, "store_dir", storeDir, error) ||
+        !getU64(doc, "instruction_budget", instructionBudget, error) ||
+        !getU64(doc, "jobs", scratch, error))
+        return false;
+    jobs = static_cast<u32>(scratch);
+
+    const Json &layouts = doc.get("layouts");
+    if (!getU64(layouts, "used", scratch, error))
+        return false;
+    layoutsUsed = static_cast<u32>(scratch);
+    if (!getU64(layouts, "measured", scratch, error))
+        return false;
+    layoutsMeasured = static_cast<u32>(scratch);
+    if (!getU64(layouts, "cached", scratch, error))
+        return false;
+    layoutsCached = static_cast<u32>(scratch);
+
+    const Json &store = doc.get("store");
+    if (!getU64(store, "batches_committed", storeBatchesCommitted,
+                error) ||
+        !getDouble(store, "commit_ms", storeCommitMs, error))
+        return false;
+
+    if (!getDouble(doc, "wall_ms", wallMs, error) ||
+        !getDouble(doc, "layouts_per_sec", layoutsPerSec, error))
+        return false;
+
+    const Json &verify = doc.get("verify");
+    if (!getU64(verify, "errors", verifyErrors, error) ||
+        !getU64(verify, "warnings", verifyWarnings, error))
+        return false;
+
+    const Json &logj = doc.get("log");
+    if (!getU64(logj, "warns", logWarns, error) ||
+        !getU64(logj, "informs", logInforms, error))
+        return false;
+    recentWarnings.clear();
+    const Json &recent = logj.get("recent_warnings");
+    if (recent.isArray()) {
+        for (size_t i = 0; i < recent.size(); ++i)
+            if (recent.at(i).isString())
+                recentWarnings.push_back(recent.at(i).asString());
+    }
+
+    const Json &regression = doc.get("regression");
+    if (!getBool(regression, "ran", regressionRan, error) ||
+        !getBool(regression, "significant", regressionSignificant,
+                 error) ||
+        !getBool(regression, "enough_mpki_range", enoughMpkiRange,
+                 error) ||
+        !getDouble(regression, "slope", slope, error) ||
+        !getDouble(regression, "intercept", intercept, error) ||
+        !getDouble(regression, "r2", r2, error))
+        return false;
+
+    phases.clear();
+    const Json &phasesJson = doc.get("phases");
+    if (!phasesJson.isArray()) {
+        if (error)
+            *error = "missing or non-array field 'phases'";
+        return false;
+    }
+    for (size_t i = 0; i < phasesJson.size(); ++i) {
+        const Json &p = phasesJson.at(i);
+        PhaseStat stat;
+        if (!getString(p, "name", stat.name, error) ||
+            !getU64(p, "count", stat.count, error) ||
+            !getDouble(p, "wall_ms", stat.wallMs, error) ||
+            !getDouble(p, "thread_ms", stat.threadMs, error))
+            return false;
+        phases.push_back(std::move(stat));
+    }
+
+    const Json &metricsJson = doc.get("metrics");
+    metrics = metricsJson.isArray() ? metricsJson : Json::array();
+    return true;
+}
+
+std::string
+RunManifest::dump() const
+{
+    return toJson().dump(1) + "\n";
+}
+
+void
+RunManifest::writeAtomic(const std::string &path) const
+{
+    writeFileAtomic(path, dump());
+}
+
+bool
+RunManifest::load(const std::string &path, std::string *error)
+{
+    Json doc;
+    if (!Json::parseFile(path, doc, error))
+        return false;
+    return fromJson(doc, error);
+}
+
+} // namespace interf::telemetry

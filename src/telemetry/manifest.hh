@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Run manifest: one JSON document per campaign.
+ *
+ * The manifest is the durable, machine-readable answer to "what did
+ * this campaign do": identity (benchmark, config digest, store key),
+ * shape (budget, jobs, layouts measured vs served from cache), where
+ * the time went (per-phase durations, layouts/sec), what the verifiers
+ * and log sink said, and — when the escalation loop ran — the final
+ * regression statistics.
+ *
+ * Written atomically (temp + rename) next to the campaign store and/or
+ * into the --telemetry-out directory. Schema is versioned
+ * ("interf-manifest-1", schema_version 1) and validated in CI against
+ * docs/manifest.schema.json; tools/interf_stats pretty-prints and
+ * diffs manifests.
+ */
+
+#ifndef INTERF_TELEMETRY_MANIFEST_HH
+#define INTERF_TELEMETRY_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/span.hh"
+#include "util/json.hh"
+#include "util/types.hh"
+
+namespace interf::telemetry
+{
+
+/** Schema identity stamped into (and required from) every manifest. */
+constexpr const char *kManifestSchema = "interf-manifest-1";
+constexpr u32 kManifestSchemaVersion = 1;
+
+struct RunManifest
+{
+    /** @{ Identity. */
+    std::string benchmark;
+    std::string configDigest; ///< 16-hex campaign key digest.
+    std::string storeKey;     ///< Same digest when a store is open.
+    std::string storeDir;     ///< Empty when no store was used.
+    /** @} */
+
+    /** @{ Campaign shape. */
+    u64 instructionBudget = 0;
+    u32 jobs = 0;
+    u32 layoutsUsed = 0;     ///< Layouts the campaign consumed.
+    u32 layoutsMeasured = 0; ///< Measured fresh this run.
+    u32 layoutsCached = 0;   ///< Served from the store.
+    /** @} */
+
+    /** @{ Store activity this run. */
+    u64 storeBatchesCommitted = 0;
+    double storeCommitMs = 0.0;
+    /** @} */
+
+    /** @{ Timing. */
+    double wallMs = 0.0;        ///< Whole-campaign wall time.
+    double layoutsPerSec = 0.0; ///< Fresh measurements / measure time.
+    std::vector<PhaseStat> phases;
+    /** @} */
+
+    /** @{ Diagnostics. */
+    u64 verifyErrors = 0;
+    u64 verifyWarnings = 0;
+    u64 logWarns = 0;
+    u64 logInforms = 0;
+    std::vector<std::string> recentWarnings;
+    /** @} */
+
+    /** @{ Final regression stats (valid when regressionRan). */
+    bool regressionRan = false;
+    bool regressionSignificant = false;
+    bool enoughMpkiRange = false;
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+    /** @} */
+
+    /**
+     * Metrics snapshot as produced by MetricsSnapshot::toJson() (a
+     * flat array of {name, kind, ...}); carried as JSON verbatim so a
+     * loaded manifest round-trips without re-reading the live
+     * registry.
+     */
+    Json metrics = Json::array();
+
+    Json toJson() const;
+
+    /**
+     * Populate from parsed JSON. Returns false (with @p error set) on
+     * schema mismatch or missing/ill-typed required fields.
+     */
+    bool fromJson(const Json &doc, std::string *error);
+
+    /** Pretty-printed JSON document (trailing newline included). */
+    std::string dump() const;
+
+    /** Serialize and write via writeFileAtomic. */
+    void writeAtomic(const std::string &path) const;
+
+    /** Parse @p path; false (with @p error set) on any failure. */
+    bool load(const std::string &path, std::string *error);
+};
+
+} // namespace interf::telemetry
+
+#endif // INTERF_TELEMETRY_MANIFEST_HH

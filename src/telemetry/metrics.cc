@@ -1,0 +1,349 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace interf::telemetry
+{
+
+namespace
+{
+
+using detail::HistogramMeta;
+using detail::kInvalidSlot;
+using detail::kMaxGauges;
+using detail::kShardSlots;
+
+/**
+ * One thread's slot array. The owning thread is the only writer; all
+ * cross-thread traffic is relaxed atomic loads (snapshot) against
+ * relaxed stores (owner), which is exactly the wait-free contract the
+ * hot paths need.
+ */
+struct Shard
+{
+    std::array<std::atomic<u64>, kShardSlots> slots{};
+};
+
+enum class Kind : u8 { Counter, Gauge, Histogram };
+
+} // anonymous namespace
+
+struct Registry::Impl
+{
+    mutable std::mutex mutex;
+
+    std::map<std::string, Kind> kinds;
+    std::map<std::string, u32> counterSlots;
+    std::map<std::string, u32> gaugeIndex;
+    std::map<std::string, std::unique_ptr<HistogramMeta>> histograms;
+    u32 nextSlot = 0;
+    u32 nextGauge = 0;
+    std::array<std::atomic<i64>, kMaxGauges> gauges{};
+
+    std::vector<Shard *> live; ///< Attached to a running thread.
+    std::vector<std::unique_ptr<Shard>> owned;
+    std::vector<Shard *> freeList; ///< Detached, zeroed, reusable.
+    std::array<u64, kShardSlots> retired{}; ///< Fold of dead shards.
+
+    u32 allocateSlots(u32 n)
+    {
+        if (nextSlot + n > kShardSlots)
+            panic("telemetry metric slot space exhausted (%u slots)",
+                  kShardSlots);
+        u32 first = nextSlot;
+        nextSlot += n;
+        return first;
+    }
+
+    void requireKind(const std::string &name, Kind kind)
+    {
+        auto [it, inserted] = kinds.emplace(name, kind);
+        if (!inserted && it->second != kind)
+            panic("telemetry metric '%s' re-registered as a different "
+                  "kind",
+                  name.c_str());
+    }
+
+    Shard *attach()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        Shard *shard;
+        if (!freeList.empty()) {
+            shard = freeList.back();
+            freeList.pop_back();
+        } else {
+            owned.push_back(std::make_unique<Shard>());
+            shard = owned.back().get();
+        }
+        live.push_back(shard);
+        return shard;
+    }
+
+    void detach(Shard *shard)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (u32 i = 0; i < kShardSlots; ++i) {
+            retired[i] += shard->slots[i].load(std::memory_order_relaxed);
+            shard->slots[i].store(0, std::memory_order_relaxed);
+        }
+        live.erase(std::remove(live.begin(), live.end(), shard),
+                   live.end());
+        freeList.push_back(shard);
+    }
+
+    u64 slotTotalLocked(u32 slot) const
+    {
+        u64 total = retired[slot];
+        for (const Shard *s : live)
+            total += s->slots[slot].load(std::memory_order_relaxed);
+        return total;
+    }
+};
+
+namespace
+{
+
+/**
+ * The thread's shard, attached on first use and folded back into the
+ * registry when the thread exits (so counts outlive pool workers).
+ */
+struct ShardLease
+{
+    Shard *shard = nullptr;
+    Registry::Impl *impl = nullptr;
+
+    ~ShardLease()
+    {
+        if (shard)
+            impl->detach(shard);
+    }
+};
+
+thread_local ShardLease t_lease;
+
+Registry::Impl *
+globalImpl()
+{
+    // Leaked on purpose: thread_local lease destructors (including the
+    // main thread's, at exit) must always find a live registry.
+    static Registry::Impl *impl = new Registry::Impl();
+    return impl;
+}
+
+std::atomic<u64> &
+shardSlot(u32 slot)
+{
+    if (!t_lease.shard) {
+        t_lease.impl = globalImpl();
+        t_lease.shard = t_lease.impl->attach();
+    }
+    return t_lease.shard->slots[slot];
+}
+
+void
+shardAdd(u32 slot, u64 n)
+{
+    auto &cell = shardSlot(slot);
+    cell.store(cell.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+}
+
+} // anonymous namespace
+
+void
+Counter::add(u64 n) const
+{
+    if (slot_ == kInvalidSlot || !enabled())
+        return;
+    shardAdd(slot_, n);
+}
+
+void
+Gauge::set(i64 v) const
+{
+    if (index_ == kInvalidSlot || !enabled())
+        return;
+    globalImpl()->gauges[index_].store(v, std::memory_order_relaxed);
+}
+
+void
+Histogram::record(u64 value) const
+{
+    if (meta_ == nullptr || !enabled())
+        return;
+    const auto &bounds = meta_->bounds;
+    u32 bucket = 0;
+    while (bucket < bounds.size() && value > bounds[bucket])
+        ++bucket; // First bound >= value: "le" semantics.
+    shardAdd(meta_->firstSlot + bucket, 1);
+    shardAdd(meta_->firstSlot + static_cast<u32>(bounds.size()) + 1,
+             value);
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Registry::Impl &
+Registry::impl() const
+{
+    return *globalImpl();
+}
+
+Counter
+Registry::counter(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.requireKind(name, Kind::Counter);
+    auto it = im.counterSlots.find(name);
+    if (it == im.counterSlots.end())
+        it = im.counterSlots.emplace(name, im.allocateSlots(1)).first;
+    return Counter(it->second);
+}
+
+Gauge
+Registry::gauge(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.requireKind(name, Kind::Gauge);
+    auto it = im.gaugeIndex.find(name);
+    if (it == im.gaugeIndex.end()) {
+        if (im.nextGauge >= kMaxGauges)
+            panic("telemetry gauge space exhausted (%u gauges)",
+                  kMaxGauges);
+        it = im.gaugeIndex.emplace(name, im.nextGauge++).first;
+    }
+    return Gauge(it->second);
+}
+
+Histogram
+Registry::histogram(const std::string &name, std::vector<u64> bounds)
+{
+    if (bounds.empty())
+        panic("telemetry histogram '%s' needs at least one bound",
+              name.c_str());
+    for (size_t i = 1; i < bounds.size(); ++i)
+        if (bounds[i] <= bounds[i - 1])
+            panic("telemetry histogram '%s' bounds must be strictly "
+                  "ascending",
+                  name.c_str());
+
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.requireKind(name, Kind::Histogram);
+    auto it = im.histograms.find(name);
+    if (it == im.histograms.end()) {
+        auto meta = std::make_unique<HistogramMeta>();
+        meta->name = name;
+        meta->bounds = std::move(bounds);
+        // Buckets, overflow, then the value sum.
+        meta->firstSlot = im.allocateSlots(
+            static_cast<u32>(meta->bounds.size()) + 2);
+        it = im.histograms.emplace(name, std::move(meta)).first;
+    } else if (it->second->bounds != bounds) {
+        panic("telemetry histogram '%s' re-registered with different "
+              "bounds",
+              name.c_str());
+    }
+    return Histogram(it->second.get());
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    MetricsSnapshot snap;
+    for (const auto &[name, slot] : im.counterSlots)
+        snap.counters.push_back({name, im.slotTotalLocked(slot)});
+    for (const auto &[name, index] : im.gaugeIndex)
+        snap.gauges.push_back(
+            {name, im.gauges[index].load(std::memory_order_relaxed)});
+    for (const auto &[name, meta] : im.histograms) {
+        HistogramValue h;
+        h.name = name;
+        h.bounds = meta->bounds;
+        const u32 buckets = static_cast<u32>(meta->bounds.size());
+        h.counts.resize(buckets);
+        for (u32 i = 0; i < buckets; ++i)
+            h.counts[i] = im.slotTotalLocked(meta->firstSlot + i);
+        h.overflow = im.slotTotalLocked(meta->firstSlot + buckets);
+        h.sum = im.slotTotalLocked(meta->firstSlot + buckets + 1);
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+void
+Registry::resetValues()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.retired.fill(0);
+    for (Shard *s : im.live)
+        for (auto &slot : s->slots)
+            slot.store(0, std::memory_order_relaxed);
+    for (auto &g : im.gauges)
+        g.store(0, std::memory_order_relaxed);
+}
+
+u64
+HistogramValue::total() const
+{
+    u64 n = overflow;
+    for (u64 c : counts)
+        n += c;
+    return n;
+}
+
+Json
+MetricsSnapshot::toJson() const
+{
+    Json arr = Json::array();
+    for (const auto &c : counters) {
+        Json m = Json::object();
+        m.set("name", c.name);
+        m.set("kind", "counter");
+        m.set("value", c.value);
+        arr.push(std::move(m));
+    }
+    for (const auto &g : gauges) {
+        Json m = Json::object();
+        m.set("name", g.name);
+        m.set("kind", "gauge");
+        m.set("value", g.value);
+        arr.push(std::move(m));
+    }
+    for (const auto &h : histograms) {
+        Json m = Json::object();
+        m.set("name", h.name);
+        m.set("kind", "histogram");
+        m.set("count", h.total());
+        m.set("sum", h.sum);
+        Json buckets = Json::array();
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            Json b = Json::object();
+            b.set("le", h.bounds[i]);
+            b.set("count", h.counts[i]);
+            buckets.push(std::move(b));
+        }
+        m.set("buckets", std::move(buckets));
+        m.set("overflow", h.overflow);
+        arr.push(std::move(m));
+    }
+    return arr;
+}
+
+} // namespace interf::telemetry

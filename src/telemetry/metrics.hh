@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Metrics registry: counters, gauges, fixed-bucket histograms.
+ *
+ * Hot-path friendly by construction: counter and histogram increments
+ * go to a per-thread shard (a flat slot array the thread owns), so the
+ * write is a relaxed atomic load/store pair on an exclusively-owned
+ * cache line — wait-free, no RMW, no contention, TSan-clean. snapshot()
+ * aggregates across shards; when a thread exits, its shard's values are
+ * folded into a retired accumulator and the shard is recycled, so
+ * counts survive pool teardown.
+ *
+ * Handles (Counter/Gauge/Histogram) are tiny POD values obtained from
+ * the Registry by name; registering the same name twice returns the
+ * same metric. A default-constructed handle is inert, and every
+ * recording call no-ops unless telemetry::enabled().
+ *
+ * Histogram buckets are upper-bound-inclusive ("le" semantics, as in
+ * Prometheus): a value v lands in the first bucket whose bound >= v,
+ * and values above the last bound land in the overflow bucket.
+ */
+
+#ifndef INTERF_TELEMETRY_METRICS_HH
+#define INTERF_TELEMETRY_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+#include "util/types.hh"
+
+namespace interf
+{
+class Json;
+}
+
+namespace interf::telemetry
+{
+
+class Registry;
+
+namespace detail
+{
+/** Slot space per shard; registration past this is a library bug. */
+constexpr u32 kShardSlots = 512;
+constexpr u32 kMaxGauges = 64;
+constexpr u32 kInvalidSlot = UINT32_MAX;
+
+struct HistogramMeta
+{
+    std::string name;
+    std::vector<u64> bounds; ///< Ascending upper bounds (inclusive).
+    u32 firstSlot = 0; ///< bounds.size() buckets, overflow, then sum.
+};
+} // namespace detail
+
+/** Monotonic event tally. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n; no-op when telemetry is disabled. */
+    void add(u64 n = 1) const;
+
+  private:
+    friend class Registry;
+    explicit Counter(u32 slot) : slot_(slot) {}
+    u32 slot_ = detail::kInvalidSlot;
+};
+
+/** Last-value metric (e.g. configured worker count). Not sharded. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void set(i64 v) const;
+
+  private:
+    friend class Registry;
+    explicit Gauge(u32 index) : index_(index) {}
+    u32 index_ = detail::kInvalidSlot;
+};
+
+/** Fixed-bucket distribution (latencies, queue depths). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one observation; no-op when telemetry is disabled. */
+    void record(u64 value) const;
+
+  private:
+    friend class Registry;
+    explicit Histogram(const detail::HistogramMeta *meta) : meta_(meta) {}
+    const detail::HistogramMeta *meta_ = nullptr;
+};
+
+/** @{ Aggregated values, as returned by Registry::snapshot(). */
+struct CounterValue
+{
+    std::string name;
+    u64 value = 0;
+};
+
+struct GaugeValue
+{
+    std::string name;
+    i64 value = 0;
+};
+
+struct HistogramValue
+{
+    std::string name;
+    std::vector<u64> bounds; ///< Upper bounds, inclusive.
+    std::vector<u64> counts; ///< Per-bucket counts (not cumulative).
+    u64 overflow = 0;        ///< Observations above the last bound.
+    u64 sum = 0;             ///< Sum of all observed values.
+
+    u64 total() const;
+};
+
+struct MetricsSnapshot
+{
+    std::vector<CounterValue> counters;     ///< Sorted by name.
+    std::vector<GaugeValue> gauges;         ///< Sorted by name.
+    std::vector<HistogramValue> histograms; ///< Sorted by name.
+
+    /** Flat JSON array of {name, kind, ...} metric objects. */
+    Json toJson() const;
+};
+/** @} */
+
+/**
+ * The process-wide metric namespace. Registration is mutex-protected
+ * and idempotent by name; recording through the returned handles is
+ * wait-free (see file comment).
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    /** @{ Register (or look up) a metric. Panics on a kind mismatch
+     *  for an existing name or on slot-space exhaustion. */
+    Counter counter(const std::string &name);
+    Gauge gauge(const std::string &name);
+    Histogram histogram(const std::string &name, std::vector<u64> bounds);
+    /** @} */
+
+    /** Aggregate all shards (live and retired) plus gauges. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every value; registrations are kept. (Tests.) */
+    void resetValues();
+
+    struct Impl; ///< Implementation detail; only metrics.cc defines it.
+
+  private:
+    Registry() = default;
+    Impl &impl() const;
+};
+
+} // namespace interf::telemetry
+
+/**
+ * @{ Hot-path metric macros: a function-local static handle (one
+ * registration, ever) plus a wait-free recording call that no-ops when
+ * telemetry is disabled. Compiled out entirely when
+ * INTERF_TELEMETRY_HOTPATH is 0 (see telemetry.hh).
+ */
+#if INTERF_TELEMETRY_HOTPATH
+#define INTERF_TELEM_COUNT(name, n)                                         \
+    do {                                                                    \
+        static const ::interf::telemetry::Counter interfTelemCounter_ =     \
+            ::interf::telemetry::Registry::global().counter(name);          \
+        interfTelemCounter_.add(n);                                         \
+    } while (0)
+#define INTERF_TELEM_HISTOGRAM(name, bounds, value)                         \
+    do {                                                                    \
+        static const ::interf::telemetry::Histogram interfTelemHisto_ =     \
+            ::interf::telemetry::Registry::global().histogram(name,         \
+                                                             bounds);      \
+        interfTelemHisto_.record(value);                                    \
+    } while (0)
+#else
+#define INTERF_TELEM_COUNT(name, n) ((void)0)
+#define INTERF_TELEM_HISTOGRAM(name, bounds, value) ((void)0)
+#endif
+/** @} */
+
+#endif // INTERF_TELEMETRY_METRICS_HH

@@ -1,0 +1,205 @@
+#include "telemetry/span.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace interf::telemetry
+{
+
+namespace
+{
+
+constexpr size_t kRingCapacity = 1 << 16;
+
+struct Agg
+{
+    u64 count = 0;
+    u64 wallNs = 0;
+    u64 threadNs = 0;
+};
+
+/**
+ * The global span sink: a bounded ring for export plus monotonic
+ * per-name aggregates. One mutex guards both — spans end at phase/
+ * batch/layout granularity, so an uncontended lock per span is noise
+ * next to the work the span measures.
+ */
+struct SpanSink
+{
+    std::mutex mutex;
+    std::vector<SpanRecord> ring;
+    size_t next = 0;    ///< Ring cursor once full.
+    u64 dropped = 0;    ///< Spans that overwrote an older record.
+    std::map<std::string, Agg> aggregates;
+
+    void push(const SpanRecord &rec)
+    {
+        Agg &agg = aggregates[rec.name];
+        agg.count += 1;
+        agg.wallNs += rec.wallNs;
+        agg.threadNs += rec.threadNs;
+        if (ring.size() < kRingCapacity) {
+            ring.push_back(rec);
+            return;
+        }
+        ring[next] = rec;
+        next = (next + 1) % kRingCapacity;
+        ++dropped;
+    }
+};
+
+SpanSink &
+sink()
+{
+    static SpanSink *s = new SpanSink();
+    return *s;
+}
+
+} // anonymous namespace
+
+ScopedSpan::ScopedSpan(const char *name) : name_(name)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    startNs_ = nowNs();
+    threadStartNs_ = threadCpuNs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    SpanRecord rec;
+    rec.name = name_;
+    rec.tid = currentTid();
+    rec.startNs = startNs_;
+    rec.wallNs = nowNs() - startNs_;
+    rec.threadNs = threadCpuNs() - threadStartNs_;
+    SpanSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.push(rec);
+}
+
+std::vector<PhaseStat>
+phaseStats()
+{
+    SpanSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<PhaseStat> out;
+    out.reserve(s.aggregates.size());
+    for (const auto &[name, agg] : s.aggregates)
+        out.push_back({name, agg.count, agg.wallNs / 1e6,
+                       agg.threadNs / 1e6});
+    return out; // std::map iteration: already name-sorted.
+}
+
+std::vector<PhaseStat>
+phaseStatsSince(const std::vector<PhaseStat> &base)
+{
+    std::map<std::string, PhaseStat> baseline;
+    for (const auto &p : base)
+        baseline.emplace(p.name, p);
+    std::vector<PhaseStat> out;
+    for (const auto &now : phaseStats()) {
+        PhaseStat delta = now;
+        auto it = baseline.find(now.name);
+        if (it != baseline.end()) {
+            delta.count -= it->second.count;
+            delta.wallMs -= it->second.wallMs;
+            delta.threadMs -= it->second.threadMs;
+        }
+        if (delta.count > 0)
+            out.push_back(std::move(delta));
+    }
+    return out;
+}
+
+u64
+droppedSpans()
+{
+    SpanSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.dropped;
+}
+
+void
+clearSpans()
+{
+    SpanSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.ring.clear();
+    s.next = 0;
+    s.dropped = 0;
+    s.aggregates.clear();
+}
+
+void
+writeChromeTrace(const std::string &path)
+{
+    // Copy the ring under the lock, format outside it.
+    std::vector<SpanRecord> records;
+    u64 dropped = 0;
+    {
+        SpanSink &s = sink();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        records = s.ring;
+        dropped = s.dropped;
+    }
+    std::sort(records.begin(), records.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.startNs < b.startNs;
+              });
+
+    Json events = Json::array();
+    for (const auto &[tid, name] : threadNames()) {
+        Json meta = Json::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1);
+        meta.set("tid", tid);
+        Json args = Json::object();
+        args.set("name", name);
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+    }
+    {
+        Json meta = Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1);
+        meta.set("tid", 0);
+        Json args = Json::object();
+        args.set("name", "interferometry");
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+    }
+    for (const auto &rec : records) {
+        Json ev = Json::object();
+        ev.set("name", rec.name);
+        ev.set("ph", "X");
+        ev.set("pid", 1);
+        ev.set("tid", rec.tid);
+        ev.set("ts", rec.startNs / 1000);    // microseconds
+        ev.set("dur", rec.wallNs / 1000);
+        Json args = Json::object();
+        args.set("thread_us", rec.threadNs / 1000);
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+
+    Json doc = Json::object();
+    doc.set("displayTimeUnit", "ms");
+    Json other = Json::object();
+    other.set("schema", "interf-trace-1");
+    other.set("dropped_spans", dropped);
+    doc.set("otherData", std::move(other));
+    doc.set("traceEvents", std::move(events));
+    writeFileAtomic(path, doc.dump(1) + "\n");
+}
+
+} // namespace interf::telemetry

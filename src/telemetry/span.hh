@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scoped phase spans and Chrome trace-event export.
+ *
+ * INTERF_SPAN("replay.batch") stamps the enclosing scope with wall and
+ * thread-CPU time. Finished spans land in two places:
+ *
+ *  - a bounded in-memory ring of raw records (newest win when full),
+ *    exported by writeChromeTrace() as Chrome trace-event JSON — load
+ *    it in Perfetto (ui.perfetto.dev) or chrome://tracing to see every
+ *    phase on named per-thread tracks;
+ *  - a running per-name aggregate (count, total wall, total CPU) that
+ *    survives ring wrap-around, from which phaseStats() answers "where
+ *    did the time go" for manifests and bench reports.
+ *
+ * Span names must be string literals (the records keep the pointer).
+ * Spans are runtime-gated on telemetry::enabled(): a disabled span is
+ * one relaxed load and two untaken branches.
+ */
+
+#ifndef INTERF_TELEMETRY_SPAN_HH
+#define INTERF_TELEMETRY_SPAN_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+#include "util/types.hh"
+
+namespace interf::telemetry
+{
+
+/** One finished span, as stored in the ring. */
+struct SpanRecord
+{
+    const char *name = nullptr; ///< Static string (the macro's literal).
+    u32 tid = 0;
+    u64 startNs = 0;  ///< Relative to the telemetry epoch.
+    u64 wallNs = 0;
+    u64 threadNs = 0; ///< Thread CPU time consumed inside the span.
+};
+
+/** Aggregated totals for one span name. */
+struct PhaseStat
+{
+    std::string name;
+    u64 count = 0;
+    double wallMs = 0.0;
+    double threadMs = 0.0;
+};
+
+/** RAII span; use the INTERF_SPAN macro rather than naming this. */
+class ScopedSpan
+{
+  public:
+    /** @param name Must be a string literal (kept by pointer). */
+    explicit ScopedSpan(const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *name_;
+    u64 startNs_ = 0;
+    u64 threadStartNs_ = 0;
+    bool active_ = false;
+};
+
+/** Per-name aggregates over every span recorded so far (sorted by
+ *  name). Monotonic: unaffected by ring wrap-around. */
+std::vector<PhaseStat> phaseStats();
+
+/**
+ * The growth of phaseStats() since @p base (a snapshot taken earlier):
+ * per-name deltas of count/wall/CPU, names absent from @p base
+ * included whole, zero-delta names dropped. This is how a campaign
+ * reports only its own phases in a process that runs several.
+ */
+std::vector<PhaseStat> phaseStatsSince(const std::vector<PhaseStat> &base);
+
+/**
+ * Export the span ring as Chrome trace-event JSON (atomic write):
+ * complete ("X") events with microsecond timestamps plus thread-name
+ * metadata for every thread telemetry has seen. Loadable in Perfetto.
+ */
+void writeChromeTrace(const std::string &path);
+
+/** Spans dropped because the ring was full (oldest-overwritten). */
+u64 droppedSpans();
+
+/** Clear the ring and the aggregates (tests). */
+void clearSpans();
+
+} // namespace interf::telemetry
+
+/** Time the enclosing scope as a telemetry span. @p name must be a
+ *  string literal, dot-scoped by subsystem: "store.commit". */
+#define INTERF_SPAN_CONCAT2(a, b) a##b
+#define INTERF_SPAN_CONCAT(a, b) INTERF_SPAN_CONCAT2(a, b)
+#define INTERF_SPAN(name)                                                   \
+    ::interf::telemetry::ScopedSpan INTERF_SPAN_CONCAT(interfSpan_,         \
+                                                       __LINE__)(name)
+
+#endif // INTERF_TELEMETRY_SPAN_HH

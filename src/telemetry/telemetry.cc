@@ -1,0 +1,240 @@
+#include "telemetry/telemetry.hh"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
+#include "util/logging.hh"
+
+namespace interf::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_crashAfterTmpWrite{false};
+} // namespace detail
+
+namespace
+{
+
+constexpr u32 kNoTid = UINT32_MAX;
+constexpr size_t kRecentWarnings = 16;
+
+std::mutex g_mutex; ///< Threads, names, output dir, log capture.
+u32 g_nextTid = 0;
+std::map<u32, std::string> g_threadNames;
+std::string g_outputDir;
+
+struct LogCaptureState
+{
+    u64 warns = 0;
+    u64 informs = 0;
+    std::deque<std::string> recent;
+    bool installed = false;
+};
+LogCaptureState g_logCapture;
+
+thread_local u32 t_tid = kNoTid;
+
+/** INTERF_TELEMETRY: unset = off until enable(); "0" = hard off. */
+const char *
+envSetting()
+{
+    static const char *value = std::getenv("INTERF_TELEMETRY");
+    return value;
+}
+
+void
+onLogMessage(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (level == LogLevel::Inform) {
+        ++g_logCapture.informs;
+        return;
+    }
+    // Warnings (and the last words of fatal/panic) go to the manifest.
+    ++g_logCapture.warns;
+    g_logCapture.recent.push_back(msg);
+    while (g_logCapture.recent.size() > kRecentWarnings)
+        g_logCapture.recent.pop_front();
+}
+
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *env = envSetting();
+        if (env && std::string_view(env) == "1")
+            enable();
+    }
+};
+EnvInit g_envInit;
+
+} // anonymous namespace
+
+void
+enable()
+{
+    const char *env = envSetting();
+    if (env && std::string_view(env) == "0") {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("telemetry requested but INTERF_TELEMETRY=0 forces it "
+                 "off");
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        if (!g_logCapture.installed) {
+            g_logCapture.installed = true;
+            setLogObserver(onLogMessage);
+        }
+    }
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+setOutputDir(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create telemetry output directory '%s': %s",
+              dir.c_str(), ec.message().c_str());
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        g_outputDir = dir;
+    }
+    enable();
+}
+
+std::string
+outputDir()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_outputDir;
+}
+
+u32
+currentTid()
+{
+    if (t_tid == kNoTid) {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        t_tid = g_nextTid++;
+    }
+    return t_tid;
+}
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    u32 tid = currentTid();
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_threadNames[tid] = name;
+}
+
+std::vector<std::pair<u32, std::string>>
+threadNames()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::vector<std::pair<u32, std::string>> out;
+    out.reserve(g_nextTid);
+    for (u32 tid = 0; tid < g_nextTid; ++tid) {
+        auto it = g_threadNames.find(tid);
+        out.emplace_back(tid, it != g_threadNames.end()
+                                  ? it->second
+                                  : strprintf("thread-%u", tid));
+    }
+    return out;
+}
+
+u64
+nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+u64
+threadCpuNs()
+{
+    struct timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<u64>(ts.tv_sec) * 1'000'000'000ULL +
+           static_cast<u64>(ts.tv_nsec);
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp =
+        path + strprintf(".tmp.%ld", static_cast<long>(::getpid()));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '%s' for writing", tmp.c_str());
+        os.write(content.data(),
+                 static_cast<std::streamsize>(content.size()));
+        os.flush();
+        if (!os)
+            fatal("write to '%s' failed", tmp.c_str());
+    }
+    // Crash-injection point for the atomic-write test: the tmp file is
+    // complete but the rename has not happened, so the original must
+    // still be intact.
+    if (detail::g_crashAfterTmpWrite.load(std::memory_order_relaxed))
+        std::abort();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot rename '%s' into place", path.c_str());
+}
+
+LogCaptureSnapshot
+logCapture()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    LogCaptureSnapshot snap;
+    snap.warns = g_logCapture.warns;
+    snap.informs = g_logCapture.informs;
+    snap.recentWarnings.assign(g_logCapture.recent.begin(),
+                               g_logCapture.recent.end());
+    return snap;
+}
+
+void
+resetForTest()
+{
+    Registry::global().resetValues();
+    clearSpans();
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_logCapture.warns = 0;
+    g_logCapture.informs = 0;
+    g_logCapture.recent.clear();
+}
+
+} // namespace interf::telemetry

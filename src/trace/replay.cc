@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "telemetry/span.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
 
@@ -10,6 +11,7 @@ namespace interf::trace
 
 ReplayPlan::ReplayPlan(const Program &prog, const Trace &trace)
 {
+    INTERF_SPAN("plan.compile");
     const auto &procs = prog.procedures();
 
     // Site table: dense proc-major block numbering.

@@ -1,0 +1,486 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace interf
+{
+
+namespace
+{
+
+const Json kNullJson{};
+
+/** Recursive-descent parser over a string_view with offset tracking. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parseDocument(Json &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &msg)
+    {
+        if (error_ && error_->empty())
+            *error_ = strprintf("JSON parse error at offset %zu: %s",
+                                pos_, msg.c_str());
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parseValue(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            out = Json();
+            return literal("null");
+          case 't':
+            out = Json(true);
+            return literal("true");
+          case 'f':
+            out = Json(false);
+            return literal("false");
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+          }
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseNumber(Json &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        out = Json(v);
+        return true;
+    }
+
+    bool parseHex4(u32 &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            u32 digit = 0;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = 10 + (c - 'a');
+            else if (c >= 'A' && c <= 'F')
+                digit = 10 + (c - 'A');
+            else
+                return fail("bad hex digit in \\u escape");
+            out = (out << 4) | digit;
+        }
+        return true;
+    }
+
+    static void appendUtf8(std::string &s, u32 cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                u32 cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                // Surrogate pair: a high surrogate must be followed by
+                // \uDC00..\uDFFF; combine into one code point.
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    text_.substr(pos_, 2) == "\\u") {
+                    size_t save = pos_;
+                    pos_ += 2;
+                    u32 lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo >= 0xDC00 && lo <= 0xDFFF)
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    else
+                        pos_ = save; // not a pair; keep both as-is
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool parseArray(Json &out, int depth)
+    {
+        ++pos_; // '['
+        out = Json::array();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Json elem;
+            skipWs();
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseObject(Json &out, int depth)
+    {
+        ++pos_; // '{'
+        out = Json::object();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("expected ':' after object key");
+            Json value;
+            skipWs();
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+/** JSON has no NaN/Inf: map those to 0, integers to exact digits. */
+std::string
+numberText(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // Integers that a double holds exactly print without a fraction, so
+    // counters and byte sizes round-trip digit for digit.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Prefer the shortest representation that round-trips.
+    for (int prec = 6; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+        if (std::strtod(shorter, nullptr) == v)
+            return shorter;
+    }
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+size_t
+Json::size() const
+{
+    if (isArray())
+        return elems_.size();
+    if (isObject())
+        return members_.size();
+    return 0;
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    if (!isArray() || i >= elems_.size())
+        return kNullJson;
+    return elems_[i];
+}
+
+void
+Json::push(Json v)
+{
+    INTERF_ASSERT(isArray());
+    elems_.push_back(std::move(v));
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    const Json *found = nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            found = &v;
+    return found;
+}
+
+const Json &
+Json::get(std::string_view key) const
+{
+    const Json *found = find(key);
+    return found ? *found : kNullJson;
+}
+
+void
+Json::set(std::string key, Json v)
+{
+    INTERF_ASSERT(isObject());
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (pretty) {
+            out.push_back('\n');
+            out.append(static_cast<size_t>(indent) * d, ' ');
+        }
+    };
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        out += numberText(num_);
+        break;
+      case Type::String:
+        out += jsonQuote(str_);
+        break;
+      case Type::Array:
+        if (elems_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < elems_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            elems_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      case Type::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            out += jsonQuote(members_[i].first);
+            out.push_back(':');
+            if (pretty)
+                out.push_back(' ');
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+Json::parse(std::string_view text, Json &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+bool
+Json::parseFile(const std::string &path, Json &out, std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (error)
+            *error = strprintf("cannot open '%s'", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (!is.good() && !is.eof()) {
+        if (error)
+            *error = strprintf("error reading '%s'", path.c_str());
+        return false;
+    }
+    return parse(ss.str(), out, error);
+}
+
+} // namespace interf

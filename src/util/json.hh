@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Minimal JSON value: parse, build, serialize.
+ *
+ * The telemetry layer speaks JSON at every boundary — run manifests,
+ * Chrome trace events, store listings — and the tools on the other side
+ * (interf_stats, tests, CI validators) must read those documents back.
+ * This is the one JSON implementation the repo uses for both
+ * directions: a plain tagged value with an exact recursive-descent
+ * parser (no dependencies, no SAX, no allocator tricks).
+ *
+ * Deliberate limits: numbers are doubles (with a u64 fast path for
+ * integers that fit exactly), object keys keep insertion order and may
+ * repeat (last one wins on lookup), and dump() emits UTF-8 with the
+ * minimal escape set. NaN/Inf are not representable in JSON and dump as
+ * 0 — the same policy bench_common's report writer has always used.
+ */
+
+#ifndef INTERF_UTIL_JSON_HH
+#define INTERF_UTIL_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf
+{
+
+/** One JSON value (null, bool, number, string, array or object). */
+class Json
+{
+  public:
+    enum class Type : u8 { Null, Bool, Number, String, Array, Object };
+
+    Json() = default; ///< null
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(int v) : type_(Type::Number), num_(v) {}
+    Json(u32 v) : type_(Type::Number), num_(v) {}
+    Json(u64 v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(i64 v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** @{ Factories for the composite types. */
+    static Json array() { return Json(Type::Array); }
+    static Json object() { return Json(Type::Object); }
+    /** @} */
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @{ Value accessors; defaults returned on type mismatch. */
+    bool asBool(bool def = false) const
+    {
+        return isBool() ? bool_ : def;
+    }
+    double asDouble(double def = 0.0) const
+    {
+        return isNumber() ? num_ : def;
+    }
+    i64 asInt(i64 def = 0) const
+    {
+        return isNumber() ? static_cast<i64>(num_) : def;
+    }
+    u64 asU64(u64 def = 0) const
+    {
+        return isNumber() && num_ >= 0 ? static_cast<u64>(num_) : def;
+    }
+    const std::string &asString() const { return str_; }
+    /** @} */
+
+    /** Number of elements (array) or members (object); 0 otherwise. */
+    size_t size() const;
+
+    /** @{ Array access: element i, or a null sentinel out of range. */
+    const Json &at(size_t i) const;
+    void push(Json v);
+    /** @} */
+
+    /** @{ Object access. */
+    bool has(std::string_view key) const { return find(key) != nullptr; }
+
+    /** Last member named @p key, or nullptr. */
+    const Json *find(std::string_view key) const;
+
+    /** Member @p key, or a shared null sentinel when absent. */
+    const Json &get(std::string_view key) const;
+
+    /** Append a member (keys are not deduplicated). */
+    void set(std::string key, Json v);
+
+    /** In insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return members_;
+    }
+    /** @} */
+
+    const std::vector<Json> &elements() const { return elems_; }
+
+    /**
+     * Serialize. @p indent < 0 gives the compact single-line form;
+     * >= 0 pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /**
+     * Parse a complete JSON document (trailing garbage is an error).
+     *
+     * @param text The document.
+     * @param out Receives the value on success.
+     * @param error Receives a message with offset on failure (optional).
+     * @return Whether the parse succeeded.
+     */
+    static bool parse(std::string_view text, Json &out,
+                      std::string *error = nullptr);
+
+    /** Parse a whole file; false (with @p error) on I/O or parse error. */
+    static bool parseFile(const std::string &path, Json &out,
+                          std::string *error = nullptr);
+
+  private:
+    explicit Json(Type t) : type_(t) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> elems_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+/** Render a string with JSON escaping, including the quotes. */
+std::string jsonQuote(std::string_view s);
+
+} // namespace interf
+
+#endif // INTERF_UTIL_JSON_HH

@@ -1,8 +1,12 @@
 #include "util/logging.hh"
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <utility>
 
 namespace interf
 {
@@ -24,14 +28,129 @@ vstrprintf(const char *fmt, va_list ap)
     return out;
 }
 
-void
-emit(const char *tag, const char *fmt, va_list ap)
+const char *
+levelTag(LogLevel level)
 {
-    std::string msg = vstrprintf(fmt, ap);
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    switch (level) {
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "log";
+}
+
+/**
+ * One sink serializes all messages: timestamps, dedup state, and the
+ * observer all live behind this lock. Fatal/panic paths take it too —
+ * acceptable, they are about to end the process anyway.
+ */
+struct LogSink
+{
+    std::mutex mutex;
+    std::function<void(LogLevel, const std::string &)> observer;
+    std::string lastMessage; ///< Last line printed (dedup key).
+    LogLevel lastLevel = LogLevel::Inform;
+    unsigned long suppressed = 0; ///< Repeats of lastMessage not printed.
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+
+    /** Env knobs are re-read per call so tests can toggle them. */
+    static bool
+    timestampsOn()
+    {
+        const char *env = std::getenv("INTERF_LOG_TS");
+        return env && std::string_view(env) == "1";
+    }
+
+    static bool
+    dedupOn()
+    {
+        const char *env = std::getenv("INTERF_LOG_DEDUP");
+        return !env || std::string_view(env) != "0";
+    }
+
+    void
+    printLocked(LogLevel level, const std::string &body)
+    {
+        if (timestampsOn()) {
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - epoch)
+                              .count();
+            std::fprintf(stderr, "[+%.3f] %s: %s\n", secs,
+                         levelTag(level), body.c_str());
+        } else {
+            std::fprintf(stderr, "%s: %s\n", levelTag(level),
+                         body.c_str());
+        }
+    }
+
+    void
+    flushSuppressedLocked()
+    {
+        if (suppressed == 0)
+            return;
+        printLocked(lastLevel,
+                    strprintf("last message repeated %lu more time%s",
+                              suppressed, suppressed == 1 ? "" : "s"));
+        suppressed = 0;
+    }
+
+    void
+    emit(LogLevel level, const std::string &msg)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (observer)
+            observer(level, msg);
+        // Only survivable warnings dedup: repeated identical warn()
+        // calls (e.g. one per layout in a loop) collapse to one line
+        // plus a repeat count. Everything else always prints.
+        if (level == LogLevel::Warn && dedupOn() && msg == lastMessage) {
+            ++suppressed;
+            return;
+        }
+        flushSuppressedLocked();
+        lastMessage = msg;
+        lastLevel = level;
+        printLocked(level, msg);
+    }
+};
+
+LogSink &
+logSink()
+{
+    static LogSink *sink = new LogSink();
+    return *sink;
+}
+
+void
+emit(LogLevel level, const char *fmt, va_list ap)
+{
+    logSink().emit(level, vstrprintf(fmt, ap));
 }
 
 } // anonymous namespace
+
+void
+setLogObserver(std::function<void(LogLevel, const std::string &)> obs)
+{
+    LogSink &sink = logSink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    sink.observer = std::move(obs);
+}
+
+void
+flushLog()
+{
+    LogSink &sink = logSink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    sink.flushSuppressedLocked();
+    sink.lastMessage.clear();
+}
 
 std::string
 strprintf(const char *fmt, ...)
@@ -48,7 +167,7 @@ panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("panic", fmt, ap);
+    emit(LogLevel::Panic, fmt, ap);
     va_end(ap);
     std::abort();
 }
@@ -58,7 +177,7 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("fatal", fmt, ap);
+    emit(LogLevel::Fatal, fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -68,7 +187,7 @@ warn(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("warn", fmt, ap);
+    emit(LogLevel::Warn, fmt, ap);
     va_end(ap);
 }
 
@@ -77,7 +196,7 @@ inform(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    emit("info", fmt, ap);
+    emit(LogLevel::Inform, fmt, ap);
     va_end(ap);
 }
 

@@ -12,15 +12,45 @@
  *
  * All functions accept printf-style format strings; formatting is done
  * with vsnprintf (GCC 12 in this environment lacks <format>).
+ *
+ * Every message flows through one sink before reaching stderr, which
+ * gives three things on top of the plain fprintf of old:
+ *
+ *  - INTERF_LOG_TS=1 prefixes each line with seconds since process
+ *    start ("[+12.345]"), for correlating stderr with telemetry spans;
+ *  - consecutive identical warnings are deduplicated: the first prints,
+ *    repeats are counted and summarized when a different message (or
+ *    flushLog()) arrives — INTERF_LOG_DEDUP=0 disables;
+ *  - an optional observer (setLogObserver) sees every message before
+ *    dedup, which is how the telemetry layer captures warning counts
+ *    and texts into run manifests.
  */
 
 #ifndef INTERF_UTIL_LOGGING_HH
 #define INTERF_UTIL_LOGGING_HH
 
+#include <functional>
 #include <string>
 
 namespace interf
 {
+
+/** Severity of a message passing through the log sink. */
+enum class LogLevel : unsigned char { Inform, Warn, Fatal, Panic };
+
+/**
+ * Observe every formatted message (including ones dedup later
+ * suppresses). One observer at a time; pass nullptr to clear. The
+ * observer runs under the logging lock: keep it fast and never log
+ * from inside it.
+ */
+void setLogObserver(std::function<void(LogLevel, const std::string &)> obs);
+
+/**
+ * Emit the pending "last message repeated N more times" summary, if
+ * any. Call before exiting a tool whose last warnings repeated.
+ */
+void flushLog();
 
 /**
  * Format a printf-style message into a std::string.

@@ -266,7 +266,7 @@ verifyStoreEntry(const std::string &root, u64 key, bool deep)
     for (const auto &de : fs::directory_iterator(dir, ec)) {
         const std::string name = de.path().filename().string();
         if (name == "manifest.bin" || name == ".lock" ||
-            indexed.count(name))
+            name == "run-manifest.json" || indexed.count(name))
             continue;
         if (name.find(".tmp.") != std::string::npos) {
             sink.warning(EntityKind::Artifact, 0,

@@ -1,0 +1,137 @@
+/** @file Tests for the minimal JSON value/parser in util/json.hh. */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace
+{
+
+using interf::Json;
+
+TEST(JsonValue, TypesAndAccessors)
+{
+    Json null;
+    EXPECT_TRUE(null.isNull());
+
+    Json b(true);
+    EXPECT_TRUE(b.isBool());
+    EXPECT_TRUE(b.asBool());
+
+    Json n(42.5);
+    EXPECT_TRUE(n.isNumber());
+    EXPECT_DOUBLE_EQ(n.asDouble(), 42.5);
+
+    Json i(interf::u64{1234567890123456ULL});
+    EXPECT_EQ(i.asU64(), 1234567890123456ULL);
+
+    Json s("hello");
+    EXPECT_TRUE(s.isString());
+    EXPECT_EQ(s.asString(), "hello");
+}
+
+TEST(JsonValue, ObjectAndArrayBuilding)
+{
+    Json obj = Json::object();
+    obj.set("k", 7);
+    obj.set("s", "v");
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push(2);
+    obj.set("a", std::move(arr));
+
+    EXPECT_TRUE(obj.has("k"));
+    EXPECT_FALSE(obj.has("missing"));
+    EXPECT_EQ(obj.get("k").asInt(), 7);
+    EXPECT_EQ(obj.get("a").size(), 2u);
+    EXPECT_EQ(obj.get("a").at(1).asInt(), 2);
+    // get() on a missing key returns a null sentinel, not a crash.
+    EXPECT_TRUE(obj.get("missing").isNull());
+}
+
+TEST(JsonParse, RoundTripsDocuments)
+{
+    const std::string text =
+        R"({"a": [1, 2.5, "x"], "b": {"nested": true}, "c": null})";
+    Json doc;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, doc, &error)) << error;
+    EXPECT_EQ(doc.get("a").at(0).asInt(), 1);
+    EXPECT_DOUBLE_EQ(doc.get("a").at(1).asDouble(), 2.5);
+    EXPECT_EQ(doc.get("a").at(2).asString(), "x");
+    EXPECT_TRUE(doc.get("b").get("nested").asBool());
+    EXPECT_TRUE(doc.get("c").isNull());
+
+    // dump -> parse -> dump must be a fixed point.
+    std::string once = doc.dump();
+    Json again;
+    ASSERT_TRUE(Json::parse(once, again, &error)) << error;
+    EXPECT_EQ(again.dump(), once);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    Json doc;
+    std::string error;
+    ASSERT_TRUE(Json::parse(R"("a\"b\\c\n\tAé")", doc,
+                            &error))
+        << error;
+    EXPECT_EQ(doc.asString(), "a\"b\\c\n\tA\xc3\xa9");
+
+    // Surrogate pair: U+1F600 as 😀.
+    ASSERT_TRUE(Json::parse(R"("😀")", doc, &error)) << error;
+    EXPECT_EQ(doc.asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, IntegersSurviveExactly)
+{
+    Json doc;
+    std::string error;
+    // Counters and byte sizes must round-trip digit for digit (any
+    // integer a double holds exactly, i.e. below 2^53).
+    ASSERT_TRUE(Json::parse("1234567890123456", doc, &error)) << error;
+    EXPECT_EQ(doc.dump(), "1234567890123456");
+    EXPECT_EQ(doc.asU64(), 1234567890123456ULL);
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    Json doc;
+    std::string error;
+    EXPECT_FALSE(Json::parse("{", doc, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(Json::parse("[1, 2,]", doc, &error));
+    EXPECT_FALSE(Json::parse(R"({"a" 1})", doc, &error));
+    EXPECT_FALSE(Json::parse("\"unterminated", doc, &error));
+    EXPECT_FALSE(Json::parse("[1] trailing", doc, &error));
+    EXPECT_FALSE(Json::parse("", doc, &error));
+}
+
+TEST(JsonParse, RejectsRunawayNesting)
+{
+    std::string deep(100, '[');
+    Json doc;
+    std::string error;
+    EXPECT_FALSE(Json::parse(deep, doc, &error));
+    EXPECT_NE(error.find("nest"), std::string::npos) << error;
+}
+
+TEST(JsonDump, PrettyPrintIsStable)
+{
+    Json obj = Json::object();
+    obj.set("z", 1);
+    obj.set("a", 2);
+    // Insertion order preserved (manifest readability), both modes.
+    EXPECT_EQ(obj.dump(), R"({"z":1,"a":2})");
+    EXPECT_EQ(obj.dump(1), "{\n \"z\": 1,\n \"a\": 2\n}");
+}
+
+TEST(JsonDump, NonFiniteNumbersBecomeZero)
+{
+    Json inf(1.0 / 0.0);
+    EXPECT_EQ(inf.dump(), "0");
+}
+
+} // anonymous namespace

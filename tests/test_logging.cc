@@ -1,4 +1,9 @@
-/** @file Tests for strprintf and the assertion/death machinery. */
+/** @file Tests for strprintf, the assertion/death machinery, and the
+ *  log sink (timestamps, dedup, observer). */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -44,6 +49,81 @@ TEST(FatalDeathTest, FatalExitsWithOne)
 {
     EXPECT_EXIT(interf::fatal("bad config %s", "x"),
                 ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LogSink, DedupsConsecutiveIdenticalWarnings)
+{
+    interf::flushLog();
+    testing::internal::CaptureStderr();
+    interf::warn("dup message %d", 1);
+    interf::warn("dup message %d", 1);
+    interf::warn("dup message %d", 1);
+    interf::warn("different message");
+    std::string err = testing::internal::GetCapturedStderr();
+    // One printed instance, one repeat summary, then the new message.
+    EXPECT_EQ(err.find("dup message 1"), err.rfind("dup message 1"));
+    EXPECT_NE(err.find("repeated 2 more times"), std::string::npos);
+    EXPECT_NE(err.find("different message"), std::string::npos);
+}
+
+TEST(LogSink, FlushEmitsPendingRepeatSummary)
+{
+    interf::flushLog();
+    testing::internal::CaptureStderr();
+    interf::warn("trailing dup");
+    interf::warn("trailing dup");
+    interf::flushLog();
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("repeated 1 more time"), std::string::npos);
+}
+
+TEST(LogSink, DedupDisabledByEnv)
+{
+    interf::flushLog();
+    setenv("INTERF_LOG_DEDUP", "0", 1);
+    testing::internal::CaptureStderr();
+    interf::warn("undeduped");
+    interf::warn("undeduped");
+    std::string err = testing::internal::GetCapturedStderr();
+    unsetenv("INTERF_LOG_DEDUP");
+    EXPECT_NE(err.find("undeduped"), err.rfind("undeduped"));
+    EXPECT_EQ(err.find("repeated"), std::string::npos);
+}
+
+TEST(LogSink, TimestampsWhenRequested)
+{
+    interf::flushLog();
+    setenv("INTERF_LOG_TS", "1", 1);
+    testing::internal::CaptureStderr();
+    interf::inform("stamped line");
+    std::string err = testing::internal::GetCapturedStderr();
+    unsetenv("INTERF_LOG_TS");
+    // "[+12.345] info: stamped line"
+    EXPECT_EQ(err.rfind("[+", 0), 0u) << err;
+    EXPECT_NE(err.find("] info: stamped line"), std::string::npos) << err;
+}
+
+TEST(LogSink, ObserverSeesEveryMessageIncludingSuppressed)
+{
+    interf::flushLog();
+    std::vector<std::pair<interf::LogLevel, std::string>> seen;
+    interf::setLogObserver(
+        [&seen](interf::LogLevel level, const std::string &msg) {
+            seen.emplace_back(level, msg);
+        });
+    testing::internal::CaptureStderr();
+    interf::warn("observed");
+    interf::warn("observed"); // Suppressed on stderr, still observed.
+    interf::inform("status");
+    interf::setLogObserver(nullptr);
+    interf::warn("after clear"); // Must not reach the observer.
+    testing::internal::GetCapturedStderr();
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].first, interf::LogLevel::Warn);
+    EXPECT_EQ(seen[0].second, "observed");
+    EXPECT_EQ(seen[1].second, "observed");
+    EXPECT_EQ(seen[2].first, interf::LogLevel::Inform);
+    EXPECT_EQ(seen[2].second, "status");
 }
 
 } // anonymous namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Pretty-print, dump, or diff campaign run manifests.
+ *
+ * A run manifest (telemetry/manifest.hh) is the per-campaign record
+ * the telemetry layer writes next to the artifact store and/or into
+ * the --telemetry-out directory. This tool renders one human-readably,
+ * re-emits it as canonical JSON (--json), or compares two runs of the
+ * same campaign (--diff): wall time, layouts/sec, cache hit counts and
+ * per-phase durations side by side — the quickest way to see what a
+ * change did to a campaign's time budget.
+ *
+ * Exit codes: 0 = success, 1 = a manifest failed to parse or
+ * validate, 2 = usage error.
+ *
+ *   interf_stats --manifest run.json [--json]
+ *   interf_stats --manifest before.json --diff after.json
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "telemetry/manifest.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+using namespace interf;
+using telemetry::RunManifest;
+
+namespace
+{
+
+constexpr int kExitOk = 0;
+constexpr int kExitBadManifest = 1;
+constexpr int kExitUsage = 2;
+
+void
+printManifest(const RunManifest &m)
+{
+    std::printf("campaign %s  (config %s)\n", m.benchmark.c_str(),
+                m.configDigest.c_str());
+    std::printf("  budget       %llu instructions, %u jobs\n",
+                static_cast<unsigned long long>(m.instructionBudget),
+                m.jobs);
+    std::printf("  layouts      %u used: %u measured, %u cached\n",
+                m.layoutsUsed, m.layoutsMeasured, m.layoutsCached);
+    std::printf("  wall         %.1f ms  (%.1f layouts/sec)\n", m.wallMs,
+                m.layoutsPerSec);
+    if (!m.storeDir.empty())
+        std::printf("  store        %s  (%llu batches, %.1f ms commit)\n",
+                    m.storeDir.c_str(),
+                    static_cast<unsigned long long>(
+                        m.storeBatchesCommitted),
+                    m.storeCommitMs);
+    std::printf("  verify       %llu errors, %llu warnings\n",
+                static_cast<unsigned long long>(m.verifyErrors),
+                static_cast<unsigned long long>(m.verifyWarnings));
+    std::printf("  log          %llu warns, %llu informs\n",
+                static_cast<unsigned long long>(m.logWarns),
+                static_cast<unsigned long long>(m.logInforms));
+    for (const auto &msg : m.recentWarnings)
+        std::printf("    warn: %s\n", msg.c_str());
+    if (m.regressionRan) {
+        std::printf("  regression   cpi = %.6f * mpki + %.6f  (r2 %.4f)\n",
+                    m.slope, m.intercept, m.r2);
+        std::printf("               %s%s\n",
+                    m.regressionSignificant ? "significant"
+                                            : "not significant",
+                    m.enoughMpkiRange ? ""
+                                      : ", not enough range of MPKI");
+    }
+    if (!m.phases.empty()) {
+        std::printf("  %-20s %8s %12s %12s\n", "phase", "count",
+                    "wall ms", "thread ms");
+        for (const auto &p : m.phases)
+            std::printf("  %-20s %8llu %12.1f %12.1f\n", p.name.c_str(),
+                        static_cast<unsigned long long>(p.count),
+                        p.wallMs, p.threadMs);
+    }
+}
+
+void
+printDiff(const RunManifest &a, const RunManifest &b)
+{
+    if (a.configDigest != b.configDigest)
+        warn("comparing different campaigns (config %s vs %s)",
+             a.configDigest.c_str(), b.configDigest.c_str());
+    std::printf("campaign %s:  A -> B\n", a.benchmark.c_str());
+    std::printf("  wall         %10.1f -> %10.1f ms  (%+.1f%%)\n",
+                a.wallMs, b.wallMs,
+                a.wallMs > 0 ? (b.wallMs - a.wallMs) / a.wallMs * 100
+                             : 0.0);
+    std::printf("  layouts/sec  %10.1f -> %10.1f\n", a.layoutsPerSec,
+                b.layoutsPerSec);
+    std::printf("  measured     %10u -> %10u\n", a.layoutsMeasured,
+                b.layoutsMeasured);
+    std::printf("  cached       %10u -> %10u\n", a.layoutsCached,
+                b.layoutsCached);
+    std::printf("  %-20s %12s %12s %10s\n", "phase", "A wall ms",
+                "B wall ms", "delta");
+    std::map<std::string, std::pair<double, double>> phases;
+    for (const auto &p : a.phases)
+        phases[p.name].first = p.wallMs;
+    for (const auto &p : b.phases)
+        phases[p.name].second = p.wallMs;
+    for (const auto &[name, wall] : phases)
+        std::printf("  %-20s %12.1f %12.1f %+10.1f\n", name.c_str(),
+                    wall.first, wall.second, wall.second - wall.first);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("interf_stats",
+                      "pretty-print, dump, or diff campaign run "
+                      "manifests");
+    opts.addString("manifest", "", "run manifest to read");
+    opts.addString("diff", "",
+                   "second manifest: show what changed from "
+                   "--manifest to this one");
+    opts.addFlag("json", "re-emit the manifest as canonical JSON");
+    opts.parse(argc, argv);
+
+    const std::string path = opts.getString("manifest");
+    const std::string diff_path = opts.getString("diff");
+    if (path.empty()) {
+        std::fprintf(stderr, "interf_stats: --manifest is required\n");
+        return kExitUsage;
+    }
+    if (opts.getFlag("json") && !diff_path.empty()) {
+        std::fprintf(stderr,
+                     "interf_stats: --json and --diff are exclusive\n");
+        return kExitUsage;
+    }
+
+    RunManifest manifest;
+    std::string error;
+    if (!manifest.load(path, &error)) {
+        std::fprintf(stderr, "interf_stats: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return kExitBadManifest;
+    }
+
+    if (!diff_path.empty()) {
+        RunManifest other;
+        if (!other.load(diff_path, &error)) {
+            std::fprintf(stderr, "interf_stats: %s: %s\n",
+                         diff_path.c_str(), error.c_str());
+            return kExitBadManifest;
+        }
+        printDiff(manifest, other);
+    } else if (opts.getFlag("json")) {
+        std::printf("%s", manifest.dump().c_str());
+    } else {
+        printManifest(manifest);
+    }
+    flushLog();
+    return kExitOk;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a (small) JSON Schema subset.
+
+Stdlib-only on purpose: CI runs this against the run manifests the
+telemetry layer emits (docs/manifest.schema.json) without needing
+jsonschema installed. Supports the subset that schema uses: type,
+required, properties, items, enum, minimum.
+
+Usage: validate_json.py SCHEMA DOCUMENT
+Exit codes: 0 = valid, 1 = invalid or unreadable, 2 = usage.
+"""
+
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it from "number".
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected {expected}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(
+                f"{path}: {value} below minimum {schema['minimum']}"
+            )
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required field '{key}'")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], subschema, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            schema = json.load(f)
+        with open(argv[2]) as f:
+            document = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_json: {e}", file=sys.stderr)
+        return 1
+    errors = []
+    validate(document, schema, "$", errors)
+    for err in errors:
+        print(f"validate_json: {argv[2]}: {err}", file=sys.stderr)
+    if not errors:
+        print(f"{argv[2]}: valid against {argv[1]}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
