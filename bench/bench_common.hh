@@ -52,7 +52,7 @@ struct JsonRow
  * Collects JsonRow records and writes them as a single JSON document:
  *
  *   { "schema": "interf-bench-1",
- *     "schemaVersion": 2,
+ *     "schemaVersion": 3,
  *     "rows": [ { "benchmark": ..., "config": ...,
  *                 "layouts_per_sec": ..., "events_per_sec": ...,
  *                 "wall_ms": ... }, ... ],
@@ -60,10 +60,16 @@ struct JsonRow
  *                   "wall_ms": ..., "thread_ms": ... }, ... ] }
  *
  * CI jobs upload this file as the perf artifact, so the field names are
- * a (small) stable interface; extend, don't rename. schemaVersion 2
- * added the version field itself and the "phases" array — where the
- * wall time went, per telemetry phase span, present when telemetry was
- * enabled for the run (--json implies it) and empty otherwise.
+ * a (small) stable interface; extend, don't rename (the document shape
+ * is pinned by docs/bench-report.schema.json, which CI validates).
+ * schemaVersion 2 added the version field itself and the "phases"
+ * array — where the wall time went, per telemetry phase span, present
+ * when telemetry was enabled for the run (--json implies it) and empty
+ * otherwise. schemaVersion 3 marks the batched replay sweep: with
+ * --batch K, bench_micro_replay emits "micro_replay/batched_k{k}" rows
+ * (k lanes per pass over the event stream) whose layouts_per_sec is
+ * directly comparable to the "micro_replay/plan" row at the same
+ * config.
  */
 class JsonReport
 {
@@ -79,7 +85,7 @@ class JsonReport
         if (!out)
             fatal("cannot write JSON report to '%s'", path.c_str());
         out << "{\n  \"schema\": \"interf-bench-1\",\n"
-            << "  \"schemaVersion\": 2,\n  \"rows\": [";
+            << "  \"schemaVersion\": 3,\n  \"rows\": [";
         for (size_t i = 0; i < rows_.size(); ++i) {
             const JsonRow &r = rows_[i];
             out << (i ? ",\n" : "\n")

@@ -22,12 +22,20 @@
  * the bench checks that, making the CI smoke run a correctness probe
  * too.
  *
+ * --batch K adds the batched-kernel sweep: batched_k{k} paths for
+ * k in {1, 2, 4, 8} with k <= K, each replaying the same layouts as
+ * the plan path but k lanes per pass through Machine::replayBatch.
+ * Batched checksums must equal the plan path's (same layouts, same
+ * results, any grouping) — a mismatch is fatal.
+ *
  * --json writes the standard machine-readable report; --smoke shrinks
  * the scale for CI.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
@@ -47,19 +55,37 @@ namespace
 using namespace interf;
 using Clock = std::chrono::steady_clock;
 
-enum class Path : u32 { Reference, Plan, PlanIdentity };
+enum class Path : u32 { Reference, Plan, PlanIdentity, Batched };
 
-const char *
-pathName(Path p)
+/** One measured path: a kind plus, for Batched, its lane count. */
+struct PathSpec
 {
-    switch (p) {
+    Path kind;
+    u32 batchK = 0;
+    std::string name;
+};
+
+PathSpec
+makeSpec(Path kind, u32 batch_k = 0)
+{
+    PathSpec s;
+    s.kind = kind;
+    s.batchK = batch_k;
+    switch (kind) {
       case Path::Reference:
-        return "reference";
+        s.name = "reference";
+        break;
       case Path::Plan:
-        return "plan";
-      default:
-        return "plan_identity";
+        s.name = "plan";
+        break;
+      case Path::PlanIdentity:
+        s.name = "plan_identity";
+        break;
+      case Path::Batched:
+        s.name = "batched_k" + std::to_string(batch_k);
+        break;
     }
+    return s;
 }
 
 struct PathTiming
@@ -75,18 +101,20 @@ struct PathTiming
  * checksum used for the reference-vs-plan identity check.
  */
 PathTiming
-runBatch(Path path, exec::ThreadPool &pool, u32 layouts,
+runBatch(const PathSpec &spec, exec::ThreadPool &pool, u32 layouts,
          const trace::Program &prog, const trace::Trace &trace,
          const trace::ReplayPlan &plan, const core::MachineConfig &cfg)
 {
+    const Path path = spec.kind;
     std::vector<u64> cycles(layouts, 0);
     auto start = Clock::now();
     exec::parallelForChunks(pool, layouts, [&](size_t lo, size_t hi) {
         core::Machine machine(cfg);
         layout::Linker linker;
-        for (size_t i = lo; i < hi; ++i) {
+        auto tablesFor = [&](size_t i) {
             u64 seed = static_cast<u64>(i) + 1;
-            auto code = linker.link(prog, layout::LayoutKey{seed, true, true});
+            auto code =
+                linker.link(prog, layout::LayoutKey{seed, true, true});
             layout::HeapKey hk;
             hk.seed = seed;
             hk.randomize = true;
@@ -94,12 +122,56 @@ runBatch(Path path, exec::ThreadPool &pool, u32 layouts,
             layout::PageMap pages = path == Path::PlanIdentity
                                         ? layout::PageMap()
                                         : layout::PageMap(seed * 31 + 7);
+            return trace::LayoutTables(plan, code, heap, pages,
+                                       cfg.hierarchy.l1i.lineBytes);
+        };
+        if (path == Path::Batched) {
+            // Same layouts as the plan path, k lanes per pass (the
+            // final group of a chunk may be ragged). Tables are built
+            // through the direct batched constructor — the same path
+            // the campaign uses — so the row measures the production
+            // batched pipeline, layout generation included.
+            for (size_t i = lo; i < hi; i += spec.batchK) {
+                size_t n = std::min<size_t>(spec.batchK, hi - i);
+                std::vector<layout::CodeLayout> codes;
+                std::vector<layout::HeapLayout> heaps;
+                std::vector<trace::BatchedLayoutTables::LaneSource>
+                    sources(n);
+                codes.reserve(n);
+                heaps.reserve(n);
+                for (size_t l = 0; l < n; ++l) {
+                    u64 seed = static_cast<u64>(i + l) + 1;
+                    codes.push_back(linker.link(
+                        prog, layout::LayoutKey{seed, true, true}));
+                    layout::HeapKey hk;
+                    hk.seed = seed;
+                    hk.randomize = true;
+                    heaps.emplace_back(prog, hk);
+                    sources[l] = {&codes[l], &heaps[l],
+                                  layout::PageMap(seed * 31 + 7)};
+                }
+                trace::BatchedLayoutTables batched(
+                    plan, sources, cfg.hierarchy.l1i.lineBytes);
+                auto res = machine.replayBatch(plan, batched);
+                for (size_t l = 0; l < n; ++l)
+                    cycles[i + l] = res[l].cycles;
+            }
+            return;
+        }
+        for (size_t i = lo; i < hi; ++i) {
+            u64 seed = static_cast<u64>(i) + 1;
             core::RunResult res;
             if (path == Path::Reference) {
-                res = machine.runReference(prog, trace, code, heap, pages);
+                auto code = linker.link(
+                    prog, layout::LayoutKey{seed, true, true});
+                layout::HeapKey hk;
+                hk.seed = seed;
+                hk.randomize = true;
+                layout::HeapLayout heap(prog, hk);
+                res = machine.runReference(prog, trace, code, heap,
+                                           layout::PageMap(seed * 31 + 7));
             } else {
-                trace::LayoutTables tables(plan, code, heap, pages,
-                                           cfg.hierarchy.l1i.lineBytes);
+                auto tables = tablesFor(i);
                 res = machine.replay(plan, tables);
             }
             cycles[i] = res.cycles;
@@ -125,6 +197,9 @@ main(int argc, char **argv)
     opts.addInt("rounds", 5,
                 "interleaved measurement rounds per thread count; the "
                 "per-path minimum is reported");
+    opts.addInt("batch", 0,
+                "batched-kernel sweep: also measure batched_k{k} for "
+                "k in {1,2,4,8} up to this lane count (0 = off)");
     opts.addFlag("smoke",
                  "CI scale: 6 layouts, 60k instructions, 2 rounds");
     opts.parse(argc, argv);
@@ -132,6 +207,12 @@ main(int argc, char **argv)
     u32 rounds = static_cast<u32>(opts.getInt("rounds"));
     if (rounds < 1)
         fatal("--rounds must be >= 1");
+    i64 batch_opt = opts.getInt("batch");
+    if (batch_opt < 0 ||
+        batch_opt > trace::BatchedLayoutTables::kMaxLanes)
+        fatal("--batch must be in [0, %u]",
+              trace::BatchedLayoutTables::kMaxLanes);
+    const u32 batch_max = static_cast<u32>(batch_opt);
     if (opts.getFlag("smoke")) {
         scale.layouts = 6;
         scale.instructions = 60000;
@@ -154,15 +235,20 @@ main(int argc, char **argv)
     std::printf("%-14s %8s %14s %12s %14s\n", "path", "threads",
                 "ms/layout", "layouts/sec", "events/sec");
 
-    const std::vector<Path> paths = {Path::Reference, Path::Plan,
-                                     Path::PlanIdentity};
+    std::vector<PathSpec> paths = {makeSpec(Path::Reference),
+                                   makeSpec(Path::Plan),
+                                   makeSpec(Path::PlanIdentity)};
+    for (u32 k : {1u, 2u, 4u, 8u})
+        if (k <= batch_max)
+            paths.push_back(makeSpec(Path::Batched, k));
     std::vector<u32> threadAxis = {1};
     u32 hw = exec::ThreadPool::resolveJobs(scale.jobs);
     if (hw > 1)
         threadAxis.push_back(hw);
 
     bench::JsonReport report;
-    double refSingle = 0.0, planSingle = 0.0;
+    double refSingle = 0.0, planSingle = 0.0, bestBatchSingle = 0.0;
+    std::string bestBatchName;
     for (u32 threads : threadAxis) {
         exec::ThreadPool pool(threads);
         std::vector<PathTiming> best(paths.size());
@@ -181,18 +267,34 @@ main(int argc, char **argv)
                   "%llu): the replay kernel broke bit-identity",
                   static_cast<unsigned long long>(best[0].checksum),
                   static_cast<unsigned long long>(best[1].checksum));
+        // The batched paths replay the plan path's exact layouts, so
+        // any grouping must reproduce its checksum bit for bit.
+        for (size_t pi = 0; pi < paths.size(); ++pi)
+            if (paths[pi].kind == Path::Batched &&
+                best[pi].checksum != best[1].checksum)
+                fatal("%s checksum %llu != plan checksum %llu: the "
+                      "batched kernel broke per-lane bit-identity",
+                      paths[pi].name.c_str(),
+                      static_cast<unsigned long long>(best[pi].checksum),
+                      static_cast<unsigned long long>(best[1].checksum));
         for (size_t pi = 0; pi < paths.size(); ++pi) {
             double perLayoutMs = best[pi].wallMs / scale.layouts;
             double layoutsPerSec = 1000.0 / perLayoutMs;
             double eventsPerSec =
                 layoutsPerSec * static_cast<double>(plan.eventCount());
             std::printf("%-14s %8u %14.3f %12.1f %14.3e\n",
-                        pathName(paths[pi]), threads, perLayoutMs,
+                        paths[pi].name.c_str(), threads, perLayoutMs,
                         layoutsPerSec, eventsPerSec);
-            if (threads == 1 && paths[pi] == Path::Reference)
+            if (threads == 1 && paths[pi].kind == Path::Reference)
                 refSingle = perLayoutMs;
-            if (threads == 1 && paths[pi] == Path::Plan)
+            if (threads == 1 && paths[pi].kind == Path::Plan)
                 planSingle = perLayoutMs;
+            if (threads == 1 && paths[pi].kind == Path::Batched &&
+                (bestBatchSingle == 0.0 ||
+                 perLayoutMs < bestBatchSingle)) {
+                bestBatchSingle = perLayoutMs;
+                bestBatchName = paths[pi].name;
+            }
             char config[128];
             std::snprintf(config, sizeof config,
                           "jobs=%u layouts=%u instructions=%llu rounds=%u",
@@ -200,15 +302,17 @@ main(int argc, char **argv)
                           static_cast<unsigned long long>(
                               scale.instructions),
                           rounds);
-            report.add({std::string("micro_replay/") + pathName(paths[pi]),
-                        config, layoutsPerSec, eventsPerSec,
-                        best[pi].wallMs});
+            report.add({"micro_replay/" + paths[pi].name, config,
+                        layoutsPerSec, eventsPerSec, best[pi].wallMs});
         }
     }
 
     if (planSingle > 0.0)
         std::printf("\nplan vs reference, 1 thread: %.2fx layouts/sec\n",
                     refSingle / planSingle);
+    if (bestBatchSingle > 0.0)
+        std::printf("%s vs plan, 1 thread: %.2fx layouts/sec\n",
+                    bestBatchName.c_str(), planSingle / bestBatchSingle);
     if (!scale.jsonPath.empty()) {
         report.write(scale.jsonPath);
         std::printf("wrote JSON report to %s\n", scale.jsonPath.c_str());

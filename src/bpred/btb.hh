@@ -67,14 +67,61 @@ class Btb
      */
     BtbResult lookupUpdate(Addr pc, Addr target)
     {
+        return updateFound(pc, target, probeWay(pc));
+    }
+
+    /**
+     * @{ lookupUpdate() split into its scan and commit halves for the
+     * batched replay kernel: the K lanes' probeWay() scans (independent
+     * packed tag compares) issue back-to-back so their set-row loads
+     * overlap, then each lane commits with updateFound(). probeWay()
+     * has no state change; updateFound(pc, target, way) applies
+     * exactly lookupUpdate()'s effects given the scan result.
+     */
+    u32 probeWay(Addr pc) const
+    {
+        return findWay(static_cast<size_t>(setIndex(pc)) * ways_,
+                       tagOf(pc));
+    }
+
+    /**
+     * probeWay() with a verified way hint: a branch occupies at most
+     * one way of its set, so a tag match at @p hint is the answer and
+     * one tag load replaces the packed scan. Stale or out-of-range
+     * hints fall back to the scan — a hint can only change the cost of
+     * the probe, never its result. The batched replay kernel feeds
+     * this from a per-lane way memo keyed by branch site.
+     */
+    u32 probeWayHinted(Addr pc, u32 hint) const
+    {
+        if (hint < ways_) {
+            const size_t base =
+                static_cast<size_t>(setIndex(pc)) * ways_;
+            if (tags_[base + hint] == tagOf(pc))
+                return hint;
+        }
+        return probeWay(pc);
+    }
+
+    BtbResult updateFound(Addr pc, Addr target, u32 w)
+    {
+        u32 way_now;
+        return updateFoundAt(pc, target, w, way_now);
+    }
+
+    /** updateFound() that also reports the way the entry occupies
+     *  afterwards (the hit way, or the victim a miss installed into)
+     *  so callers can refresh a way memo. */
+    BtbResult updateFoundAt(Addr pc, Addr target, u32 w, u32 &way_now)
+    {
         const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
         const Addr tag = tagOf(pc);
         ++lruClock_;
-        u32 w = findWay(base, tag);
         if (w != ways_) {
             BtbResult before{true, targets_[base + w]};
             targets_[base + w] = target;
             lru_[base + w] = lruClock_;
+            way_now = w;
             return before;
         }
         Addr *tags = tags_.data() + base;
@@ -92,8 +139,10 @@ class Btb
         tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
         targets_[base + victim] = target;
         lru_[base + victim] = lruClock_;
+        way_now = victim;
         return {};
     }
+    /** @} */
 
     /** Install/refresh the target for a branch (LRU update). */
     void update(Addr pc, Addr target)

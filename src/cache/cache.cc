@@ -43,7 +43,12 @@ Cache::Cache(const CacheConfig &config) : cfg_(config)
     tags_.resize(static_cast<size_t>(sets_) * assoc_, kNoTag);
     tagsLo_.resize(tags_.size(), static_cast<u32>(kNoTag));
     tagsHi_.resize(tags_.size(), static_cast<u32>(kNoTag >> 32));
-    lru_.resize(tags_.size(), 0);
+    // Random caches never read lru_ (pickVictim consults the RNG),
+    // so the large L2 skips the allocation entirely: at 4 bytes per
+    // line it would rival the tag arrays and its per-reset memset
+    // evicts real state from the host's caches.
+    if (lruTracked_)
+        lru_.resize(tags_.size(), 0);
 }
 
 void
@@ -53,7 +58,8 @@ Cache::reset()
     std::fill(tagsLo_.begin(), tagsLo_.end(), static_cast<u32>(kNoTag));
     std::fill(tagsHi_.begin(), tagsHi_.end(),
               static_cast<u32>(kNoTag >> 32));
-    std::fill(lru_.begin(), lru_.end(), 0u);
+    if (lruTracked_)
+        std::fill(lru_.begin(), lru_.end(), 0u);
     lruClock_ = 0;
     stats_ = CacheStats();
     victimRng_ = Rng(0x5eed); // deterministic runs

@@ -107,6 +107,29 @@ class Cache
     }
 
     /**
+     * Commit half of access(): complete an access whose tag scan
+     * already ran (@p way from probeWay(), with no intervening change
+     * to the set). Statistics, LRU and install effects are exactly
+     * those of access(); the return value is the same hit/miss.
+     *
+     * This is the batched replay kernel's primitive: K lanes' probeWay
+     * scans issue back-to-back — independent packed compares whose set
+     * rows load in parallel — and the branchy commit runs after, so
+     * one event's K tag scans overlap instead of serializing.
+     */
+    bool accessFound(Addr addr, u32 way)
+    {
+        switch (assoc_) {
+          case 8:
+            return accessFoundT<8>(addr, way);
+          case 24:
+            return accessFoundT<24>(addr, way);
+          default:
+            return accessFoundT<0>(addr, way);
+        }
+    }
+
+    /**
      * Way currently holding @p addr's line, or assoc() if absent; no
      * state change. Lets callers that will touch the line again skip
      * the next scan (see MemoryHierarchy's prefetch memo).
@@ -120,6 +143,44 @@ class Cache
             return probeWayT<24>(addr);
           default:
             return probeWayT<0>(addr);
+        }
+    }
+
+    /**
+     * probeWay() with a verified way hint. A line occupies at most one
+     * way of its set, so if the tag at @p hint matches, @p hint *is*
+     * the answer — one tag load replaces the packed scan. A stale or
+     * out-of-range hint (the sentinel 0xff included) falls back to the
+     * full scan, so a hint can only ever change the cost of the probe,
+     * never its result. The batched replay kernel feeds this from
+     * small per-lane way memos keyed by replay-plan indices.
+     */
+    u32 probeWayHinted(Addr addr, u32 hint) const
+    {
+        if (hint < assoc_) {
+            const size_t base =
+                static_cast<size_t>(setIndex(addr)) * assoc_;
+            if (tags_[base + hint] == tagOf(addr))
+                return hint;
+        }
+        return probeWay(addr);
+    }
+
+    /**
+     * accessFound() that also reports the way the line occupies after
+     * the access — the hit way, or the victim a miss installed into —
+     * so callers can refresh a way memo. Effects and hit/miss outcome
+     * are exactly accessFound()'s.
+     */
+    u32 accessFoundWay(Addr addr, u32 way)
+    {
+        switch (assoc_) {
+          case 8:
+            return accessFoundWayT<8>(addr, way);
+          case 24:
+            return accessFoundWayT<24>(addr, way);
+          default:
+            return accessFoundWayT<0>(addr, way);
         }
     }
 
@@ -237,24 +298,44 @@ class Cache
     bool accessT(Addr addr)
     {
         const u32 assoc = kAssoc ? kAssoc : assoc_;
+        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
+        return accessFoundT<kAssoc>(addr,
+                                    findWay<kAssoc>(base, tagOf(addr)));
+    }
+
+    /** Commit body shared by accessT and the batched probe/commit
+     *  split; the set/tag recomputation folds away after inlining. */
+    template <u32 kAssoc>
+    bool accessFoundT(Addr addr, u32 w)
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
+        accessFoundWayT<kAssoc>(addr, w);
+        return w != assoc;
+    }
+
+    /** As accessFoundT, returning the way the line ends up in (the
+     *  hit way unchanged, or the just-installed victim on a miss). */
+    template <u32 kAssoc>
+    u32 accessFoundWayT(Addr addr, u32 w)
+    {
+        const u32 assoc = kAssoc ? kAssoc : assoc_;
         ++stats_.accesses;
         const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
-        const Addr tag = tagOf(addr);
         ++lruClock_;
-        u32 w = findWay<kAssoc>(base, tag);
         if (w != assoc) {
             if (lruTracked_)
                 lru_[base + w] = lruClock_;
-            return true;
+            return w;
         }
         ++stats_.misses;
+        const Addr tag = tagOf(addr);
         u32 victim = pickVictim<kAssoc>(base);
         tags_[base + victim] = tag;
         tagsLo_[base + victim] = static_cast<u32>(tag);
         tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
         if (lruTracked_)
             lru_[base + victim] = lruClock_;
-        return false;
+        return victim;
     }
 
     template <u32 kAssoc>

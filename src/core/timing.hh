@@ -26,6 +26,8 @@
 #ifndef INTERF_CORE_TIMING_HH
 #define INTERF_CORE_TIMING_HH
 
+#include <memory>
+
 #include "bpred/btb.hh"
 #include "bpred/ras.hh"
 #include "bpred/predictor.hh"
@@ -40,6 +42,9 @@
 
 namespace interf::core
 {
+
+/** One lane's machine state for replayBatch (defined in timing.cc). */
+struct BatchLaneState;
 
 /** Deterministic outcome of one timing run (pre-noise). */
 struct RunResult
@@ -71,6 +76,7 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &config);
+    ~Machine(); // Out of line: the lane pool's type lives in timing.cc.
 
     /**
      * Execute a trace under a code + data layout.
@@ -113,6 +119,30 @@ class Machine
                      const trace::LayoutTables &tables);
 
     /**
+     * Replay a compiled plan under K layouts in one pass over the
+     * event stream: per event, the layout-invariant record (site,
+     * geometry, flags, targets, memory counts) is decoded once and K
+     * independent machine states — caches, BTB, predictor, RAS, PMU
+     * counters — advance through it, reading their addresses from the
+     * batched tables' lane-major arrays. Layout-invariant arithmetic
+     * (issue slots, instruction and conditional-branch tallies) is
+     * computed once and shared; tag scans of the K lanes issue
+     * back-to-back so their row loads overlap (see cache::Cache::
+     * accessFound). This multiplies layouts/sec for every consumer
+     * that evaluates many layouts against one profile.
+     *
+     * Result i is bit-identical to replay(plan, tables.lane(i)) — and
+     * therefore to runReference() — for every counter and cycle count,
+     * at any lane count and any lane grouping; tests/test_replay.cc
+     * proves it per lane against the reference model. Each lane runs
+     * from power-on state; the Machine's own microarchitectural state
+     * is neither read nor modified.
+     */
+    std::vector<RunResult>
+    replayBatch(const trace::ReplayPlan &plan,
+                const trace::BatchedLayoutTables &tables);
+
+    /**
      * The event-at-a-time reference implementation: walks Program and
      * Trace directly, one block event at a time. This is the
      * executable specification the replay kernel is tested against
@@ -134,11 +164,33 @@ class Machine
     RunResult replayImpl(const trace::ReplayPlan &plan,
                          const trace::LayoutTables &tables);
 
+    /** Picks the compile-time lane-count instantiation for the current
+     *  batch width (1/2/4/8 unroll the per-event lane loops; other
+     *  widths run the runtime-width body). */
+    template <bool IdentityPages, bool UseLineTable>
+    std::vector<RunResult>
+    replayBatchDispatch(const trace::ReplayPlan &plan,
+                        const trace::BatchedLayoutTables &tables);
+
+    /** kLanes == 0 means "read the width from the tables at runtime". */
+    template <u32 kLanes, bool IdentityPages, bool UseLineTable>
+    std::vector<RunResult>
+    replayBatchImpl(const trace::ReplayPlan &plan,
+                    const trace::BatchedLayoutTables &tables);
+
     MachineConfig cfg_;
     cache::MemoryHierarchy hierarchy_;
     bpred::PredictorPtr predictor_;
     bpred::Btb btb_;
     bpred::ReturnAddressStack ras_;
+    /**
+     * Lane pool for replayBatch, grown lazily and reused across calls:
+     * a lane's hierarchy alone is megabytes of tag state, and
+     * reallocating (and page-faulting) it per batch cost more than the
+     * batched kernel saved. Lanes are reset to power-on state at the
+     * start of every batch, so reuse is invisible to results.
+     */
+    std::vector<std::unique_ptr<BatchLaneState>> lanePool_;
 };
 
 } // namespace interf::core

@@ -118,7 +118,53 @@ Campaign::measureOne(core::MeasurementRunner &runner, u32 index) const
         return trace::LayoutTables(plan_, code, heap, pageMapFor(index),
                                    cfg_.machine.hierarchy.l1i.lineBytes);
     }();
+    INTERF_TELEM_COUNT("layout.tables_built", 1);
     return runner.measure(plan_, tables, cfg_.layoutSeedBase + index);
+}
+
+void
+Campaign::measureGroup(core::MeasurementRunner &runner, u32 first, u32 n,
+                       core::Measurement *out) const
+{
+    if (n == 1) {
+        *out = measureOne(runner, first);
+        return;
+    }
+    // Generate the K layout triples, then build the batched tables
+    // directly: the direct constructor materializes data addresses
+    // once into the lane-major universe table instead of building K
+    // per-position streams and transposing them (see
+    // trace::BatchedLayoutTables).
+    std::vector<layout::CodeLayout> codes;
+    std::vector<layout::HeapLayout> heaps;
+    std::vector<trace::BatchedLayoutTables::LaneSource> sources(n);
+    codes.reserve(n);
+    heaps.reserve(n);
+    trace::BatchedLayoutTables batched = [&] {
+        INTERF_SPAN("layout.gen");
+        for (u32 l = 0; l < n; ++l) {
+            const u32 index = first + l;
+            codes.push_back(codeLayoutFor(index));
+            heaps.push_back(heapLayoutFor(index));
+            sources[l] = {&codes[l], &heaps[l], pageMapFor(index)};
+        }
+        return trace::BatchedLayoutTables(
+            plan_, sources, cfg_.machine.hierarchy.l1i.lineBytes);
+    }();
+    INTERF_TELEM_COUNT("layout.tables_built", n);
+    std::vector<u64> seeds(n);
+    for (u32 l = 0; l < n; ++l)
+        seeds[l] = cfg_.layoutSeedBase + first + l;
+    auto samples = runner.measureBatch(plan_, batched, seeds);
+    for (u32 l = 0; l < n; ++l)
+        out[l] = samples[l];
+}
+
+u32
+Campaign::laneWidth() const
+{
+    return std::clamp<u32>(cfg_.batchLanes, 1,
+                           trace::BatchedLayoutTables::kMaxLanes);
 }
 
 void
@@ -127,25 +173,31 @@ Campaign::measureRange(u32 first, u32 count,
                        u32 out_offset)
 {
     const u32 jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
+    const u32 lanes = laneWidth();
     if (jobs <= 1 || count <= 1) {
         INTERF_SPAN("replay.batch");
-        for (u32 k = 0; k < count; ++k)
-            out[out_offset + k] = measureOne(runner_, first + k);
+        for (u32 k = 0; k < count; k += lanes)
+            measureGroup(runner_, first + k, std::min(lanes, count - k),
+                         &out[out_offset + k]);
         return;
     }
     if (!pool_ || pool_->workers() != jobs)
         pool_ = std::make_unique<exec::ThreadPool>(jobs);
     // Workers share the immutable Program/Trace and own everything
     // mutable: a fresh MeasurementRunner (Machine) per chunk plus the
-    // per-layout code/heap/page state derived inside measureOne. Slot
-    // out_offset + k always holds layout first + k, so scheduling
-    // cannot reorder or otherwise perturb the samples.
+    // per-layout code/heap/page state derived inside measureGroup. Slot
+    // out_offset + k always holds layout first + k, and a batch lane's
+    // sample is bit-identical to the unbatched measurement of the same
+    // layout, so neither scheduling nor lane grouping can reorder or
+    // otherwise perturb the samples.
     exec::parallelForChunks(*pool_, count, [&](size_t begin, size_t end) {
         INTERF_SPAN("replay.batch");
         core::MeasurementRunner runner(cfg_.machine, cfg_.runner);
-        for (size_t k = begin; k < end; ++k)
-            out[out_offset + k] =
-                measureOne(runner, first + static_cast<u32>(k));
+        for (size_t k = begin; k < end; k += lanes) {
+            u32 n = static_cast<u32>(std::min<size_t>(lanes, end - k));
+            measureGroup(runner, first + static_cast<u32>(k), n,
+                         &out[out_offset + k]);
+        }
     });
 }
 

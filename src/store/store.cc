@@ -152,8 +152,9 @@ campaignKey(const trace::Program &prog, u64 behaviour_seed,
     d.mix(cfg.layoutSeedBase);
     mixMachine(d, cfg.machine);
     mixRunner(d, cfg.runner);
-    // cfg.jobs and cfg.storeDir are intentionally NOT mixed: neither
-    // can change a sample's bytes (see campaignKey's doc comment).
+    // cfg.jobs, cfg.batchLanes and cfg.storeDir are intentionally NOT
+    // mixed: none can change a sample's bytes (see campaignKey's doc
+    // comment).
     return d.value();
 }
 

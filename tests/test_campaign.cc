@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "interferometry/campaign.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/telemetry.hh"
 #include "workloads/spec.hh"
 
 namespace
@@ -205,6 +207,31 @@ TEST(Campaign, ParallelMatchesSerialWithHeapAndPages)
                            parallel.measureLayouts(0, 10));
 }
 
+TEST(Campaign, BatchLanesProduceIdenticalSamplesAtAnyWidthAndJobs)
+{
+    // batchLanes is an execution knob like jobs: any lane grouping, at
+    // any worker count, yields seed-for-seed byte-identical samples.
+    // Width 3 makes groups straddle the 13-layout range raggedly; 8
+    // exceeds the serial chunk a 4-worker pool gets for some chunks.
+    auto profile = workloads::defaultProfile("camp");
+    auto base_cfg = quickConfig(13);
+    base_cfg.randomizeHeap = true;
+    base_cfg.physicalPages = true;
+    base_cfg.jobs = 1;
+    base_cfg.batchLanes = 1;
+    Campaign baseline(profile, base_cfg);
+    auto expected = baseline.measureLayouts(0, 13);
+    for (u32 lanes : {3u, 4u, 8u}) {
+        for (u32 jobs : {1u, 4u}) {
+            auto cfg = base_cfg;
+            cfg.batchLanes = lanes;
+            cfg.jobs = jobs;
+            Campaign camp(profile, cfg);
+            expectSamplesIdentical(expected, camp.measureLayouts(0, 13));
+        }
+    }
+}
+
 TEST(Campaign, RunEscalatesIdenticallyUnderParallelism)
 {
     // The full escalation loop (which reuses the pool across batches)
@@ -392,6 +419,43 @@ TEST(CampaignStore, GapBeyondStoreIsMeasuredNotPersisted)
     EXPECT_EQ(third.cachedLayouts(), 6u);
     EXPECT_EQ(third.measuredLayouts(), 0u);
     expectSamplesIdentical(head, head2);
+}
+
+TEST(CampaignStore, PartiallyCachedRunBuildsTablesOnlyForUnmeasured)
+{
+    // Layout tables are expensive to build; a partially-cached run must
+    // derive them only for the lanes it actually replays, never for the
+    // layouts served from the store. Proven via the layout.tables_built
+    // counter, which both measureOne and the batched group increment.
+    auto profile = workloads::defaultProfile("camp");
+    TempStore store;
+    auto cfg = quickConfig(8);
+    cfg.storeDir = store.path;
+    cfg.batchLanes = 4;
+
+    // Cold prefix: persist layouts [0, 5) with telemetry off.
+    {
+        Campaign cold(profile, cfg);
+        cold.measureLayouts(0, 5);
+    }
+
+    telemetry::resetForTest();
+    telemetry::enable();
+    {
+        Campaign warm(profile, cfg);
+        auto samples = warm.measureLayouts(0, 8);
+        EXPECT_EQ(samples.size(), 8u);
+        EXPECT_EQ(warm.cachedLayouts(), 5u);
+        EXPECT_EQ(warm.measuredLayouts(), 3u);
+    }
+    u64 built = 0;
+    for (const auto &c :
+         telemetry::Registry::global().snapshot().counters)
+        if (c.name == "layout.tables_built")
+            built = c.value;
+    telemetry::disable();
+    telemetry::resetForTest();
+    EXPECT_EQ(built, 3u);
 }
 
 TEST(Campaign, TraceSharedAcrossLayouts)

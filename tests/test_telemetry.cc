@@ -96,9 +96,11 @@ TEST(TelemetryCore, DisabledByDefaultAndRecordingNoOps)
     auto counter = Registry::global().counter("test.disabled");
     counter.add(5);
     telemetry::ScopedSpan span("test.disabled_span");
-    for (const auto &c : Registry::global().snapshot().counters)
-        if (c.name == "test.disabled")
+    for (const auto &c : Registry::global().snapshot().counters) {
+        if (c.name == "test.disabled") {
             EXPECT_EQ(c.value, 0u);
+        }
+    }
 }
 
 TEST(TelemetryCore, CountersAggregateAcrossPoolThreads)
@@ -119,9 +121,11 @@ TEST(TelemetryCore, CountersAggregateAcrossPoolThreads)
         EXPECT_TRUE(found);
     }
     // ...and survive the workers' death via the retired fold.
-    for (const auto &c : Registry::global().snapshot().counters)
-        if (c.name == "test.pool_adds")
+    for (const auto &c : Registry::global().snapshot().counters) {
+        if (c.name == "test.pool_adds") {
             EXPECT_EQ(c.value, 1000u);
+        }
+    }
 }
 
 TEST(TelemetryCore, GaugeKeepsLastValue)
@@ -130,9 +134,11 @@ TEST(TelemetryCore, GaugeKeepsLastValue)
     auto gauge = Registry::global().gauge("test.gauge");
     gauge.set(7);
     gauge.set(-3);
-    for (const auto &g : Registry::global().snapshot().gauges)
-        if (g.name == "test.gauge")
+    for (const auto &g : Registry::global().snapshot().gauges) {
+        if (g.name == "test.gauge") {
             EXPECT_EQ(g.value, -3);
+        }
+    }
 }
 
 TEST(TelemetryHistogram, BucketBoundariesAreUpperInclusive)
@@ -170,9 +176,11 @@ TEST(TelemetryHistogram, RegistrationIsIdempotentByName)
     auto b = Registry::global().histogram("test.same", {1, 2});
     a.record(1);
     b.record(2);
-    for (const auto &h : Registry::global().snapshot().histograms)
-        if (h.name == "test.same")
+    for (const auto &h : Registry::global().snapshot().histograms) {
+        if (h.name == "test.same") {
             EXPECT_EQ(h.total(), 2u);
+        }
+    }
 }
 
 TEST(TelemetrySpans, PhaseStatsSinceReportsOnlyTheDelta)
