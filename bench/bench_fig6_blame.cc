@@ -61,27 +61,26 @@ main(int argc, char **argv)
         auto samples = camp.measureLayouts(0, scale.layouts);
         PerformanceModel model(name, samples);
 
-        double rb = model.branchModel().fit.r2();
-        double ri = model.l1iModel().fit.r2();
-        double rl = model.l2Model().fit.r2();
-        double rc = model.combinedFit().r2();
+        // The typed Figure-6 path: the same BlameVector the layout
+        // optimizer consumes, not a re-derivation from the raw fits.
+        const BlameVector blame = model.blame();
         table.beginRow();
         table.cell(name);
-        table.cell(rb, "%.3f");
-        table.cell(ri, "%.3f");
-        table.cell(rl, "%.3f");
-        table.cell(rc, "%.3f");
-        table.cell(model.combinedTest().pValue, "%.4f");
+        table.cell(blame.branch, "%.3f");
+        table.cell(blame.l1i, "%.3f");
+        table.cell(blame.l2, "%.3f");
+        table.cell(blame.combined, "%.3f");
+        table.cell(blame.combinedP, "%.4f");
         csv.beginRow();
         csv.cell(name);
-        csv.cell(rb, "%.4f");
-        csv.cell(ri, "%.4f");
-        csv.cell(rl, "%.4f");
-        csv.cell(rc, "%.4f");
-        sum_branch += rb;
-        sum_l1i += ri;
-        sum_l2 += rl;
-        sum_comb += rc;
+        csv.cell(blame.branch, "%.4f");
+        csv.cell(blame.l1i, "%.4f");
+        csv.cell(blame.l2, "%.4f");
+        csv.cell(blame.combined, "%.4f");
+        sum_branch += blame.branch;
+        sum_l1i += blame.l1i;
+        sum_l2 += blame.l2;
+        sum_comb += blame.combined;
         ++n;
     }
     table.beginRow();

@@ -75,6 +75,18 @@ PerformanceModel::confidenceInterval(double mpki) const
     return branch_.fit.confidenceInterval(mpki, 0.95);
 }
 
+BlameVector
+PerformanceModel::blame() const
+{
+    BlameVector b;
+    b.branch = branch_.fit.r2();
+    b.l1i = l1i_.fit.r2();
+    b.l2 = l2_.fit.r2();
+    b.combined = combined_.r2();
+    b.combinedP = combinedTest_.pValue;
+    return b;
+}
+
 Table1Row
 PerformanceModel::table1Row() const
 {

@@ -34,6 +34,27 @@ struct EventModel
                const std::vector<double> &ys);
 };
 
+/**
+ * Figure-6 blame assignment as data: the fraction of CPI variance
+ * (r^2) each layout-sensitive event explains, plus the combined
+ * model's r^2. This is the typed path consumers use instead of
+ * scraping report text: bench_fig6_blame renders it and the layout
+ * optimizer (src/opt) turns it into proposal weights — which
+ * structure's collisions to attack first.
+ */
+struct BlameVector
+{
+    double branch = 0.0;   ///< r^2 of CPI ~ branch MPKI.
+    double l1i = 0.0;      ///< r^2 of CPI ~ L1I MPKI.
+    double l2 = 0.0;       ///< r^2 of CPI ~ L2 MPKI.
+    double combined = 0.0; ///< r^2 of the multi-linear model.
+    double combinedP = 1.0;///< F-test p-value of the combined model.
+
+    /** Sum of the three single-event r^2 (> combined when events
+     *  overlap; the Figure-6 "bars don't add up" observation). */
+    double total() const { return branch + l1i + l2; }
+};
+
 /** A Table-1 row. */
 struct Table1Row
 {
@@ -98,6 +119,9 @@ class PerformanceModel
 
     /** The Table-1 row for this benchmark. */
     Table1Row table1Row() const;
+
+    /** The Figure-6 per-event r^2 blame assignment. */
+    BlameVector blame() const;
 
     double alpha() const { return alpha_; }
 

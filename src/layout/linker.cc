@@ -1,5 +1,7 @@
 #include "layout/linker.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -38,13 +40,48 @@ CodeLayout::branchAddr(u32 proc_id, u32 block_id) const
     return procBase_[proc_id] + branchOff_[base + block_id];
 }
 
-Linker::Linker(Addr text_base) : textBase_(text_base) {}
-
-CodeLayout
-Linker::link(const trace::Program &prog, const LayoutKey &key) const
+LayoutSpec
+LayoutSpec::authored(const trace::Program &prog)
 {
     const auto &files = prog.files();
-    const auto &procs = prog.procedures();
+    LayoutSpec spec;
+    spec.fileOrder.resize(files.size());
+    spec.procOrder.resize(files.size());
+    for (u32 i = 0; i < files.size(); ++i) {
+        spec.fileOrder[i] = i;
+        spec.procOrder[i] = files[i].procIds;
+    }
+    return spec;
+}
+
+void
+LayoutSpec::validate(const trace::Program &prog) const
+{
+    const auto &files = prog.files();
+    INTERF_ASSERT(fileOrder.size() == files.size());
+    INTERF_ASSERT(procOrder.size() == files.size());
+    std::vector<u8> seen_file(files.size(), 0);
+    for (u32 fi : fileOrder) {
+        INTERF_ASSERT(fi < files.size() && !seen_file[fi]);
+        seen_file[fi] = 1;
+    }
+    for (u32 fi = 0; fi < files.size(); ++fi) {
+        // Same multiset as the authored procIds: each file keeps
+        // exactly its own procedures, only their order may differ.
+        std::vector<u32> a = files[fi].procIds;
+        std::vector<u32> b = procOrder[fi];
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        INTERF_ASSERT(a == b);
+    }
+}
+
+Linker::Linker(Addr text_base) : textBase_(text_base) {}
+
+LayoutSpec
+Linker::specFor(const trace::Program &prog, const LayoutKey &key) const
+{
+    const auto &files = prog.files();
 
     Rng rng(key.seed);
     // Independent substreams so toggling one reorder flag does not
@@ -52,27 +89,51 @@ Linker::link(const trace::Program &prog, const LayoutKey &key) const
     Rng file_rng = rng.fork(1);
     Rng proc_rng = rng.fork(2);
 
-    CodeLayout out;
-    out.textBase_ = textBase_;
-
-    // Link-line order of object files.
-    out.fileOrder_.resize(files.size());
+    LayoutSpec spec;
+    spec.fileOrder.resize(files.size());
     for (u32 i = 0; i < files.size(); ++i)
-        out.fileOrder_[i] = i;
+        spec.fileOrder[i] = i;
     if (key.reorderObjectFiles)
-        file_rng.shuffle(out.fileOrder_);
+        file_rng.shuffle(spec.fileOrder);
 
-    // Procedure order: within each file, optionally permuted; files
-    // contribute their procedures in link-line order (the linker lays
-    // code out in the order it is encountered on the command line).
-    out.procOrder_.reserve(procs.size());
-    for (u32 fi : out.fileOrder_) {
+    // Per-file procedure shuffles are drawn in link-line order (the
+    // historical sequence link(key) consumed its PRNG in), then stored
+    // under the authored file index.
+    spec.procOrder.resize(files.size());
+    for (u32 fi : spec.fileOrder) {
         std::vector<u32> local = files[fi].procIds;
         if (key.reorderProcedures)
             proc_rng.shuffle(local);
-        for (u32 pid : local)
-            out.procOrder_.push_back(pid);
+        spec.procOrder[fi] = std::move(local);
     }
+    return spec;
+}
+
+CodeLayout
+Linker::link(const trace::Program &prog, const LayoutKey &key) const
+{
+    return link(prog, specFor(prog, key));
+}
+
+CodeLayout
+Linker::link(const trace::Program &prog, const LayoutSpec &spec) const
+{
+    const auto &procs = prog.procedures();
+#ifndef NDEBUG
+    spec.validate(prog);
+#endif
+
+    CodeLayout out;
+    out.textBase_ = textBase_;
+    out.fileOrder_ = spec.fileOrder;
+
+    // Files contribute their procedures in link-line order (the linker
+    // lays code out in the order it is encountered on the command
+    // line).
+    out.procOrder_.reserve(procs.size());
+    for (u32 fi : out.fileOrder_)
+        for (u32 pid : spec.procOrder[fi])
+            out.procOrder_.push_back(pid);
     INTERF_ASSERT(out.procOrder_.size() == procs.size());
 
     // Assign addresses.

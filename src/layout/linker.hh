@@ -39,6 +39,38 @@ struct LayoutKey
 };
 
 /**
+ * An explicit code-layout permutation: the link-line order of object
+ * files plus, per authored file, the order of that file's procedures.
+ *
+ * LayoutKey describes a layout *implicitly* (a seed the Linker expands
+ * into permutations); LayoutSpec is the expanded form, the natural
+ * representation for code that *edits* layouts — the opt::Neighborhood
+ * moves permute these vectors directly, so every candidate it produces
+ * is a valid permutation by construction. Linker::specFor() expands a
+ * key into the spec it would link, and linking the spec yields a
+ * byte-identical CodeLayout (see tests/test_linker.cc).
+ */
+struct LayoutSpec
+{
+    /** Link-line order: a permutation of [0, files). */
+    std::vector<u32> fileOrder;
+
+    /**
+     * procOrder[f] is the memory order of file f's procedures — a
+     * permutation of the authored ObjectFile::procIds — indexed by
+     * *authored* file index, not link-line position, so moves on
+     * fileOrder never invalidate the per-file vectors.
+     */
+    std::vector<std::vector<u32>> procOrder;
+
+    /** The authored (identity) spec for a program. */
+    static LayoutSpec authored(const trace::Program &prog);
+
+    /** Sanity-check against a program; panics on violation. */
+    void validate(const trace::Program &prog) const;
+};
+
+/**
  * Immutable result of linking: every block's virtual address.
  *
  * Addresses are precomputed into flat arrays so the hot timing loops can
@@ -97,9 +129,21 @@ class Linker
 
     /**
      * Link the program under the given key. Deterministic: equal keys
-     * always produce identical layouts.
+     * always produce identical layouts. Equivalent to
+     * link(prog, specFor(prog, key)).
      */
     CodeLayout link(const trace::Program &prog, const LayoutKey &key) const;
+
+    /**
+     * Link the program under an explicit permutation. The spec must
+     * validate() against the program (asserted in Debug builds).
+     */
+    CodeLayout link(const trace::Program &prog,
+                    const LayoutSpec &spec) const;
+
+    /** Expand a key into the explicit permutation link(key) lays out. */
+    LayoutSpec specFor(const trace::Program &prog,
+                       const LayoutKey &key) const;
 
   private:
     Addr textBase_;

@@ -1,0 +1,219 @@
+#include "opt/neighborhood.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/digest.hh"
+#include "util/logging.hh"
+
+namespace interf::opt
+{
+
+u64
+CandidateLayout::digest(u64 base) const
+{
+    Digest d;
+    d.mix(base);
+    d.mix(code.fileOrder.size());
+    for (u32 fi : code.fileOrder)
+        d.mix(fi);
+    for (const auto &order : code.procOrder) {
+        d.mix(order.size());
+        for (u32 pid : order)
+            d.mix(pid);
+    }
+    d.mix(heapSeed);
+    return d.value();
+}
+
+const char *
+moveKindName(MoveKind kind)
+{
+    switch (kind) {
+    case MoveKind::ProcSwap:
+        return "proc_swap";
+    case MoveKind::ProcReinsert:
+        return "proc_reinsert";
+    case MoveKind::FileBlockMove:
+        return "file_block_move";
+    case MoveKind::HeapShuffle:
+        return "heap_shuffle";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Clamp a blame component to a usable weight: r^2 can be NaN on
+ *  degenerate seed samples (zero variance), which must not poison the
+ *  weighted draw. */
+double
+safeBlame(double r2)
+{
+    return std::isfinite(r2) && r2 > 0.0 ? r2 : 0.0;
+}
+
+/** Epsilon floor so no available kind ever becomes unreachable. */
+constexpr double kWeightFloor = 0.05;
+
+} // anonymous namespace
+
+Neighborhood::Neighborhood(const trace::Program &prog, bool allow_heap)
+    : prog_(&prog),
+      files_(static_cast<u32>(prog.files().size())),
+      allowHeap_(allow_heap)
+{
+    for (u32 fi = 0; fi < files_; ++fi)
+        if (prog.files()[fi].procIds.size() >= 2)
+            multiProcFiles_.push_back(fi);
+    // Uniform default over the available kinds; setBlame() refines.
+    weights_[static_cast<u32>(MoveKind::ProcSwap)] =
+        multiProcFiles_.empty() ? 0.0 : 1.0;
+    weights_[static_cast<u32>(MoveKind::ProcReinsert)] =
+        multiProcFiles_.empty() ? 0.0 : 1.0;
+    weights_[static_cast<u32>(MoveKind::FileBlockMove)] =
+        files_ >= 2 ? 1.0 : 0.0;
+    weights_[static_cast<u32>(MoveKind::HeapShuffle)] =
+        allowHeap_ ? 1.0 : 0.0;
+    // A program with one single-procedure file and no heap has a
+    // one-point search space; nothing to optimize.
+    INTERF_ASSERT(!multiProcFiles_.empty() || files_ >= 2 || allowHeap_);
+}
+
+bool
+Neighborhood::kindAvailable(MoveKind kind) const
+{
+    switch (kind) {
+    case MoveKind::ProcSwap:
+    case MoveKind::ProcReinsert:
+        return !multiProcFiles_.empty();
+    case MoveKind::FileBlockMove:
+        return files_ >= 2;
+    case MoveKind::HeapShuffle:
+        return allowHeap_;
+    }
+    return false;
+}
+
+void
+Neighborhood::setBlame(const interferometry::BlameVector &blame)
+{
+    // Blame -> structure mapping: branch and L1I behaviour live in the
+    // intra-file procedure packing; L1I and L2 set placement move with
+    // whole files; L2 data conflicts move with the heap seed.
+    const double branch = safeBlame(blame.branch);
+    const double l1i = safeBlame(blame.l1i);
+    const double l2 = safeBlame(blame.l2);
+    const double w_proc = kWeightFloor + branch + l1i;
+    const double w_file = kWeightFloor + l1i + l2;
+    const double w_heap = kWeightFloor + l2;
+    weights_[static_cast<u32>(MoveKind::ProcSwap)] =
+        kindAvailable(MoveKind::ProcSwap) ? 0.5 * w_proc : 0.0;
+    weights_[static_cast<u32>(MoveKind::ProcReinsert)] =
+        kindAvailable(MoveKind::ProcReinsert) ? 0.5 * w_proc : 0.0;
+    weights_[static_cast<u32>(MoveKind::FileBlockMove)] =
+        kindAvailable(MoveKind::FileBlockMove) ? w_file : 0.0;
+    weights_[static_cast<u32>(MoveKind::HeapShuffle)] =
+        kindAvailable(MoveKind::HeapShuffle) ? w_heap : 0.0;
+}
+
+MoveKind
+Neighborhood::pickKind(Rng &rng) const
+{
+    double total = 0.0;
+    for (double w : weights_)
+        total += w;
+    INTERF_ASSERT(total > 0.0);
+    double x = rng.nextDouble() * total;
+    for (u32 k = 0; k < kMoveKinds; ++k) {
+        x -= weights_[k];
+        if (x < 0.0)
+            return static_cast<MoveKind>(k);
+    }
+    // Floating-point edge: the draw landed exactly on the total.
+    for (u32 k = kMoveKinds; k-- > 0;)
+        if (weights_[k] > 0.0)
+            return static_cast<MoveKind>(k);
+    return MoveKind::ProcSwap;
+}
+
+Move
+Neighborhood::propose(CandidateLayout &cand, Rng &rng) const
+{
+    return proposeOfKind(pickKind(rng), cand, rng);
+}
+
+Move
+Neighborhood::proposeOfKind(MoveKind kind, CandidateLayout &cand,
+                            Rng &rng) const
+{
+    INTERF_ASSERT(kindAvailable(kind));
+    Move move;
+    move.kind = kind;
+    switch (kind) {
+    case MoveKind::ProcSwap: {
+        const u32 fi = multiProcFiles_[static_cast<size_t>(
+            rng.uniformInt(multiProcFiles_.size()))];
+        auto &order = cand.code.procOrder[fi];
+        const u32 n = static_cast<u32>(order.size());
+        u32 i = static_cast<u32>(rng.uniformInt(n));
+        u32 j = static_cast<u32>(rng.uniformInt(n - 1));
+        if (j >= i)
+            ++j; // Distinct by construction: never a no-op swap.
+        std::swap(order[i], order[j]);
+        move.a = fi;
+        move.b = i;
+        move.c = j;
+        break;
+    }
+    case MoveKind::ProcReinsert: {
+        const u32 fi = multiProcFiles_[static_cast<size_t>(
+            rng.uniformInt(multiProcFiles_.size()))];
+        auto &order = cand.code.procOrder[fi];
+        const u32 n = static_cast<u32>(order.size());
+        const u32 i = static_cast<u32>(rng.uniformInt(n));
+        // Insertion position in the shortened vector; position i would
+        // reproduce the original order, so it is excluded.
+        u32 p = static_cast<u32>(rng.uniformInt(n - 1));
+        if (p >= i)
+            ++p;
+        const u32 pid = order[i];
+        order.erase(order.begin() + i);
+        order.insert(order.begin() + std::min(p, n - 1), pid);
+        move.a = fi;
+        move.b = i;
+        move.c = p;
+        break;
+    }
+    case MoveKind::FileBlockMove: {
+        auto &order = cand.code.fileOrder;
+        const u32 n = files_;
+        const u32 max_len = std::min<u32>(3, n - 1);
+        const u32 len = 1 + static_cast<u32>(rng.uniformInt(max_len));
+        const u32 i = static_cast<u32>(rng.uniformInt(n - len + 1));
+        const u32 m = n - len; // Files remaining after extraction.
+        u32 p = static_cast<u32>(rng.uniformInt(m));
+        if (p >= i)
+            ++p; // p == i would reinsert the block where it was.
+        std::vector<u32> block(order.begin() + i,
+                               order.begin() + i + len);
+        order.erase(order.begin() + i, order.begin() + i + len);
+        order.insert(order.begin() + p, block.begin(), block.end());
+        move.a = i;
+        move.b = len;
+        move.c = p;
+        break;
+    }
+    case MoveKind::HeapShuffle: {
+        const u64 seed = rng.next();
+        cand.heapSeed = seed;
+        move.a = static_cast<u32>(seed >> 32);
+        move.b = static_cast<u32>(seed);
+        break;
+    }
+    }
+    return move;
+}
+
+} // namespace interf::opt

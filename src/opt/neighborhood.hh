@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The layout-optimizer move set: seeded, valid-by-construction edits.
+ *
+ * A search over layouts needs a neighborhood structure the seeded
+ * LayoutKey path cannot give — keys are points, not edges. Candidates
+ * are therefore explicit (LayoutSpec, heap seed) pairs, and every move
+ * permutes one of the spec's permutation vectors in place: swap two
+ * procedures within an object file, pull one procedure out and
+ * reinsert it elsewhere in its file, slide a contiguous block of
+ * object files along the link line, or redraw the DieHard heap seed.
+ * None of these can produce an invalid layout — a permutation stays a
+ * permutation — which the property tests pin down by running every
+ * move kind through the LayoutVerifier (tests/test_opt.cc).
+ *
+ * Move-kind selection is weighted by the campaign model's per-event
+ * r^2 (interferometry::BlameVector): branch/L1I blame steers toward
+ * intra-file procedure moves (they move branch targets and I-cache
+ * line packing), L1I/L2 blame toward link-order moves (they move whole
+ * files across page and set boundaries), and L2 blame toward heap
+ * shuffles when heap randomization is enabled. An epsilon floor keeps
+ * every available kind reachable regardless of blame.
+ */
+
+#ifndef INTERF_OPT_NEIGHBORHOOD_HH
+#define INTERF_OPT_NEIGHBORHOOD_HH
+
+#include <array>
+#include <vector>
+
+#include "interferometry/model.hh"
+#include "layout/linker.hh"
+#include "util/random.hh"
+
+namespace interf::opt
+{
+
+/** One point of the search space: a code permutation + a heap seed. */
+struct CandidateLayout
+{
+    layout::LayoutSpec code;
+    u64 heapSeed = 0;
+
+    /**
+     * Content digest of the candidate over @p base (the search's
+     * fitness base key). Binds every permutation entry and the heap
+     * seed, so equal digests mean identical measurement inputs — the
+     * digest doubles as the candidate's noise seed and its fitness
+     * cache name.
+     */
+    u64 digest(u64 base) const;
+};
+
+/** The move kinds the neighborhood can propose. */
+enum class MoveKind : u8
+{
+    ProcSwap,      ///< Swap two procedures within one object file.
+    ProcReinsert,  ///< Remove one procedure, reinsert elsewhere in file.
+    FileBlockMove, ///< Move a contiguous block of files on the link line.
+    HeapShuffle,   ///< Redraw the DieHard heap seed.
+};
+
+inline constexpr u32 kMoveKinds = 4;
+
+/** Stable lower-snake name, used in trajectories ("proc_swap"...). */
+const char *moveKindName(MoveKind kind);
+
+/** One applied move, as recorded in the search trajectory. The operand
+ *  meaning is kind-specific (file/positions for code moves, the new
+ *  seed's halves for HeapShuffle). */
+struct Move
+{
+    MoveKind kind = MoveKind::ProcSwap;
+    u32 a = 0;
+    u32 b = 0;
+    u32 c = 0;
+};
+
+/**
+ * Program-aware move proposer. Immutable after construction except for
+ * the blame weights; safe to share across sequential searches.
+ */
+class Neighborhood
+{
+  public:
+    /**
+     * @param prog The program whose structure bounds the moves.
+     * @param allow_heap Whether HeapShuffle is in the move set (it is
+     *        meaningless when the heap is deterministically packed).
+     */
+    Neighborhood(const trace::Program &prog, bool allow_heap);
+
+    /** Re-weight move kinds from a campaign model's blame vector. */
+    void setBlame(const interferometry::BlameVector &blame);
+
+    /** Current kind weights, indexed by MoveKind (0 = unavailable). */
+    const std::array<double, kMoveKinds> &kindWeights() const
+    {
+        return weights_;
+    }
+
+    /** Whether @p kind can be proposed for this program at all. */
+    bool kindAvailable(MoveKind kind) const;
+
+    /** Mutate @p cand with one weighted-random move drawn from @p rng. */
+    Move propose(CandidateLayout &cand, Rng &rng) const;
+
+    /** Mutate @p cand with a move of the given kind (must be
+     *  available); the property tests drive each kind directly. */
+    Move proposeOfKind(MoveKind kind, CandidateLayout &cand,
+                       Rng &rng) const;
+
+  private:
+    MoveKind pickKind(Rng &rng) const;
+
+    const trace::Program *prog_;
+    u32 files_;
+    std::vector<u32> multiProcFiles_; ///< Authored files with >= 2 procs.
+    bool allowHeap_;
+    std::array<double, kMoveKinds> weights_{};
+};
+
+} // namespace interf::opt
+
+#endif // INTERF_OPT_NEIGHBORHOOD_HH

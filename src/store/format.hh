@@ -15,9 +15,21 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
+
+namespace interf::core
+{
+struct MachineConfig;
+struct RunnerConfig;
+} // namespace interf::core
+
+namespace interf
+{
+class Digest;
+}
 
 namespace interf::store
 {
@@ -29,6 +41,7 @@ namespace format
 
 inline constexpr u64 kManifestMagic = 0x494e54465253544dULL; // INTFRSTM
 inline constexpr u64 kBatchMagic = 0x494e544652535442ULL;    // INTFRSTB
+inline constexpr u64 kFitnessMagic = 0x494e544652535446ULL;  // INTFRSTF
 inline constexpr u32 kFormatVersion = 1;
 
 /** @{ Fixed framing sizes (bytes). */
@@ -54,6 +67,26 @@ readPod(std::istream &is, T &value)
 
 /** Digest that seals a manifest: header plus every batch entry. */
 u64 manifestDigest(u64 key, const std::vector<BatchInfo> &batches);
+
+/** @{
+ * Mix every timing-relevant field of a config into a store key. Both
+ * campaignKey (store.cc) and fitnessBaseKey (fitness.cc) must bind the
+ * same machine/runner fields, so the mixers live here rather than being
+ * duplicated per key.
+ */
+void mixMachineConfig(Digest &d, const core::MachineConfig &m);
+void mixRunnerConfig(Digest &d, const core::RunnerConfig &r);
+/** @} */
+
+/** @{
+ * Durable-write discipline shared by every store artifact: write to a
+ * per-process temp sibling, fsync, rename atomically onto the final
+ * path, fsync the directory. See commitFile's comment in store.cc.
+ */
+std::string tmpPathFor(const std::string &path);
+void commitFile(const std::string &tmp, const std::string &path,
+                const std::string &dir);
+/** @} */
 
 } // namespace format
 

@@ -39,17 +39,8 @@ manifestDigest(u64 key, const std::vector<BatchInfo> &batches)
     return d.value();
 }
 
-} // namespace format
-
 namespace
 {
-
-using format::kBatchMagic;
-using format::kFormatVersion;
-using format::kManifestMagic;
-using format::manifestDigest;
-using format::readPod;
-using format::writePod;
 
 /** fsync @p path (a regular file or a directory) or die. */
 void
@@ -65,6 +56,8 @@ syncPath(const std::string &path, bool directory)
         fatal("cannot fsync store %s '%s'",
               directory ? "directory" : "file", path.c_str());
 }
+
+} // anonymous namespace
 
 /**
  * Durably rename @p tmp onto @p path; the POSIX rename is atomic. The
@@ -91,7 +84,7 @@ tmpPathFor(const std::string &path)
 }
 
 void
-mixMachine(Digest &d, const core::MachineConfig &m)
+mixMachineConfig(Digest &d, const core::MachineConfig &m)
 {
     d.mixString(m.name);
     d.mix(m.width);
@@ -119,7 +112,7 @@ mixMachine(Digest &d, const core::MachineConfig &m)
 }
 
 void
-mixRunner(Digest &d, const core::RunnerConfig &r)
+mixRunnerConfig(Digest &d, const core::RunnerConfig &r)
 {
     d.mix(r.runsPerGroup);
     d.mixDouble(r.noise.jitterSigma);
@@ -127,6 +120,22 @@ mixRunner(Digest &d, const core::RunnerConfig &r)
     d.mixDouble(r.noise.spikeMax);
     d.mixBool(r.noise.quiescent);
 }
+
+} // namespace format
+
+namespace
+{
+
+using format::commitFile;
+using format::kBatchMagic;
+using format::kFormatVersion;
+using format::kManifestMagic;
+using format::manifestDigest;
+using format::mixMachineConfig;
+using format::mixRunnerConfig;
+using format::readPod;
+using format::tmpPathFor;
+using format::writePod;
 
 } // anonymous namespace
 
@@ -150,8 +159,8 @@ campaignKey(const trace::Program &prog, u64 behaviour_seed,
     d.mixBool(cfg.randomizeHeap);
     d.mixBool(cfg.physicalPages);
     d.mix(cfg.layoutSeedBase);
-    mixMachine(d, cfg.machine);
-    mixRunner(d, cfg.runner);
+    mixMachineConfig(d, cfg.machine);
+    mixRunnerConfig(d, cfg.runner);
     // cfg.jobs, cfg.batchLanes and cfg.storeDir are intentionally NOT
     // mixed: none can change a sample's bytes (see campaignKey's doc
     // comment).

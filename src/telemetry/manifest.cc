@@ -129,6 +129,8 @@ RunManifest::toJson() const
     doc.set("phases", std::move(phasesJson));
 
     doc.set("metrics", metrics.isArray() ? metrics : Json::array());
+    if (opt.isObject())
+        doc.set("opt", opt);
     return doc;
 }
 
@@ -229,6 +231,15 @@ RunManifest::fromJson(const Json &doc, std::string *error)
 
     const Json &metricsJson = doc.get("metrics");
     metrics = metricsJson.isArray() ? metricsJson : Json::array();
+
+    // Optional: present only in optimizer-run manifests.
+    const Json *optJson = doc.find("opt");
+    if (optJson != nullptr && !optJson->isObject()) {
+        if (error)
+            *error = "non-object field 'opt'";
+        return false;
+    }
+    opt = optJson != nullptr ? *optJson : Json();
     return true;
 }
 

@@ -86,6 +86,14 @@ struct RunManifest
      */
     Json metrics = Json::array();
 
+    /**
+     * Optional layout-optimizer summary (strategy, budget, evaluation
+     * tallies, initial/final cycles — see tools/interf_opt). Null for
+     * campaign manifests; serialized and round-tripped verbatim when
+     * an object, like metrics.
+     */
+    Json opt = Json();
+
     Json toJson() const;
 
     /**

@@ -164,4 +164,64 @@ TEST(Linker, CustomTextBase)
     EXPECT_GE(layout.procBase(layout.procOrder()[0]), 0x1000000u);
 }
 
+// ---------------------------------------------------------------------
+// LayoutSpec: the explicit-permutation path the optimizer edits.
+// ---------------------------------------------------------------------
+
+TEST(LinkerSpec, SpecForLinksIdenticallyToTheKey)
+{
+    // The keyed path is definitionally link(specFor(key)): expanding a
+    // key into its explicit permutations and linking those must land
+    // every procedure on the same address.
+    auto p = prog();
+    Linker linker;
+    for (u64 seed : {0ull, 1ull, 7ull, 42ull, 1000ull}) {
+        for (bool procs : {false, true}) {
+            for (bool files : {false, true}) {
+                LayoutKey key{seed, procs, files};
+                auto direct = linker.link(p, key);
+                auto spec = linker.specFor(p, key);
+                spec.validate(p);
+                auto via = linker.link(p, spec);
+                EXPECT_EQ(direct.procOrder(), via.procOrder());
+                EXPECT_EQ(direct.fileOrder(), via.fileOrder());
+                EXPECT_EQ(direct.textSize(), via.textSize());
+                for (u32 id = 0; id < p.procedures().size(); ++id)
+                    EXPECT_EQ(direct.procBase(id), via.procBase(id));
+            }
+        }
+    }
+}
+
+TEST(LinkerSpec, AuthoredSpecIsTheIdentityLayout)
+{
+    auto p = prog();
+    Linker linker;
+    auto spec = LayoutSpec::authored(p);
+    spec.validate(p);
+    auto identity = linker.link(p, LayoutKey::identity());
+    auto authored = linker.link(p, spec);
+    EXPECT_EQ(identity.procOrder(), authored.procOrder());
+    EXPECT_EQ(identity.fileOrder(), authored.fileOrder());
+    EXPECT_EQ(identity.textSize(), authored.textSize());
+}
+
+TEST(LinkerSpec, ProcOrderIsIndexedByAuthoredFile)
+{
+    // procOrder[f] belongs to authored file f regardless of where the
+    // link line puts that file -- the property that makes file moves
+    // and procedure moves commute in the optimizer.
+    auto p = prog();
+    Linker linker;
+    auto spec = linker.specFor(p, LayoutKey{23, true, true});
+    ASSERT_EQ(spec.procOrder.size(), p.files().size());
+    for (u32 fi = 0; fi < p.files().size(); ++fi) {
+        std::set<u32> authored(p.files()[fi].procIds.begin(),
+                               p.files()[fi].procIds.end());
+        std::set<u32> spec_set(spec.procOrder[fi].begin(),
+                               spec.procOrder[fi].end());
+        EXPECT_EQ(spec_set, authored) << "file " << fi;
+    }
+}
+
 } // anonymous namespace

@@ -89,6 +89,22 @@ TEST(Model, BlameAssignsVarianceToTheRightEvent)
     EXPECT_LT(model.branchModel().fit.r2(), 0.2);
 }
 
+TEST(Model, BlameVectorMirrorsTheFits)
+{
+    // The typed Figure-6 path: blame() must be exactly the per-event
+    // r^2 the fits report -- bench_fig6_blame renders these numbers and
+    // the layout optimizer weights its move kinds with them.
+    auto samples = syntheticSamples(120, 0.01, 0.5, 1.5, 0.9, 0.002, 17);
+    PerformanceModel model("blamed", samples);
+    BlameVector blame = model.blame();
+    EXPECT_DOUBLE_EQ(blame.branch, model.branchModel().fit.r2());
+    EXPECT_DOUBLE_EQ(blame.l1i, model.l1iModel().fit.r2());
+    EXPECT_DOUBLE_EQ(blame.l2, model.l2Model().fit.r2());
+    EXPECT_DOUBLE_EQ(blame.combined, model.combinedFit().r2());
+    EXPECT_DOUBLE_EQ(blame.combinedP, model.combinedTest().pValue);
+    EXPECT_DOUBLE_EQ(blame.total(), blame.branch + blame.l1i + blame.l2);
+}
+
 TEST(Model, CombinedModelExplainsMoreThanParts)
 {
     // Mixed causes: combined r^2 >= each single-event r^2.
