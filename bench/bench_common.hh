@@ -46,6 +46,10 @@ struct JsonRow
     double layoutsPerSec = 0.0;
     double eventsPerSec = 0.0; ///< 0 when the bench has no event axis.
     double wallMs = 0.0;       ///< Wall time of one measured batch.
+    u64 stateBytesPerLane = 0; ///< Microarchitectural hot state per
+                               ///< replay lane (0 = no lane axis).
+    double verifyRate = 0.0;   ///< Fraction of hinted way probes the
+                               ///< memo answered without a full scan.
 };
 
 /**
@@ -69,7 +73,16 @@ struct JsonRow
  * --batch K, bench_micro_replay emits "micro_replay/batched_k{k}" rows
  * (k lanes per pass over the event stream) whose layouts_per_sec is
  * directly comparable to the "micro_replay/plan" row at the same
- * config.
+ * config. schemaVersion 4 adds two fields to every row:
+ * "state_bytes_per_lane" — the microarchitectural hot state one
+ * replay lane keeps (cache tag/age/generation arrays, predictor
+ * tables, BTB, RAS; 0 for benches with no lane axis), the number the
+ * K-sweep trades against the host LLC (plan-sized way memos are
+ * reported separately, via the replay.lane_memo_bytes telemetry gauge
+ * and the bench's human-readable header) — and "verify_rate" — the
+ * fraction of hinted way probes the
+ * memo verification answered with a single tag load instead of a full
+ * scan (0 for paths that take no hinted probes).
  */
 class JsonReport
 {
@@ -85,7 +98,7 @@ class JsonReport
         if (!out)
             fatal("cannot write JSON report to '%s'", path.c_str());
         out << "{\n  \"schema\": \"interf-bench-1\",\n"
-            << "  \"schemaVersion\": 3,\n  \"rows\": [";
+            << "  \"schemaVersion\": 4,\n  \"rows\": [";
         for (size_t i = 0; i < rows_.size(); ++i) {
             const JsonRow &r = rows_[i];
             out << (i ? ",\n" : "\n")
@@ -93,7 +106,9 @@ class JsonReport
                 << "\", \"config\": \"" << escaped(r.config)
                 << "\", \"layouts_per_sec\": " << num(r.layoutsPerSec)
                 << ", \"events_per_sec\": " << num(r.eventsPerSec)
-                << ", \"wall_ms\": " << num(r.wallMs) << "}";
+                << ", \"wall_ms\": " << num(r.wallMs)
+                << ", \"state_bytes_per_lane\": " << r.stateBytesPerLane
+                << ", \"verify_rate\": " << num(r.verifyRate) << "}";
         }
         out << "\n  ],\n  \"phases\": [";
         const auto phases = telemetry::phaseStats();

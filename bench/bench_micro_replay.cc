@@ -185,6 +185,48 @@ runBatch(const PathSpec &spec, exec::ThreadPool &pool, u32 layouts,
     return t;
 }
 
+/**
+ * Untimed hinted-probe audit for one batched path: replay the full
+ * layout batch once on a single Machine with hint counting enabled
+ * and return the fraction of hinted way probes the memo answered with
+ * a single tag load. Runs outside the timed rounds so the counters
+ * cost the measurement nothing (the unconditional increments they
+ * replace measured ~3% of batched throughput — see cache::HintStats).
+ */
+double
+measureVerifyRate(const PathSpec &spec, u32 layouts,
+                  const trace::Program &prog,
+                  const trace::ReplayPlan &plan,
+                  const core::MachineConfig &cfg)
+{
+    core::Machine machine(cfg);
+    machine.setHintCounting(true);
+    layout::Linker linker;
+    for (u32 i = 0; i < layouts; i += spec.batchK) {
+        u32 n = std::min(spec.batchK, layouts - i);
+        std::vector<layout::CodeLayout> codes;
+        std::vector<layout::HeapLayout> heaps;
+        std::vector<trace::BatchedLayoutTables::LaneSource> sources(n);
+        codes.reserve(n);
+        heaps.reserve(n);
+        for (u32 l = 0; l < n; ++l) {
+            u64 seed = static_cast<u64>(i + l) + 1;
+            codes.push_back(
+                linker.link(prog, layout::LayoutKey{seed, true, true}));
+            layout::HeapKey hk;
+            hk.seed = seed;
+            hk.randomize = true;
+            heaps.emplace_back(prog, hk);
+            sources[l] = {&codes[l], &heaps[l],
+                          layout::PageMap(seed * 31 + 7)};
+        }
+        trace::BatchedLayoutTables batched(
+            plan, sources, cfg.hierarchy.l1i.lineBytes);
+        machine.replayBatch(plan, batched);
+    }
+    return machine.memoHintStats().rate();
+}
+
 } // anonymous namespace
 
 int
@@ -226,12 +268,19 @@ main(int argc, char **argv)
             .makeTrace(scale.instructions);
     trace::ReplayPlan plan(prog, trace);
     auto cfg = core::MachineConfig::xeonE5440();
+    const u64 lane_bytes = core::Machine(cfg).laneStateBytes();
+    const u64 memo_bytes = core::Machine::laneMemoBytes(plan);
 
     std::printf("workload: 445.gobmk, %zu events, %llu instructions, "
-                "%u layouts, %u rounds\n\n",
+                "%u layouts, %u rounds\n",
                 plan.eventCount(),
                 static_cast<unsigned long long>(plan.instCount),
                 scale.layouts, rounds);
+    std::printf("lane state: %llu bytes (%.2f MiB) microarchitectural "
+                "state per replay lane, + %llu bytes way memos\n\n",
+                static_cast<unsigned long long>(lane_bytes),
+                static_cast<double>(lane_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(memo_bytes));
     std::printf("%-14s %8s %14s %12s %14s\n", "path", "threads",
                 "ms/layout", "layouts/sec", "events/sec");
 
@@ -245,6 +294,14 @@ main(int argc, char **argv)
     u32 hw = exec::ThreadPool::resolveJobs(scale.jobs);
     if (hw > 1)
         threadAxis.push_back(hw);
+
+    // Hinted-probe audit, once per batched path, before any timing:
+    // the scalar paths take no hinted probes, so their rate stays 0.
+    std::vector<double> verifyRates(paths.size(), 0.0);
+    for (size_t pi = 0; pi < paths.size(); ++pi)
+        if (paths[pi].kind == Path::Batched)
+            verifyRates[pi] = measureVerifyRate(paths[pi], scale.layouts,
+                                                prog, plan, cfg);
 
     bench::JsonReport report;
     double refSingle = 0.0, planSingle = 0.0, bestBatchSingle = 0.0;
@@ -303,7 +360,8 @@ main(int argc, char **argv)
                               scale.instructions),
                           rounds);
             report.add({"micro_replay/" + paths[pi].name, config,
-                        layoutsPerSec, eventsPerSec, best[pi].wallMs});
+                        layoutsPerSec, eventsPerSec, best[pi].wallMs,
+                        lane_bytes, verifyRates[pi]});
         }
     }
 
@@ -313,6 +371,10 @@ main(int argc, char **argv)
     if (bestBatchSingle > 0.0)
         std::printf("%s vs plan, 1 thread: %.2fx layouts/sec\n",
                     bestBatchName.c_str(), planSingle / bestBatchSingle);
+    for (size_t pi = 0; pi < paths.size(); ++pi)
+        if (paths[pi].kind == Path::Batched)
+            std::printf("%s memo verify rate: %.1f%%\n",
+                        paths[pi].name.c_str(), 100.0 * verifyRates[pi]);
     if (!scale.jsonPath.empty()) {
         report.write(scale.jsonPath);
         std::printf("wrote JSON report to %s\n", scale.jsonPath.c_str());

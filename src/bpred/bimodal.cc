@@ -14,7 +14,7 @@ BimodalPredictor::BimodalPredictor(u32 entries)
 void
 BimodalPredictor::reset()
 {
-    std::fill(table_.begin(), table_.end(), u8{2});
+    table_.fill(2);
 }
 
 std::string

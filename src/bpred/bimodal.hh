@@ -24,15 +24,17 @@ class BimodalPredictor : public BranchPredictor
 
     bool predictAndTrain(Addr pc, bool taken) override
     {
-        u8 &ctr = table_[indexFor(pc)];
+        const u32 i = indexFor(pc);
+        const u8 ctr = table_.get(i);
         bool prediction = counter2::predict(ctr);
-        ctr = counter2::update(ctr, taken);
+        table_.set(i, counter2::update(ctr, taken));
         return prediction;
     }
 
     void reset() override;
     std::string name() const override;
     u64 sizeBits() const override;
+    u64 stateBytes() const override { return table_.stateBytes(); }
 
     /** Table index used for a PC (exposed for tests). */
     u32 indexFor(Addr pc) const
@@ -44,7 +46,7 @@ class BimodalPredictor : public BranchPredictor
     }
 
   private:
-    std::vector<u8> table_;
+    counter2::CounterTable table_; ///< 2-bit counters, byte each.
     u32 mask_;
 };
 

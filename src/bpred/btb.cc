@@ -9,26 +9,40 @@ namespace interf::bpred
 
 Btb::Btb(u32 sets, u32 ways) : sets_(sets), ways_(ways)
 {
-    INTERF_ASSERT(sets >= 1 && (sets & (sets - 1)) == 0);
-    INTERF_ASSERT(ways >= 1);
+    // Typed construction-time diagnostics rather than asserts: a bad
+    // geometry is a configuration error, and a non-power-of-two set
+    // count would otherwise silently alias sets through the index mask.
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        fatal("btb: %u sets is not a power of two; the set index masks "
+              "low PC bits, so a non-power-of-two count would silently "
+              "alias sets",
+              sets);
+    if (ways == 0)
+        fatal("btb: associativity must be >= 1");
+    if (ways > 32)
+        fatal("btb: associativity %u exceeds 32 (u8 per-set ages and "
+              "the packed scan's u32 mask cap the ways)",
+              ways);
     size_t n = static_cast<size_t>(sets) * ways;
     tags_.resize(n, kNoTag);
-    tagsLo_.resize(n, static_cast<u32>(kNoTag));
-    tagsHi_.resize(n, static_cast<u32>(kNoTag >> 32));
     targets_.resize(n, 0);
     lru_.resize(n, 0);
+    setClock_.resize(sets, 0);
 }
 
 void
 Btb::reset()
 {
+    // Eager clear. An epoch-versioned lazy reset (as the caches use)
+    // was implemented and measured here too: full-u32-PC tags leave
+    // no spare bits to fold an epoch salt into, so every probe had to
+    // test a per-set generation tag, and that check alone cost ~3% of
+    // batched replay throughput. The BTB's whole state is ~45 KB —
+    // the memset is trivial next to a layout replay.
     std::fill(tags_.begin(), tags_.end(), kNoTag);
-    std::fill(tagsLo_.begin(), tagsLo_.end(), static_cast<u32>(kNoTag));
-    std::fill(tagsHi_.begin(), tagsHi_.end(),
-              static_cast<u32>(kNoTag >> 32));
-    std::fill(targets_.begin(), targets_.end(), Addr{0});
-    std::fill(lru_.begin(), lru_.end(), 0u);
-    lruClock_ = 0;
+    std::fill(targets_.begin(), targets_.end(), u32{0});
+    std::fill(lru_.begin(), lru_.end(), u8{0});
+    std::fill(setClock_.begin(), setClock_.end(), u8{0});
 }
 
 u64

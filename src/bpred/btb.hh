@@ -10,6 +10,18 @@
  * branches and a full misprediction penalty for wrong indirect targets;
  * this adds layout-dependent CPI variance *not* explained by MPKI,
  * which is part of why the paper's branch-only r^2 averages 27%.
+ *
+ * The representation is compact so batched replay lanes stay small:
+ * tags are stored once as u32 (branch PCs are text-segment addresses,
+ * far below 2^32 — installs assert it), targets are u32 *tokens* the
+ * caller chooses (the replay kernels store plan site indices instead
+ * of 8-byte addresses; equality of tokens is equality of targets
+ * because block addresses are injective per layout), and recency is a
+ * u8 age per way against a u8 per-set clock (free at BTB touch rates;
+ * see touchLru). reset() clears eagerly: unlike the caches, the full
+ * u32-PC tags leave no spare bits for an epoch salt, and a per-set
+ * generation check on every probe measured ~3% of batched replay
+ * throughput (see Btb::reset in btb.cc).
  */
 
 #ifndef INTERF_BPRED_BTB_HH
@@ -18,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -28,11 +41,23 @@
 namespace interf::bpred
 {
 
-/** Result of a BTB lookup. */
+/** Result of a BTB lookup. The target is the u32 token the last
+ *  update for this branch stored (a plan site index in the replay
+ *  kernels; any caller-defined encoding elsewhere). */
 struct BtbResult
 {
     bool hit = false;
-    Addr target = 0;
+    u32 target = 0;
+};
+
+/** Cumulative probeWayHinted() outcomes (bench diagnostics; not
+ *  cleared by reset(), and only accumulated while
+ *  setHintCounting(true) — see cache::HintStats for why the
+ *  unconditional increments were evicted from the hot path). */
+struct BtbHintStats
+{
+    u64 probes = 0;
+    u64 verified = 0;
 };
 
 /** Set-associative branch target buffer with LRU replacement. */
@@ -41,7 +66,7 @@ class Btb
   public:
     /**
      * @param sets Number of sets (power of two).
-     * @param ways Associativity (>= 1).
+     * @param ways Associativity (1..32).
      */
     Btb(u32 sets, u32 ways);
 
@@ -52,7 +77,8 @@ class Btb
      */
     BtbResult lookup(Addr pc) const
     {
-        const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
+        const u32 set = setIndex(pc);
+        const size_t base = static_cast<size_t>(set) * ways_;
         u32 w = findWay(base, tagOf(pc));
         if (w != ways_)
             return {true, targets_[base + w]};
@@ -65,7 +91,7 @@ class Btb
      * The replay kernel always pairs the two on taken branches, and
      * the scan is the dominant cost of each.
      */
-    BtbResult lookupUpdate(Addr pc, Addr target)
+    BtbResult lookupUpdate(Addr pc, u32 target)
     {
         return updateFound(pc, target, probeWay(pc));
     }
@@ -80,8 +106,8 @@ class Btb
      */
     u32 probeWay(Addr pc) const
     {
-        return findWay(static_cast<size_t>(setIndex(pc)) * ways_,
-                       tagOf(pc));
+        const u32 set = setIndex(pc);
+        return findWay(static_cast<size_t>(set) * ways_, tagOf(pc));
     }
 
     /**
@@ -94,16 +120,21 @@ class Btb
      */
     u32 probeWayHinted(Addr pc, u32 hint) const
     {
+        if (countHints_) [[unlikely]]
+            ++hintStats_.probes;
         if (hint < ways_) {
-            const size_t base =
-                static_cast<size_t>(setIndex(pc)) * ways_;
-            if (tags_[base + hint] == tagOf(pc))
+            const u32 set = setIndex(pc);
+            if (tags_[static_cast<size_t>(set) * ways_ + hint] ==
+                    tagOf(pc)) {
+                if (countHints_) [[unlikely]]
+                    ++hintStats_.verified;
                 return hint;
+            }
         }
         return probeWay(pc);
     }
 
-    BtbResult updateFound(Addr pc, Addr target, u32 w)
+    BtbResult updateFound(Addr pc, u32 target, u32 w)
     {
         u32 way_now;
         return updateFoundAt(pc, target, w, way_now);
@@ -112,122 +143,149 @@ class Btb
     /** updateFound() that also reports the way the entry occupies
      *  afterwards (the hit way, or the victim a miss installed into)
      *  so callers can refresh a way memo. */
-    BtbResult updateFoundAt(Addr pc, Addr target, u32 w, u32 &way_now)
+    BtbResult updateFoundAt(Addr pc, u32 target, u32 w, u32 &way_now)
     {
-        const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
-        const Addr tag = tagOf(pc);
-        ++lruClock_;
+        const u32 set = setIndex(pc);
+        const size_t base = static_cast<size_t>(set) * ways_;
         if (w != ways_) {
             BtbResult before{true, targets_[base + w]};
             targets_[base + w] = target;
-            lru_[base + w] = lruClock_;
+            touchLru(base, set, w);
             way_now = w;
             return before;
         }
-        Addr *tags = tags_.data() + base;
-        u32 victim = 0;
-        for (u32 v = 0; v < ways_; ++v) {
-            if (tags[v] == kNoTag) {
-                victim = v;
-                break;
-            }
-            if (lru_[base + v] < lru_[base + victim])
-                victim = v;
-        }
-        tags[victim] = tag;
-        tagsLo_[base + victim] = static_cast<u32>(tag);
-        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
+        const u32 tag = tagOf(pc);
+        INTERF_ASSERT(static_cast<Addr>(tag) == pc && tag != kNoTag);
+        u32 victim = pickVictim(base);
+        tags_[base + victim] = tag;
         targets_[base + victim] = target;
-        lru_[base + victim] = lruClock_;
+        touchLru(base, set, victim);
         way_now = victim;
         return {};
     }
     /** @} */
 
     /** Install/refresh the target for a branch (LRU update). */
-    void update(Addr pc, Addr target)
+    void update(Addr pc, u32 target)
     {
-        const size_t base = static_cast<size_t>(setIndex(pc)) * ways_;
-        Addr *tags = tags_.data() + base;
-        const Addr tag = tagOf(pc);
-        ++lruClock_;
-        // Hit: refresh.
-        u32 w = findWay(base, tag);
-        if (w != ways_) {
-            targets_[base + w] = target;
-            lru_[base + w] = lruClock_;
-            return;
-        }
-        // Miss: replace invalid or LRU way.
-        u32 victim = 0;
-        for (u32 v = 0; v < ways_; ++v) {
-            if (tags[v] == kNoTag) {
-                victim = v;
-                break;
-            }
-            if (lru_[base + v] < lru_[base + victim])
-                victim = v;
-        }
-        tags[victim] = tag;
-        tagsLo_[base + victim] = static_cast<u32>(tag);
-        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
-        targets_[base + victim] = target;
-        lru_[base + victim] = lruClock_;
+        updateFound(pc, target, probeWay(pc));
     }
 
-    /** Restore the power-on (empty) state. */
+    /** Restore the power-on (empty) state (eager ~45 KB clear; see
+     *  the rationale in btb.cc). */
     void reset();
 
     u32 sets() const { return sets_; }
     u32 ways() const { return ways_; }
+    const BtbHintStats &hintStats() const { return hintStats_; }
+
+    /** Enable/disable hinted-probe outcome counting (off by default;
+     *  see BtbHintStats). */
+    void setHintCounting(bool on) { countHints_ = on; }
+
+    /** Bytes of per-replay mutable state (tag/target/age/generation
+     *  arrays) — what one batched-replay lane keeps hot. */
+    u64 hotStateBytes() const
+    {
+        return tags_.size() * sizeof(u32) +
+               targets_.size() * sizeof(u32) + lru_.size() +
+               setClock_.size();
+    }
 
     /** Storage estimate in bits (tags + targets). */
     u64 sizeBits() const;
 
   private:
     /**
-     * Tag of an invalid way; branch PCs are virtual code addresses far
-     * below the all-ones value, so the sentinel can never collide.
+     * Tag of an invalid way; branch PCs are text-segment code
+     * addresses far below the all-ones value (installs assert the u32
+     * tag round-trips), so the sentinel can never collide.
      */
-    static constexpr Addr kNoTag = ~Addr{0};
+    static constexpr u32 kNoTag = ~u32{0};
 
     u32 setIndex(Addr pc) const
     {
         return static_cast<u32>(pc ^ (pc >> 13)) & (sets_ - 1);
     }
 
-    static Addr tagOf(Addr pc)
+    static u32 tagOf(Addr pc)
     {
-        return pc; // full tags: conflicts come from the set index only
+        // Full (truncated-to-u32) tags: conflicts come from the set
+        // index only. Installs assert the truncation is lossless.
+        return static_cast<u32>(pc);
+    }
+
+    /** Stamp way @p w most-recent; rank-renormalize the set's u8 ages
+     *  when its clock saturates (order-preserving). The cache's LRU
+     *  keeps wide write-only stamps because a per-set clock's
+     *  load-increment-store chain cost ~10-15% of replay throughput
+     *  there; the BTB touches LRU only on taken branches — an order
+     *  of magnitude rarer — where the same scheme measured free, so
+     *  the u8 narrowing stays. */
+    void touchLru(size_t base, u32 set, u32 w)
+    {
+        u8 clock = setClock_[set];
+        if (clock == 0xff) {
+            renormalizeLru(base);
+            clock = static_cast<u8>(ways_ - 1);
+        }
+        ++clock;
+        setClock_[set] = clock;
+        lru_[base + w] = clock;
+    }
+
+    void renormalizeLru(size_t base)
+    {
+        u8 *ages = lru_.data() + base;
+        u8 ranked[32]; // ctor caps ways at 32
+        for (u32 w = 0; w < ways_; ++w) {
+            u8 r = 0;
+            for (u32 v = 0; v < ways_; ++v)
+                r += static_cast<u8>(
+                    ages[v] < ages[w] ||
+                    (ages[v] == ages[w] && v < w));
+            ranked[w] = r;
+        }
+        for (u32 w = 0; w < ways_; ++w)
+            ages[w] = ranked[w];
+    }
+
+    /** Victim way: first invalid way (way order), else least recent.
+     *  The caller materialized the set. */
+    u32 pickVictim(size_t base) const
+    {
+        const u32 *tags = tags_.data() + base;
+        const u8 *lru = lru_.data() + base;
+        u32 victim = 0;
+        for (u32 v = 0; v < ways_; ++v) {
+            if (tags[v] == kNoTag)
+                return v;
+            if (lru[v] < lru[victim])
+                victim = v;
+        }
+        return victim;
     }
 
     /**
      * Way of the row at @p base holding @p tag, or ways_ if absent.
-     * Branchless packed compare of both tag halves ANDed into an exact
-     * equality mask — same scheme as cache::Cache::findWay (see the
-     * rationale there).
+     * Branchless packed compare of the u32 tags into an exact equality
+     * mask — same scheme as cache::Cache::findWay (see the rationale
+     * there), exact without a confirm step because the stored tag is
+     * the full u32. The caller must have checked the set is live.
      */
-    u32 findWay(size_t base, Addr tag) const
+    u32 findWay(size_t base, u32 tag) const
     {
 #ifdef INTERF_BTB_HAVE_SSE2
         if (ways_ % 4 == 0 && ways_ <= 32) {
-            const u32 *lo = tagsLo_.data() + base;
-            const u32 *hi = tagsHi_.data() + base;
-            const __m128i key_lo =
-                _mm_set1_epi32(static_cast<int>(static_cast<u32>(tag)));
-            const __m128i key_hi = _mm_set1_epi32(
-                static_cast<int>(static_cast<u32>(tag >> 32)));
+            const u32 *tags = tags_.data() + base;
+            const __m128i key =
+                _mm_set1_epi32(static_cast<int>(tag));
             u32 mask = 0;
             for (u32 w = 0; w < ways_; w += 4) {
-                __m128i eq = _mm_and_si128(
-                    _mm_cmpeq_epi32(
-                        _mm_loadu_si128(
-                            reinterpret_cast<const __m128i *>(lo + w)),
-                        key_lo),
-                    _mm_cmpeq_epi32(
-                        _mm_loadu_si128(
-                            reinterpret_cast<const __m128i *>(hi + w)),
-                        key_hi));
+                __m128i eq = _mm_cmpeq_epi32(
+                    _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(tags + w)),
+                    key);
                 mask |= static_cast<u32>(
                             _mm_movemask_ps(_mm_castsi128_ps(eq)))
                         << w;
@@ -235,7 +293,7 @@ class Btb
             return mask ? static_cast<u32>(__builtin_ctz(mask)) : ways_;
         }
 #endif
-        const Addr *tags = tags_.data() + base;
+        const u32 *tags = tags_.data() + base;
         for (u32 w = 0; w < ways_; ++w)
             if (tags[w] == tag)
                 return w;
@@ -244,14 +302,14 @@ class Btb
 
     u32 sets_;
     u32 ways_;
-    u32 lruClock_ = 0;
     /** @{ sets_ * ways_, row-major by set; parallel arrays. */
-    std::vector<Addr> tags_;
-    std::vector<u32> tagsLo_; ///< @{ Split halves of tags_: the scan
-    std::vector<u32> tagsHi_; ///< compares both packed. @}
-    std::vector<Addr> targets_;
-    std::vector<u32> lru_; ///< Higher = more recently used.
+    std::vector<u32> tags_;    ///< u32 tags (sentinel kNoTag).
+    std::vector<u32> targets_; ///< Caller-defined target tokens.
+    std::vector<u8> lru_;      ///< Per-way age; higher = more recent.
+    std::vector<u8> setClock_; ///< Per-set age clock.
     /** @} */
+    mutable BtbHintStats hintStats_;
+    bool countHints_ = false;   ///< See setHintCounting().
 };
 
 } // namespace interf::bpred

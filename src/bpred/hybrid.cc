@@ -22,7 +22,7 @@ HybridPredictor::reset()
 {
     gas_.reset();
     bimodal_.reset();
-    std::fill(chooser_.begin(), chooser_.end(), u8{2});
+    chooser_.fill(2);
 }
 
 std::string

@@ -42,8 +42,9 @@ class HybridPredictor final : public BranchPredictor
 
     bool predictAndTrain(Addr pc, bool taken) override
     {
-        u8 &choose =
-            chooser_[static_cast<u32>(pc ^ (pc >> 16)) & chooserMask_];
+        const u32 ci =
+            static_cast<u32>(pc ^ (pc >> 16)) & chooserMask_;
+        const u8 choose = chooser_.get(ci);
         bool use_gas = choose >= 2;
 
         // Train both components; each returns its own pre-update guess.
@@ -52,20 +53,26 @@ class HybridPredictor final : public BranchPredictor
         bool prediction = use_gas ? gas_pred : bim_pred;
 
         // Train the chooser only when the components disagree
-        // (branchless: agreement keeps the old value).
+        // (branchless: agreement writes back the old value).
         u8 trained = counter2::update(choose, gas_pred == taken);
-        choose = gas_pred != bim_pred ? trained : choose;
+        chooser_.set(ci, gas_pred != bim_pred ? trained : choose);
         return prediction;
     }
 
     void reset() override;
     std::string name() const override;
     u64 sizeBits() const override;
+    u64 stateBytes() const override
+    {
+        return gas_.stateBytes() + bimodal_.stateBytes() +
+               chooser_.stateBytes();
+    }
 
   private:
     TwoLevelPredictor gas_;
     BimodalPredictor bimodal_;
-    std::vector<u8> chooser_; ///< 2-bit: >=2 selects the GAs component.
+    /** 2-bit chooser counters (packed 4/byte): >=2 selects GAs. */
+    counter2::CounterTable chooser_;
     u32 chooserMask_;
 };
 

@@ -44,7 +44,8 @@ LtagePredictor::LtagePredictor(LtageConfig config)
         tagFold2_[i].configure(histLen_[i],
                                std::max<u32>(tagBits_[i] - 1, 1));
     }
-    bimodal_.assign(u64{1} << cfg_.logBimodalEntries, 2);
+    bimodal_ = counter2::CounterTable(
+        static_cast<u32>(u64{1} << cfg_.logBimodalEntries), 2);
     loop_.assign(u64{1} << cfg_.logLoopEntries, LoopEntry());
 }
 
@@ -162,7 +163,7 @@ LtagePredictor::Prediction
 LtagePredictor::lookup(Addr pc)
 {
     Prediction pr;
-    bool bim = counter2::predict(bimodal_[bimodalIndex(pc)]);
+    bool bim = counter2::predict(bimodal_.get(bimodalIndex(pc)));
     pr.pred = bim;
     pr.altPred = bim;
 
@@ -241,12 +242,12 @@ LtagePredictor::update(Addr pc, bool taken, const Prediction &pr)
         // Also train the base predictor when the provider is weak, so
         // the bimodal stays a usable fallback.
         if (prov.ctr == 0 || prov.ctr == -1) {
-            u8 &b = bimodal_[bimodalIndex(pc)];
-            b = counter2::update(b, taken);
+            const u32 bi = bimodalIndex(pc);
+            bimodal_.set(bi, counter2::update(bimodal_.get(bi), taken));
         }
     } else {
-        u8 &b = bimodal_[bimodalIndex(pc)];
-        b = counter2::update(b, taken);
+        const u32 bi = bimodalIndex(pc);
+        bimodal_.set(bi, counter2::update(bimodal_.get(bi), taken));
     }
 
     // Allocation on misprediction: claim an entry in a longer-history
@@ -314,7 +315,7 @@ LtagePredictor::reset()
 {
     for (auto &table : tables_)
         std::fill(table.begin(), table.end(), TaggedEntry());
-    std::fill(bimodal_.begin(), bimodal_.end(), u8{2});
+    bimodal_.fill(2);
     std::fill(loop_.begin(), loop_.end(), LoopEntry());
     for (u32 t = 0; t < cfg_.numTables; ++t) {
         indexFold_[t].reset();

@@ -104,7 +104,7 @@ class LtagePredictor : public BranchPredictor
     std::vector<FoldedHistory> indexFold_;
     std::vector<FoldedHistory> tagFold1_;
     std::vector<FoldedHistory> tagFold2_;
-    std::vector<u8> bimodal_;
+    counter2::CounterTable bimodal_; ///< 2-bit counters, byte each.
     std::vector<LoopEntry> loop_;
     LongHistory history_;
     i64 useAltOnNa_ = 0; ///< In [-8, 7]: >= 0 favours altpred for

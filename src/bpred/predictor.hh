@@ -19,8 +19,10 @@
 #ifndef INTERF_BPRED_PREDICTOR_HH
 #define INTERF_BPRED_PREDICTOR_HH
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/types.hh"
 
@@ -57,6 +59,12 @@ class BranchPredictor
 
     /** Storage budget in bits (prediction tables + histories). */
     virtual u64 sizeBits() const = 0;
+
+    /** Host bytes of mutable state this predictor keeps per replay
+     *  lane. Defaults to the modeled budget rounded up to bytes —
+     *  exact for packed-counter predictors; structured predictors
+     *  (L-TAGE) override with their real container sizes. */
+    virtual u64 stateBytes() const { return (sizeBits() + 7) / 8; }
 };
 
 /** Owning handle used throughout the library. */
@@ -88,6 +96,49 @@ predict(u8 ctr)
 {
     return ctr >= 2;
 }
+
+/**
+ * Table of 2-bit saturating counters, one byte per counter.
+ *
+ * A 4-per-byte bit-packed variant was implemented and measured for the
+ * lane-state compaction work: it shrank predictor tables 4x but cost
+ * ~5% replay throughput, because four hot counters sharing one byte
+ * turn independent updates into same-byte load-modify-store chains
+ * (the host forwards each store to the next update's load). The tables
+ * are a few tens of KB against a ~600 KB lane — the L2 tag arrays
+ * dominate — so the byte-per-counter layout stays. The class remains
+ * the single place predictors size and account their counter storage.
+ */
+class CounterTable
+{
+  public:
+    CounterTable() = default;
+
+    /** @param entries Counter count. @param init Initial value 0..3. */
+    explicit CounterTable(u32 entries, u8 init = 2)
+        : entries_(entries), bytes_(entries, init)
+    {
+    }
+
+    /** Counter @p i (0..3). */
+    u8 get(u32 i) const { return bytes_[i]; }
+
+    /** Overwrite counter @p i with @p v (0..3). */
+    void set(u32 i, u8 v) { bytes_[i] = v; }
+
+    /** Set every counter to @p v (0..3). */
+    void fill(u8 v)
+    {
+        std::fill(bytes_.begin(), bytes_.end(), v);
+    }
+
+    u32 entries() const { return entries_; }
+    u64 stateBytes() const { return bytes_.size(); }
+
+  private:
+    u32 entries_ = 0;
+    std::vector<u8> bytes_;
+};
 
 } // namespace counter2
 

@@ -43,6 +43,9 @@ class ReturnAddressStack
     /** Empty the stack. */
     void reset();
 
+    /** Host bytes of mutable state (the entry ring). */
+    u64 stateBytes() const { return stack_.size() * sizeof(Addr); }
+
     /** @{ Accuracy statistics (correct/incorrect pops). */
     Count pops() const { return pops_; }
     Count overflows() const { return overflows_; }

@@ -27,7 +27,7 @@ TwoLevelPredictor::TwoLevelPredictor(TwoLevelScheme scheme, u32 entries,
 void
 TwoLevelPredictor::reset()
 {
-    std::fill(table_.begin(), table_.end(), u8{2});
+    table_.fill(2);
     history_.reset();
 }
 

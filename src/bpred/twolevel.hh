@@ -39,9 +39,10 @@ class TwoLevelPredictor : public BranchPredictor
 
     bool predictAndTrain(Addr pc, bool taken) override
     {
-        u8 &ctr = table_[indexFor(pc)];
+        const u32 i = indexFor(pc);
+        const u8 ctr = table_.get(i);
         bool prediction = counter2::predict(ctr);
-        ctr = counter2::update(ctr, taken);
+        table_.set(i, counter2::update(ctr, taken));
         history_.push(taken);
         return prediction;
     }
@@ -49,6 +50,10 @@ class TwoLevelPredictor : public BranchPredictor
     void reset() override;
     std::string name() const override;
     u64 sizeBits() const override;
+    u64 stateBytes() const override
+    {
+        return table_.stateBytes() + sizeof(history_);
+    }
 
     /** Table index for (pc, current history) (exposed for tests). */
     u32 indexFor(Addr pc) const
@@ -70,7 +75,7 @@ class TwoLevelPredictor : public BranchPredictor
 
   private:
     TwoLevelScheme scheme_;
-    std::vector<u8> table_;
+    counter2::CounterTable table_; ///< 2-bit counters, byte each.
     u32 mask_;
     u32 indexBits_;
     u32 historyBits_;

@@ -11,10 +11,43 @@
  *
  * The replay kernel calls access() roughly once per trace event and
  * once per memory reference, so the lookup path is inlined here and
- * the ways are stored as parallel tag/LRU arrays (an invalid way holds
- * the kNoTag sentinel) rather than an array of line structs: a set's
- * tags share one cache line and the common hit case touches nothing
- * else.
+ * the ways are stored as parallel tag arrays (an invalid way holds the
+ * kNoTag sentinel) rather than an array of line structs: a set's tags
+ * share one cache line and the common hit case touches nothing else.
+ *
+ * The representation is compacted so batched replay lanes fit in the
+ * host LLC (each lane carries its own hierarchy):
+ *  - Tags are stored once, split u32-lo / u16-hi (48 bits). Real tags
+ *    are line numbers (address >> lineShift), and every address the
+ *    layout engines produce is far below 2^48+lineShift bits, which an
+ *    install-time assert enforces.
+ *  - LRU recency is represented per geometry. L1-class caches keep a
+ *    u32 stamp per way from one cache-wide clock, written and never
+ *    read on the touch path. Two narrower schemes were implemented
+ *    and measured there before settling on stamps: a u8 per-set age
+ *    clock quarters the state but its load-increment-store on every
+ *    touch forms a store-forwarding chain through per-set bytes that
+ *    cost ~10-15% of the whole replay kernel, and u16 stamps with a
+ *    rank-renormalizing wrap still lost ~5-9% (16-bit RMW on the
+ *    clock plus the wrap's cold excursions); the arrays are ~2 KB per
+ *    L1, so narrowing them buys nothing anyway. Megabyte-class LRU
+ *    caches (>= kNarrowLruLines lines — the modeled 6 MB L2) keep u8
+ *    per-set ages with order-exact rank renormalization instead (the
+ *    BTB's scheme): only L1-miss traffic touches them, so the per-set
+ *    chain is off the hot path, and a u32 age array at that line
+ *    count would be ~0.4 MB of a lane's ~0.65 MB footprint. Victim
+ *    choice is bit-identical between the two representations —
+ *    renormalization preserves strict age order and the way-index
+ *    tie-break — so which one a cache uses is invisible to results.
+ *  - reset() bumps a per-cache epoch instead of memsetting megabytes.
+ *    The epoch is folded into the tag itself (bits 42..47, above any
+ *    real line number): a probe key only ever matches a tag installed
+ *    in the same epoch, so stale sets miss with zero per-probe checks
+ *    — an earlier design that tested a per-set generation tag on
+ *    every probe measured ~10% of batched replay throughput. The
+ *    generation array survives only on the miss/install path, where a
+ *    stale set re-materializes before its first install; the epoch
+ *    wrap (every 63 resets) pays for a real clear.
  */
 
 #ifndef INTERF_CACHE_CACHE_HH
@@ -71,6 +104,20 @@ struct CacheStats
                               static_cast<double>(accesses)
                         : 0.0;
     }
+};
+
+/** Cumulative outcome counts of probeWayHinted() calls: how many ran,
+ *  and how many the one-load hint verification answered without the
+ *  full scan. Diagnostics only (the bench reports the ratio as the
+ *  memo verify rate); never cleared by reset(), and only accumulated
+ *  while setHintCounting(true) — the unconditional increments were
+ *  two read-modify-writes on the hottest probe path, and replacing
+ *  them with a predicted never-taken branch measured ~3% of batched
+ *  replay throughput. */
+struct HintStats
+{
+    u64 probes = 0;
+    u64 verified = 0;
 };
 
 /** A set-associative, LRU, tag-only cache. */
@@ -157,11 +204,20 @@ class Cache
      */
     u32 probeWayHinted(Addr addr, u32 hint) const
     {
+        if (countHints_) [[unlikely]]
+            ++hintStats_.probes;
         if (hint < assoc_) {
-            const size_t base =
-                static_cast<size_t>(setIndex(addr)) * assoc_;
-            if (tags_[base + hint] == tagOf(addr))
+            const u32 set = setIndex(addr);
+            const size_t base = static_cast<size_t>(set) * assoc_;
+            // The probe key carries the epoch salt, so a tag written
+            // in a stale epoch cannot verify — no liveness check.
+            const Addr tag = tagOf(addr);
+            if (tagsLo_[base + hint] == static_cast<u32>(tag) &&
+                tagsHi_[base + hint] == static_cast<u16>(tag >> 32)) {
+                if (countHints_) [[unlikely]]
+                    ++hintStats_.verified;
                 return hint;
+            }
         }
         return probeWay(addr);
     }
@@ -192,12 +248,16 @@ class Cache
      */
     void accessAt(Addr addr, u32 way)
     {
-        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc_;
-        INTERF_ASSERT(way < assoc_ && tags_[base + way] == tagOf(addr));
+        const u32 set = setIndex(addr);
+        const size_t base = static_cast<size_t>(set) * assoc_;
+        // Bounds only: verifying the caller's claim (tag equality,
+        // set liveness) re-loads the set's metadata on the
+        // prefetch-shortcut fetch path — the hottest accessAt caller
+        // — and measured ~3% of replay throughput; the golden replay
+        // tests pin the claim instead.
+        INTERF_ASSERT(way < assoc_);
         ++stats_.accesses;
-        ++lruClock_;
-        if (lruTracked_)
-            lru_[base + way] = lruClock_;
+        touchLru(base, set, way);
     }
 
     /**
@@ -218,7 +278,9 @@ class Cache
         }
     }
 
-    /** Invalidate everything and clear statistics. */
+    /** Invalidate everything and clear statistics. O(1) amortized:
+     *  bumps the set-generation epoch instead of clearing the tag
+     *  arrays; a full clear runs only when the u8 epoch wraps. */
     void reset();
 
     /** Clear statistics only, keeping cache contents (warmup end). */
@@ -226,6 +288,26 @@ class Cache
 
     const CacheConfig &config() const { return cfg_; }
     const CacheStats &stats() const { return stats_; }
+    const HintStats &hintStats() const { return hintStats_; }
+
+    /** Enable/disable hinted-probe outcome counting (off by default;
+     *  see HintStats). */
+    void setHintCounting(bool on) { countHints_ = on; }
+
+    /** Bytes of per-replay mutable state (tag/LRU/generation arrays) —
+     *  what one batched-replay lane keeps hot per cache. */
+    u64 hotStateBytes() const
+    {
+        return tagsLo_.size() * sizeof(u32) +
+               tagsHi_.size() * sizeof(u16) +
+               lru_.size() * sizeof(u32) + lru8_.size() +
+               setClock8_.size() + gen_.size();
+    }
+
+    /** Line count at and above which an LRU cache stores u8 per-set
+     *  ages instead of u32 stamps (see the file header; exposed so
+     *  tests can construct caches on either side). */
+    static constexpr u32 kNarrowLruLines = 16384;
 
     /** Set index for an address (exposed for tests). */
     u32 setIndex(Addr addr) const
@@ -235,60 +317,171 @@ class Cache
 
   private:
     /**
-     * Tag value of an invalid way. Real tags are line numbers (address
-     * >> lineShift), far below 2^52 for any address the layout engines
-     * produce, so the all-ones value can never collide.
+     * Tag value of an invalid way: all-ones in the 48-bit split
+     * representation (lo 0xffffffff, hi 0xffff). Raw tags are line
+     * numbers (address >> lineShift), below 2^42 for any address the
+     * layout engines produce — the stack top near 2^47 passes through
+     * PageMap untranslated and still only reaches tag ~2^41 — which
+     * installs assert, leaving bits 42..47 for the epoch salt. The
+     * salt never reaches kEpochPeriod (= 63), so a salted tag's top
+     * six bits can never be all-ones and the sentinel never collides.
      */
-    static constexpr Addr kNoTag = ~Addr{0};
+    static constexpr Addr kNoTag = (Addr{1} << 48) - 1;
 
-    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+    /** Epoch salt position/range: tagOf() ORs the current epoch into
+     *  tag bits 42..47. A probe's key therefore only ever matches a
+     *  tag installed in the same epoch — which is the entire
+     *  invalidation check. The hot probe/hit paths carry no per-set
+     *  generation load; gen_ is consulted only on the miss/install
+     *  path, where a stale set re-materializes before its first
+     *  install. Epochs cycle 0..62 (six bits, all-ones excluded to
+     *  protect the sentinel), and the wrap — once every 63 resets —
+     *  pays for a real clear. */
+    static constexpr u32 kEpochShift = 42;
+    static constexpr u8 kEpochPeriod = 63;
+
+    /** Raw line-number tag of @p addr, salted with the epoch. */
+    Addr tagOf(Addr addr) const
+    {
+        return (addr >> lineShift_) |
+               (static_cast<Addr>(epoch_) << kEpochShift);
+    }
+
+    bool setLive(u32 set) const { return gen_[set] == epoch_; }
+
+    /** Bring a stale set up to the current epoch: all ways invalid,
+     *  ages zeroed — exactly the state an eager reset() would have
+     *  left it in. */
+    void materializeSet(size_t base, u32 set)
+    {
+        for (u32 w = 0; w < assoc_; ++w) {
+            tagsLo_[base + w] = static_cast<u32>(kNoTag);
+            tagsHi_[base + w] = static_cast<u16>(kNoTag >> 32);
+        }
+        if (lruTracked_) {
+            if (narrowLru_) {
+                for (u32 w = 0; w < assoc_; ++w)
+                    lru8_[base + w] = 0;
+                setClock8_[set] = 0;
+            } else {
+                for (u32 w = 0; w < assoc_; ++w)
+                    lru_[base + w] = 0;
+            }
+        }
+        gen_[set] = epoch_;
+    }
+
+    /**
+     * Mark way @p w most-recent in its set. For stamp-tracked caches
+     * the store is the only per-set write — nothing on this path
+     * *reads* per-set replacement state, so consecutive touches of
+     * one set never serialize through it (see the file header for the
+     * narrower schemes this out-measured). Narrow (big-LRU) caches
+     * take the BTB's per-set age-clock path instead; the narrowLru_
+     * branch is loop-invariant per cache instance, and the fixed-
+     * associativity template instantiations keep the L1s' inlined
+     * copies on the stamp side unconditionally predicted.
+     */
+    void touchLru(size_t base, u32 set, u32 w)
+    {
+        if (!lruTracked_)
+            return;
+        if (narrowLru_) {
+            u8 clock = setClock8_[set];
+            if (clock == 0xff) {
+                renormalizeLru(base);
+                clock = static_cast<u8>(assoc_ - 1);
+            }
+            ++clock;
+            setClock8_[set] = clock;
+            lru8_[base + w] = clock;
+            return;
+        }
+        lru_[base + w] = ++lruClock_;
+    }
+
+    /** Rank-renormalize one set's u8 ages to 0..assoc-1, preserving
+     *  age order with ties (never-touched ways) broken by way index —
+     *  exactly the order pickVictim's min scan observes, so victim
+     *  choice across a renormalization is unchanged. */
+    void renormalizeLru(size_t base)
+    {
+        u8 *ages = lru8_.data() + base;
+        u8 ranked[32]; // validate() caps LRU assoc at 32
+        for (u32 w = 0; w < assoc_; ++w) {
+            u8 r = 0;
+            for (u32 v = 0; v < assoc_; ++v)
+                r += static_cast<u8>(ages[v] < ages[w] ||
+                                     (ages[v] == ages[w] && v < w));
+            ranked[w] = r;
+        }
+        for (u32 w = 0; w < assoc_; ++w)
+            ages[w] = ranked[w];
+    }
 
     /**
      * Way of the row at @p base holding @p tag, or assoc if absent.
+     * The caller must have checked the set is live.
      *
      * The scan is branchless across the ways: packed compares against
-     * the parallel low- and high-half tag arrays AND together into an
-     * exact 64-bit-equality bitmask (lo equal and hi equal iff the full
-     * tags are equal), so the hit way is a single ctz away with no
-     * data-dependent load or branch. The per-way early-exit loop this
-     * replaces paid one mispredict per lookup — the way holding a tag
-     * is effectively random — which dominated the replay kernel's
+     * the u32 low halves (4 per vector) and the u16 high halves (8 per
+     * vector, narrowed to a per-way byte mask) AND together into an
+     * exact 48-bit-equality bitmask — lo equal and hi equal iff the
+     * full tags are equal — so the hit way is a single ctz away with
+     * no data-dependent load or branch. The per-way early-exit loop
+     * this replaces paid one mispredict per lookup — the way holding a
+     * tag is effectively random — which dominated the replay kernel's
      * cycle budget.
      */
     template <u32 kAssoc>
     u32 findWay(size_t base, Addr tag) const
     {
         const u32 assoc = kAssoc ? kAssoc : assoc_;
+        const u16 tag_hi = static_cast<u16>(tag >> 32);
 #ifdef INTERF_CACHE_HAVE_SSE2
-        if (assoc % 4 == 0 && assoc <= 32) { // mask is a u32; odd rows
+        if (assoc % 8 == 0 && assoc <= 32) { // mask is a u32; odd rows
                                              // (kAssoc == 0) scan scalar
             const u32 *lo = tagsLo_.data() + base;
-            const u32 *hi = tagsHi_.data() + base;
+            const u16 *hi = tagsHi_.data() + base;
             const __m128i key_lo =
                 _mm_set1_epi32(static_cast<int>(static_cast<u32>(tag)));
-            const __m128i key_hi = _mm_set1_epi32(
-                static_cast<int>(static_cast<u32>(tag >> 32)));
+            const __m128i key_hi =
+                _mm_set1_epi16(static_cast<short>(tag_hi));
             u32 mask = 0;
-            for (u32 w = 0; w < assoc; w += 4) {
-                __m128i eq = _mm_and_si128(
-                    _mm_cmpeq_epi32(
-                        _mm_loadu_si128(
-                            reinterpret_cast<const __m128i *>(lo + w)),
-                        key_lo),
-                    _mm_cmpeq_epi32(
-                        _mm_loadu_si128(
-                            reinterpret_cast<const __m128i *>(hi + w)),
-                        key_hi));
-                mask |= static_cast<u32>(
-                            _mm_movemask_ps(_mm_castsi128_ps(eq)))
-                        << w;
+            for (u32 w = 0; w < assoc; w += 8) {
+                __m128i eq_lo0 = _mm_cmpeq_epi32(
+                    _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(lo + w)),
+                    key_lo);
+                __m128i eq_lo1 = _mm_cmpeq_epi32(
+                    _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(lo + w + 4)),
+                    key_lo);
+                __m128i eq_hi = _mm_cmpeq_epi16(
+                    _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(hi + w)),
+                    key_hi);
+                // packs_epi16 narrows the 8 u16 compare results to one
+                // 0x00/0xff byte per way, aligning them with the lo
+                // mask's bit-per-way layout.
+                const u32 m_lo =
+                    static_cast<u32>(_mm_movemask_ps(
+                        _mm_castsi128_ps(eq_lo0))) |
+                    (static_cast<u32>(_mm_movemask_ps(
+                         _mm_castsi128_ps(eq_lo1)))
+                     << 4);
+                const u32 m_hi = static_cast<u32>(_mm_movemask_epi8(
+                                     _mm_packs_epi16(eq_hi, eq_hi))) &
+                                 0xffu;
+                mask |= (m_lo & m_hi) << w;
             }
             return mask ? static_cast<u32>(__builtin_ctz(mask)) : assoc;
         }
 #endif
-        const Addr *tags = tags_.data() + base;
+        const u32 *lo = tagsLo_.data() + base;
+        const u16 *hi = tagsHi_.data() + base;
         for (u32 w = 0; w < assoc; ++w)
-            if (tags[w] == tag)
+            if (lo[w] == static_cast<u32>(tag) && hi[w] == tag_hi)
                 return w;
         return assoc;
     }
@@ -298,9 +491,12 @@ class Cache
     bool accessT(Addr addr)
     {
         const u32 assoc = kAssoc ? kAssoc : assoc_;
-        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
-        return accessFoundT<kAssoc>(addr,
-                                    findWay<kAssoc>(base, tagOf(addr)));
+        const u32 set = setIndex(addr);
+        const size_t base = static_cast<size_t>(set) * assoc;
+        // No liveness check: a stale set's tags carry an old epoch
+        // salt, so the scan misses on its own (see kEpochShift).
+        const u32 w = findWay<kAssoc>(base, tagOf(addr));
+        return accessFoundT<kAssoc>(addr, w);
     }
 
     /** Commit body shared by accessT and the batched probe/commit
@@ -320,21 +516,22 @@ class Cache
     {
         const u32 assoc = kAssoc ? kAssoc : assoc_;
         ++stats_.accesses;
-        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
-        ++lruClock_;
+        const u32 set = setIndex(addr);
+        const size_t base = static_cast<size_t>(set) * assoc;
         if (w != assoc) {
-            if (lruTracked_)
-                lru_[base + w] = lruClock_;
+            touchLru(base, set, w);
             return w;
         }
         ++stats_.misses;
+        if (!setLive(set))
+            materializeSet(base, set);
         const Addr tag = tagOf(addr);
+        INTERF_ASSERT((addr >> lineShift_) <
+                      (Addr{1} << kEpochShift)); // salt headroom
         u32 victim = pickVictim<kAssoc>(base);
-        tags_[base + victim] = tag;
         tagsLo_[base + victim] = static_cast<u32>(tag);
-        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
-        if (lruTracked_)
-            lru_[base + victim] = lruClock_;
+        tagsHi_[base + victim] = static_cast<u16>(tag >> 32);
+        touchLru(base, set, victim);
         return victim;
     }
 
@@ -342,7 +539,8 @@ class Cache
     u32 probeWayT(Addr addr) const
     {
         const u32 assoc = kAssoc ? kAssoc : assoc_;
-        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
+        const u32 set = setIndex(addr);
+        const size_t base = static_cast<size_t>(set) * assoc;
         return findWay<kAssoc>(base, tagOf(addr));
     }
 
@@ -350,28 +548,29 @@ class Cache
     u32 installT(Addr addr)
     {
         const u32 assoc = kAssoc ? kAssoc : assoc_;
-        const size_t base = static_cast<size_t>(setIndex(addr)) * assoc;
+        const u32 set = setIndex(addr);
+        const size_t base = static_cast<size_t>(set) * assoc;
         const Addr tag = tagOf(addr);
-        ++lruClock_;
+        INTERF_ASSERT((addr >> lineShift_) <
+                      (Addr{1} << kEpochShift)); // salt headroom
+        if (!setLive(set))
+            materializeSet(base, set);
         u32 w = findWay<kAssoc>(base, tag);
         if (w != assoc) {
-            if (lruTracked_)
-                lru_[base + w] = lruClock_;
+            touchLru(base, set, w);
             return w;
         }
         u32 victim = pickVictim<kAssoc>(base);
-        tags_[base + victim] = tag;
         tagsLo_[base + victim] = static_cast<u32>(tag);
-        tagsHi_[base + victim] = static_cast<u32>(tag >> 32);
-        if (lruTracked_)
-            lru_[base + victim] = lruClock_;
+        tagsHi_[base + victim] = static_cast<u16>(tag >> 32);
+        touchLru(base, set, victim);
         return victim;
     }
 
     /**
      * Victim way: invalid ways first (in way order, which the kNoTag
      * scan preserves since candidates are visited low way first), then
-     * the policy's choice.
+     * the policy's choice. The caller materialized the set.
      */
     template <u32 kAssoc>
     u32 pickVictim(size_t base)
@@ -382,6 +581,14 @@ class Cache
             return invalid;
         if (cfg_.replacement == Replacement::Random)
             return static_cast<u32>(victimRng_.uniformInt(assoc));
+        if (narrowLru_) {
+            const u8 *lru = lru8_.data() + base;
+            u32 victim = 0;
+            for (u32 w = 1; w < assoc; ++w)
+                if (lru[w] < lru[victim])
+                    victim = w;
+            return victim;
+        }
         const u32 *lru = lru_.data() + base;
         u32 victim = 0;
         for (u32 w = 1; w < assoc; ++w)
@@ -395,18 +602,27 @@ class Cache
     u32 sets_;
     u32 assoc_;
     u32 lineShift_;
-    /** LRU timestamps are only ever read under Replacement::Lru;
-     *  Random caches (the large L2) skip the stores — the lru_ array
-     *  is as big as the tag arrays, and dead writes to it evict real
-     *  state from the host's caches. */
+    /** LRU ages are only ever read under Replacement::Lru; Random
+     *  caches skip the stores — dead writes evict real state from the
+     *  host's caches. */
     bool lruTracked_;
-    u32 lruClock_ = 0;
+    /** Lru representation: u8 per-set ages (lru8_/setClock8_) for
+     *  caches of >= kNarrowLruLines lines, u32 stamps (lru_) below.
+     *  Fixed by geometry at construction — not a knob. */
+    bool narrowLru_ = false;
+    /** Current reset epoch; a set is valid iff gen_[set] == epoch_. */
+    u8 epoch_ = 0;
     Rng victimRng_{0x5eed};
-    std::vector<Addr> tags_;   ///< sets_ * assoc, row-major by set.
-    std::vector<u32> tagsLo_;  ///< @{ Split halves of tags_: the scan
-    std::vector<u32> tagsHi_;  ///< compares both packed. @}
-    std::vector<u32> lru_;     ///< Parallel to tags_.
+    std::vector<u32> tagsLo_;    ///< @{ 48-bit tags, split for the
+    std::vector<u16> tagsHi_;    ///< packed scan; row-major by set. @}
+    std::vector<u32> lru_;       ///< Per-way stamp (small Lru caches).
+    u32 lruClock_ = 0;           ///< Cache-wide stamp clock.
+    std::vector<u8> lru8_;       ///< Per-way age (narrow Lru caches).
+    std::vector<u8> setClock8_;  ///< Per-set age clock (narrow Lru).
+    std::vector<u8> gen_;        ///< Per-set reset generation.
     CacheStats stats_;
+    mutable HintStats hintStats_;
+    bool countHints_ = false;    ///< See setHintCounting().
 };
 
 } // namespace interf::cache

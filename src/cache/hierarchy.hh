@@ -220,6 +220,33 @@ class MemoryHierarchy
     const HierarchyConfig &config() const { return cfg_; }
     HierarchyStats stats() const;
 
+    /** Per-replay mutable state across all three levels — what one
+     *  batched-replay lane keeps hot. */
+    u64 hotStateBytes() const
+    {
+        return l1i_.hotStateBytes() + l1d_.hotStateBytes() +
+               l2_.hotStateBytes();
+    }
+
+    /** Enable/disable hinted-probe outcome counting on the memoized
+     *  caches (off by default; see cache::HintStats). */
+    void setHintCounting(bool on)
+    {
+        l1i_.setHintCounting(on);
+        l1d_.setHintCounting(on);
+    }
+
+    /** Summed hinted-probe outcomes of the L1I and L1D (the two caches
+     *  the way memos front). */
+    HintStats hintStats() const
+    {
+        HintStats s;
+        s.probes = l1i_.hintStats().probes + l1d_.hintStats().probes;
+        s.verified =
+            l1i_.hintStats().verified + l1d_.hintStats().verified;
+        return s;
+    }
+
   private:
     HierarchyConfig cfg_;
     Cache l1i_;

@@ -14,7 +14,15 @@ MachineConfig::xeonE5440()
     cfg.hierarchy.l1d = {"L1D", 32 << 10, 8, 64};
     // Each E5440 chip has 12 MB of L2 shared by four cores; a single
     // core competing with an idle neighbour effectively sees half.
-    cfg.hierarchy.l2 = {"L2", 6 << 20, 24, 64};
+    // Replacement is spelled out because the shorter brace-init hides
+    // a trap: MemoryHierarchyConfig's own L2 default is Random, but a
+    // 4-element init here silently falls back to CacheConfig's Lru
+    // default. This model has run LRU since the seed — every recorded
+    // golden margin (OptGolden) and experiment is tuned to it — so
+    // LRU is kept, explicitly. (DESIGN.md's "L2 replacement: Random"
+    // bullet described the hierarchy default, not this machine; see
+    // DESIGN.md §5j.)
+    cfg.hierarchy.l2 = {"L2", 6 << 20, 24, 64, cache::Replacement::Lru};
     cfg.predictorSpec = "xeon";
     cfg.validate();
     return cfg;

@@ -157,7 +157,7 @@ RefBtb::RefBtb(u32 sets, u32 ways) : sets_(sets), ways_(ways)
     entries_.resize(static_cast<size_t>(sets) * ways);
 }
 
-bpred::BtbResult
+RefBtbResult
 RefBtb::lookup(Addr pc) const
 {
     const Entry *row = &entries_[static_cast<size_t>(setIndex(pc)) * ways_];

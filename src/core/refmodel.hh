@@ -99,13 +99,23 @@ class RefHierarchy
     Count l2DataMisses_ = 0;
 };
 
+/** Result of a RefBtb lookup: full target address (the reference
+ *  model stays address-tagged and address-valued; the optimized Btb
+ *  stores u32 tokens instead, which the replay kernels prove
+ *  equivalent through site-address injectivity). */
+struct RefBtbResult
+{
+    bool hit = false;
+    Addr target = 0;
+};
+
 /** Reference branch target buffer (entry structs, LRU). */
 class RefBtb
 {
   public:
     RefBtb(u32 sets, u32 ways);
 
-    bpred::BtbResult lookup(Addr pc) const;
+    RefBtbResult lookup(Addr pc) const;
     void update(Addr pc, Addr target);
 
   private:

@@ -246,7 +246,7 @@ Machine::runReference(const trace::Program &prog, const trace::Trace &trace,
               default:
                 target = code.blockAddr(br.targetProc, br.targetBlock);
             }
-            bpred::BtbResult hit = btb.lookup(branch_pc);
+            refmodel::RefBtbResult hit = btb.lookup(branch_pc);
             bool target_ok = hit.hit && hit.target == target;
             if (!target_ok) {
                 ++res.btbMisses;
@@ -356,6 +356,59 @@ struct BatchLaneState
 };
 
 Machine::~Machine() = default;
+
+u64
+Machine::laneStateBytes() const
+{
+    // The Machine's own components are config-identical to a lane's,
+    // so their sizes stand in without allocating a lane.
+    return hierarchy_.hotStateBytes() + predictor_->stateBytes() +
+           btb_.hotStateBytes() + ras_.stateBytes();
+}
+
+u64
+Machine::laneMemoBytes(const trace::ReplayPlan &plan)
+{
+    // One byte per hint (see BatchLaneState::sizeMemos): data by
+    // universe entry, fetch and prefetch by (site, first-or-later
+    // line), BTB by site.
+    return plan.memUniverse.size() +
+           5 * static_cast<u64>(plan.siteCount());
+}
+
+MemoHintStats
+Machine::memoHintStats() const
+{
+    MemoHintStats s;
+    auto add_hier = [&s](const cache::MemoryHierarchy &h) {
+        cache::HintStats hs = h.hintStats();
+        s.probes += hs.probes;
+        s.verified += hs.verified;
+    };
+    auto add_btb = [&s](const bpred::Btb &b) {
+        s.probes += b.hintStats().probes;
+        s.verified += b.hintStats().verified;
+    };
+    add_hier(hierarchy_);
+    add_btb(btb_);
+    for (const auto &lane : lanePool_) {
+        add_hier(lane->hierarchy);
+        add_btb(lane->btb);
+    }
+    return s;
+}
+
+void
+Machine::setHintCounting(bool on)
+{
+    countHints_ = on;
+    hierarchy_.setHintCounting(on);
+    btb_.setHintCounting(on);
+    for (const auto &lane : lanePool_) {
+        lane->hierarchy.setHintCounting(on);
+        lane->btb.setHintCounting(on);
+    }
+}
 
 RunResult
 Machine::replay(const trace::ReplayPlan &plan,
@@ -564,14 +617,20 @@ Machine::replayImpl(const trace::ReplayPlan &plan,
 
         // ---- Target prediction (BTB) for taken redirects.
         if (f & ReplayPlan::kTaken) {
-            Addr target = site_addr[ev_target[ev_idx]];
+            // The BTB stores the plan's site index, not the 8-byte
+            // target address: block addresses are injective per layout
+            // (every block has nonzero size), so site-token equality
+            // is exactly target-address equality — same hit/miss
+            // stream as the reference loop's address-tagged BTB.
+            const u32 target_site = ev_target[ev_idx];
             if ((f & ReplayPlan::kCall) &&
                 ev_ras_push[ev_idx] != ReplayPlan::kNoSite)
                 ras_.push(site_addr[ev_ras_push[ev_idx]]);
             // Fused lookup + update: one tag scan (same outcome as the
             // reference loop's separate calls).
-            bpred::BtbResult hit = btb_.lookupUpdate(branch_pc, target);
-            bool target_ok = hit.hit && hit.target == target;
+            bpred::BtbResult hit =
+                btb_.lookupUpdate(branch_pc, target_site);
+            bool target_ok = hit.hit && hit.target == target_site;
             if (!target_ok) {
                 ++res.btbMisses;
                 if (!mispredicted) {
@@ -637,6 +696,10 @@ Machine::replayBatch(const trace::ReplayPlan &plan,
     INTERF_TELEM_COUNT("replay.events", plan.eventCount() * k);
     INTERF_TELEM_HISTOGRAM("replay.batch.lanes",
                            (std::vector<u64>{1, 2, 4, 8, 16}), k);
+    INTERF_TELEM_GAUGE("replay.lane_state_bytes",
+                       static_cast<i64>(laneStateBytes()));
+    INTERF_TELEM_GAUGE("replay.lane_memo_bytes",
+                       static_cast<i64>(laneMemoBytes(plan)));
     if (tables.allIdentityPages())
         return replayBatchDispatch<true, false>(plan, tables);
     if (tables.allLineTablesFor(cfg_.hierarchy.l1i.lineBytes))
@@ -697,8 +760,11 @@ Machine::replayBatchImpl(const trace::ReplayPlan &plan,
         kLanes ? kLanes : trace::BatchedLayoutTables::kMaxLanes;
 
     const u32 k = kLanes ? kLanes : tables.lanes();
-    while (lanePool_.size() < k)
+    while (lanePool_.size() < k) {
         lanePool_.push_back(std::make_unique<BatchLaneState>(cfg_));
+        lanePool_.back()->hierarchy.setHintCounting(countHints_);
+        lanePool_.back()->btb.setHintCounting(countHints_);
+    }
     BatchLaneState *lanes[kMax];
     for (u32 l = 0; l < k; ++l) {
         lanes[l] = lanePool_[l].get();
@@ -929,10 +995,13 @@ Machine::replayBatchImpl(const trace::ReplayPlan &plan,
         }
 
         // ---- Target prediction (BTB) for taken redirects: probe all
-        // lanes' scans back-to-back, then commit per lane.
+        // lanes' scans back-to-back, then commit per lane. The BTB
+        // stores the plan's site index as the target token (site ids
+        // are shared across lanes; block addresses are injective per
+        // layout, so token equality is address equality — see
+        // replayImpl).
         if (taken) {
-            const Addr *target_row =
-                site_addr + static_cast<size_t>(ev_target[ev_idx]) * k;
+            const u32 target_site = ev_target[ev_idx];
             const u32 push = ev_ras_push[ev_idx];
             const Addr *push_row =
                 (f & ReplayPlan::kCall) && push != ReplayPlan::kNoSite
@@ -947,9 +1016,9 @@ Machine::replayBatchImpl(const trace::ReplayPlan &plan,
                     lanes[l]->ras.push(push_row[l]);
                 u32 way_now;
                 bpred::BtbResult hit = lanes[l]->btb.updateFoundAt(
-                    branch_row[l], target_row[l], btb_ways[l], way_now);
+                    branch_row[l], target_site, btb_ways[l], way_now);
                 btb_memo[l][s] = static_cast<u8>(way_now);
-                bool target_ok = hit.hit && hit.target == target_row[l];
+                bool target_ok = hit.hit && hit.target == target_site;
                 if (!target_ok) {
                     ++btb_misses[l];
                     if (!lane_mispredicted[l]) {

@@ -46,6 +46,22 @@ namespace interf::core
 /** One lane's machine state for replayBatch (defined in timing.cc). */
 struct BatchLaneState;
 
+/** Aggregated way-memo verification outcomes (Cache/Btb hinted
+ *  probes), cumulative over a Machine's lifetime. */
+struct MemoHintStats
+{
+    u64 probes = 0;   ///< Hinted probes issued.
+    u64 verified = 0; ///< Answered by the one-load hint verification.
+
+    /** Fraction of hinted probes the memo answered (0 when none ran). */
+    double rate() const
+    {
+        return probes ? static_cast<double>(verified) /
+                            static_cast<double>(probes)
+                      : 0.0;
+    }
+};
+
 /** Deterministic outcome of one timing run (pre-noise). */
 struct RunResult
 {
@@ -157,6 +173,34 @@ class Machine
 
     const MachineConfig &config() const { return cfg_; }
 
+    /**
+     * Microarchitectural hot-state bytes one replay lane keeps: the
+     * hierarchy's tag/age/generation arrays, the predictor's counter
+     * tables, the BTB, and the RAS ring — the state the compaction
+     * work budgets (DESIGN.md §5j) and the K-sweep trades against the
+     * host LLC. The bench reports it per row and replayBatch exports
+     * it as the `replay.lane_state_bytes` gauge. Plan-sized way memos
+     * are accounted separately by laneMemoBytes(): they scale with
+     * the workload's site/universe counts, not the modeled machine.
+     */
+    u64 laneStateBytes() const;
+
+    /** Bytes of per-lane way-memo hints (one byte per hint) a batched
+     *  lane adds on top of laneStateBytes() when replaying @p plan;
+     *  exported as the `replay.lane_memo_bytes` gauge. */
+    static u64 laneMemoBytes(const trace::ReplayPlan &plan);
+
+    /** Cumulative hinted-probe outcomes across the lane pool (L1I,
+     *  L1D and BTB way memos) plus the Machine's own structures. */
+    MemoHintStats memoHintStats() const;
+
+    /** Enable/disable hinted-probe outcome counting everywhere (the
+     *  Machine's own structures, pooled lanes, and lanes created
+     *  later). Off by default: the counters are diagnostics, and the
+     *  bench samples verify_rate in an untimed pass rather than tax
+     *  every timed round (see cache::HintStats). */
+    void setHintCounting(bool on);
+
   private:
     void resetState();
 
@@ -191,6 +235,7 @@ class Machine
      * start of every batch, so reuse is invisible to results.
      */
     std::vector<std::unique_ptr<BatchLaneState>> lanePool_;
+    bool countHints_ = false; ///< setHintCounting() state for new lanes.
 };
 
 } // namespace interf::core

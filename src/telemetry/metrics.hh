@@ -186,9 +186,16 @@ class Registry
                                                              bounds);      \
         interfTelemHisto_.record(value);                                    \
     } while (0)
+#define INTERF_TELEM_GAUGE(name, value)                                     \
+    do {                                                                    \
+        static const ::interf::telemetry::Gauge interfTelemGauge_ =         \
+            ::interf::telemetry::Registry::global().gauge(name);            \
+        interfTelemGauge_.set(value);                                       \
+    } while (0)
 #else
 #define INTERF_TELEM_COUNT(name, n) ((void)0)
 #define INTERF_TELEM_HISTOGRAM(name, bounds, value) ((void)0)
+#define INTERF_TELEM_GAUGE(name, value) ((void)0)
 #endif
 /** @} */
 

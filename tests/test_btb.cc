@@ -55,7 +55,7 @@ TEST(Btb, AssociativityHoldsConflictingBranches)
             pcs.push_back(pc);
     }
     for (size_t i = 0; i < pcs.size(); ++i)
-        btb.update(pcs[i], 0x1000 + i);
+        btb.update(pcs[i], static_cast<u32>(0x1000 + i));
     for (size_t i = 0; i < pcs.size(); ++i) {
         auto res = btb.lookup(pcs[i]);
         EXPECT_TRUE(res.hit);
@@ -90,10 +90,61 @@ TEST(Btb, ResetEmptiesAllEntries)
 {
     Btb btb(16, 2);
     for (Addr pc = 0; pc < 64; ++pc)
-        btb.update(0x400000 + pc * 4, pc);
+        btb.update(0x400000 + pc * 4, static_cast<u32>(pc));
     btb.reset();
     for (Addr pc = 0; pc < 64; ++pc)
         EXPECT_FALSE(btb.lookup(0x400000 + pc * 4).hit);
+}
+
+TEST(Btb, RepeatedResetNeverResurrectsEntries)
+{
+    // reset() must empty the BTB no matter how many resets precede it
+    // (a lazy epoch-versioned reset was tried and reverted here — see
+    // btb.cc — and this property is what any future scheme has to
+    // keep): entries installed before any reset must never resurface
+    // after it. Drive many reset cycles touching a rotating subset of
+    // sets, the aliasing-prone pattern for generation-tag schemes.
+    Btb btb(16, 2);
+    for (int epoch = 0; epoch < 600; ++epoch) {
+        Addr pc = 0x400000 + static_cast<Addr>(epoch % 7) * 4;
+        EXPECT_FALSE(btb.lookup(pc).hit) << "epoch " << epoch;
+        btb.update(pc, static_cast<u32>(epoch));
+        auto res = btb.lookup(pc);
+        EXPECT_TRUE(res.hit);
+        EXPECT_EQ(res.target, static_cast<u32>(epoch));
+        btb.reset();
+    }
+    // And a fully-populated BTB must be fully empty after the 600th.
+    for (Addr pc = 0; pc < 64; ++pc)
+        btb.update(0x400000 + pc * 4, 7);
+    btb.reset();
+    for (Addr pc = 0; pc < 64; ++pc)
+        EXPECT_FALSE(btb.lookup(0x400000 + pc * 4).hit);
+}
+
+TEST(Btb, HintedProbeMatchesUnhinted)
+{
+    // A hint can change the cost of a probe, never its result: for
+    // any hint value (stale, out-of-range, or the 0xff "no hint"
+    // sentinel), probeWayHinted must agree with probeWay.
+    Btb btb(16, 4);
+    btb.setHintCounting(true);
+    for (Addr pc = 0; pc < 128; ++pc)
+        btb.update(0x400000 + pc * 4, static_cast<u32>(pc));
+    for (Addr pc = 0; pc < 160; ++pc) {
+        Addr a = 0x400000 + pc * 4;
+        u32 want = btb.probeWay(a);
+        for (u32 hint : {0u, 1u, 3u, 4u, 17u, 0xffu})
+            EXPECT_EQ(btb.probeWayHinted(a, hint), want)
+                << "pc=" << a << " hint=" << hint;
+    }
+    // Stale hints (the entry moved ways or was evicted) still agree.
+    btb.reset();
+    btb.update(0x400000, 1);
+    for (u32 hint : {0u, 1u, 2u, 3u, 0xffu})
+        EXPECT_EQ(btb.probeWayHinted(0x400000, hint),
+                  btb.probeWay(0x400000));
+    EXPECT_GT(btb.hintStats().probes, 0u);
 }
 
 TEST(Btb, GeometryAccessors)
@@ -104,10 +155,18 @@ TEST(Btb, GeometryAccessors)
     EXPECT_GT(btb.sizeBits(), 0u);
 }
 
-TEST(BtbDeathTest, BadGeometryPanics)
+TEST(BtbDeathTest, BadGeometryIsFatal)
 {
-    EXPECT_DEATH(Btb(100, 4), "assertion");
-    EXPECT_DEATH(Btb(64, 0), "assertion");
+    // Construction-time validation is a typed user-facing diagnostic
+    // (exit code 1 with an actionable message), not an assertion: a
+    // non-power-of-two set count would otherwise silently alias sets
+    // through the index mask.
+    EXPECT_EXIT(Btb(100, 4), ::testing::ExitedWithCode(1),
+                "not a power of two");
+    EXPECT_EXIT(Btb(64, 0), ::testing::ExitedWithCode(1),
+                "associativity must be >= 1");
+    EXPECT_EXIT(Btb(64, 33), ::testing::ExitedWithCode(1),
+                "exceeds 32");
 }
 
 } // anonymous namespace

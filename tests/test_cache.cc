@@ -39,6 +39,27 @@ TEST(CacheConfigDeathTest, BadGeometryIsFatal)
                 "power of two");
 }
 
+TEST(CacheConfigDeathTest, NonPowerOfTwoSetsNamesTheAliasing)
+{
+    // The typed diagnostic must say *why* the geometry is rejected:
+    // set indexing masks low bits, so a non-power-of-two set count
+    // would silently alias sets.
+    CacheConfig bad{"odd-sets", 3 * 64 * 2, 2, 64}; // 3 sets
+    EXPECT_EQ(bad.numSets(), 3u);
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "silently alias sets");
+}
+
+TEST(CacheConfigDeathTest, LruWiderThan32WaysIsFatal)
+{
+    // u8 per-set ages cap LRU associativity at 32.
+    CacheConfig bad{"wide-lru", 64 * 64, 64, 64};
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "exceeds 32");
+    CacheConfig ok{"wide-rnd", 64 * 64, 64, 64, Replacement::Random};
+    ok.validate(); // Random replacement never reads ages
+}
+
 TEST(Cache, ColdMissThenHit)
 {
     Cache cache(smallConfig());
@@ -162,6 +183,174 @@ TEST(Cache, StatsHelpers)
     EXPECT_DOUBLE_EQ(s.missRate(), 0.3);
     CacheStats zero;
     EXPECT_DOUBLE_EQ(zero.missRate(), 0.0);
+}
+
+/** 8-set geometry at the given associativity: 2 and 4 ways exercise
+ *  the scalar tag-scan fallback (the packed scan needs assoc % 8 ==
+ *  0), 8/16/32 the SSE2 path. */
+CacheConfig
+assocConfig(u32 assoc)
+{
+    return CacheConfig{"assoc", static_cast<u64>(64) * assoc * 8, assoc,
+                       64};
+}
+
+TEST(Cache, HintedProbeMatchesUnhintedAcrossAssociativities)
+{
+    for (u32 assoc : {2u, 4u, 8u, 16u, 32u}) {
+        Cache cache(assocConfig(assoc));
+        const Addr stride = 64 * 8;
+        // Overfill one set so probes see present lines, evicted
+        // (stale-hint) lines, and never-seen lines.
+        for (u32 i = 0; i < assoc + 3; ++i)
+            cache.access(0x40000 + i * stride);
+        for (u32 i = 0; i < assoc + 5; ++i) {
+            const Addr a = 0x40000 + i * stride;
+            const u32 expect = cache.probeWay(a);
+            // A hint may only ever change the probe's cost, never its
+            // result: every in-range hint (right, wrong-way stale, or
+            // pointing at an invalid way), the way memo's 0xff
+            // never-seen sentinel, and wildly out-of-range values all
+            // agree with the unhinted scan.
+            for (u32 hint = 0; hint <= assoc; ++hint)
+                EXPECT_EQ(cache.probeWayHinted(a, hint), expect)
+                    << "assoc " << assoc << " hint " << hint;
+            EXPECT_EQ(cache.probeWayHinted(a, 0xffu), expect);
+            EXPECT_EQ(cache.probeWayHinted(a, ~0u), expect);
+        }
+    }
+}
+
+TEST(Cache, ProbeCommitSplitMatchesAccessAcrossAssociativities)
+{
+    // The batched kernel's probeWay + accessFoundWay split must be
+    // observationally identical to access(): same hit/miss sequence,
+    // same stats, and the reported way is where the line now lives.
+    for (u32 assoc : {2u, 4u, 8u, 16u, 32u}) {
+        Cache direct(assocConfig(assoc));
+        Cache split(assocConfig(assoc));
+        const Addr stride = 64 * 8;
+        u64 x = 0x9e3779b97f4a7c15ull;
+        for (int i = 0; i < 500; ++i) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            // assoc + 2 distinct lines cycling through 2 sets.
+            const u64 slot = (x >> 33) % (assoc + 2);
+            const Addr a = 0x40000 + slot * stride + ((x >> 20) & 1) * 64;
+            const bool hit_direct = direct.access(a);
+            const u32 w = split.probeWay(a);
+            const u32 now = split.accessFoundWay(a, w);
+            EXPECT_EQ(hit_direct, w != assoc);
+            EXPECT_EQ(split.probeWay(a), now);
+        }
+        EXPECT_EQ(direct.stats().accesses, split.stats().accesses);
+        EXPECT_EQ(direct.stats().misses, split.stats().misses);
+    }
+}
+
+TEST(Cache, HintCountingIsOptIn)
+{
+    // The probe/verify counters are diagnostics sampled by the bench
+    // in an untimed pass; the timed path must not pay for them.
+    Cache cache(smallConfig());
+    cache.access(0x1000);
+    const u32 w = cache.probeWay(0x1000);
+    EXPECT_EQ(cache.probeWayHinted(0x1000, w), w);
+    EXPECT_EQ(cache.hintStats().probes, 0u);
+    cache.setHintCounting(true);
+    EXPECT_EQ(cache.probeWayHinted(0x1000, w), w);
+    EXPECT_EQ(cache.probeWayHinted(0x1000, 0xffu), w); // fallback scan
+    EXPECT_EQ(cache.hintStats().probes, 2u);
+    EXPECT_EQ(cache.hintStats().verified, 1u);
+}
+
+TEST(Cache, RepeatedResetNeverResurrectsLines)
+{
+    // Property any lazy reset scheme must keep, driven through three
+    // full 63-reset epoch cycles: a line installed before a reset
+    // never reads as present after it. The dangerous instant is the
+    // wrap — a set untouched for exactly kEpochPeriod resets would
+    // alias the recycled epoch salt and resurrect its tags, which the
+    // wrap's full clear prevents.
+    Cache cache(smallConfig());
+    for (int r = 0; r < 200; ++r) {
+        const Addr a = 0x10000 + static_cast<Addr>(r) * 64;
+        EXPECT_FALSE(cache.contains(a));
+        cache.access(a);
+        EXPECT_TRUE(cache.contains(a));
+        cache.reset();
+        for (int p = 0; p <= r; ++p)
+            EXPECT_FALSE(cache.contains(0x10000 +
+                                        static_cast<Addr>(p) * 64))
+                << "line from reset " << p << " resurfaced at reset "
+                << r;
+    }
+}
+
+/** Smallest geometry that takes the narrow (u8 per-set age) LRU
+ *  representation: kNarrowLruLines lines, 4-way. */
+CacheConfig
+narrowConfig()
+{
+    return CacheConfig{"narrow",
+                       static_cast<u64>(64) * Cache::kNarrowLruLines, 4,
+                       64};
+}
+
+TEST(Cache, NarrowLruMatchesStampLruAcrossRenormalization)
+{
+    // The u8 per-set age scheme must be replacement-identical to the
+    // u32 stamp scheme: drive one set of a narrow cache and one set
+    // of a stamp cache with the same 6-line reference string, long
+    // enough to cross the 255-touch renormalization many times, and
+    // expect the exact same hit/miss sequence (LRU depends only on
+    // recency order, which renormalization preserves).
+    Cache narrow(narrowConfig());
+    Cache stamp(CacheConfig{"stamp", 64 * 4 * 8, 4, 64});
+    const Addr nstride =
+        static_cast<Addr>(narrowConfig().numSets()) * 64;
+    const Addr sstride = 8 * 64;
+    u64 x = 0x123456789abcdefull;
+    for (int i = 0; i < 4000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const u64 slot = (x >> 40) % 6;
+        EXPECT_EQ(narrow.access(slot * nstride),
+                  stamp.access(slot * sstride))
+            << "diverged at access " << i;
+    }
+    EXPECT_EQ(narrow.stats().misses, stamp.stats().misses);
+}
+
+TEST(Cache, NarrowLruRenormalizationPreservesEvictionOrder)
+{
+    Cache cache(narrowConfig());
+    const Addr stride = static_cast<Addr>(narrowConfig().numSets()) * 64;
+    const Addr a = 0, b = stride, c = 2 * stride, d = 3 * stride;
+    cache.access(a);
+    cache.access(b);
+    cache.access(c);
+    cache.access(d);
+    // Touch everything but `a` far past the u8 clock's 255 limit; the
+    // renormalizations in between must keep `a` the eviction victim.
+    for (int i = 0; i < 300; ++i) {
+        EXPECT_TRUE(cache.access(b));
+        EXPECT_TRUE(cache.access(c));
+        EXPECT_TRUE(cache.access(d));
+    }
+    cache.access(4 * stride); // evicts the least-recent way
+    EXPECT_FALSE(cache.contains(a));
+    EXPECT_TRUE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+    EXPECT_TRUE(cache.contains(d));
+}
+
+TEST(Cache, NarrowLruQuartersAgeStorage)
+{
+    // 6 tag bytes + 1 age byte per line, 1 clock + 1 generation byte
+    // per set — the accounting the footprint claims rest on.
+    Cache narrow(narrowConfig());
+    const u64 lines = Cache::kNarrowLruLines;
+    const u64 sets = lines / 4;
+    EXPECT_EQ(narrow.hotStateBytes(), lines * 7 + sets * 2);
 }
 
 } // anonymous namespace

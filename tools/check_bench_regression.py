@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare a bench --json report against a committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+For every row present in both reports (matched by benchmark name), the
+current layouts_per_sec is compared against the baseline. Rows more than
+the threshold slower are reported. CI hosts are shared and noisy, so a
+regression is a soft warning — the script prints GitHub Actions
+::warning:: annotations and always exits 0 — but the annotations land on
+the PR, so a real regression is visible where the change is reviewed.
+
+Stdlib only; the baseline lives at the repo root as BENCH_replay.json.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rows_by_name(report):
+    # Later rows win on duplicate names (multi-thread-axis reports emit
+    # one row per thread count; names still differ via config, so keep
+    # the first single-thread row for stability).
+    out = {}
+    for row in report.get("rows", []):
+        out.setdefault(row["benchmark"], row)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="fractional slowdown that triggers a warning")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = rows_by_name(json.load(f))
+    with open(args.current) as f:
+        cur = rows_by_name(json.load(f))
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("::warning::no common benchmark rows between "
+              f"{args.baseline} and {args.current}")
+        return 0
+
+    regressed = 0
+    for name in shared:
+        b = base[name].get("layouts_per_sec", 0.0)
+        c = cur[name].get("layouts_per_sec", 0.0)
+        if b <= 0:
+            continue
+        delta = (c - b) / b
+        status = "ok"
+        if delta < -args.threshold:
+            regressed += 1
+            status = "REGRESSED"
+            print(f"::warning file=BENCH_replay.json::{name}: "
+                  f"{c:.1f} layouts/sec vs baseline {b:.1f} "
+                  f"({delta:+.1%})")
+        print(f"{name:40s} {b:10.1f} -> {c:10.1f}  {delta:+7.1%}  {status}")
+
+    if regressed:
+        print(f"{regressed}/{len(shared)} rows slower than baseline by "
+              f"more than {args.threshold:.0%} (soft warning only: CI "
+              "perf is noisy; refresh the baseline if this persists)")
+    else:
+        print(f"all {len(shared)} shared rows within {args.threshold:.0%} "
+              "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
