@@ -87,12 +87,23 @@ Cache::reset()
         std::fill(tagsHi_.begin(), tagsHi_.end(),
                   static_cast<u16>(kNoTag >> 32));
         if (lruTracked_) {
-            std::fill(lru_.begin(), lru_.end(), u32{0});
-            std::fill(lru8_.begin(), lru8_.end(), u8{0});
-            std::fill(setClock8_.begin(), setClock8_.end(), u8{0});
+            if (narrowLru_) {
+                std::fill(lru8_.begin(), lru8_.end(), u8{0});
+                std::fill(setClock8_.begin(), setClock8_.end(), u8{0});
+            } else {
+                std::fill(lru_.begin(), lru_.end(), u32{0});
+            }
         }
         std::fill(gen_.begin(), gen_.end(), u8{0});
     }
+    // The stamp clock restarts every reset, exactly as the eager-clear
+    // scheme did, so wrap of the u32 clock would need 2^32 touches in
+    // ONE replay (unreachable) rather than across a pooled lane's whole
+    // lifetime (reachable in long optimizer sweeps). Restarting under a
+    // lazy reset is safe: stale sets carry the old epoch salt so they
+    // can't hit, and both LRU read paths (pickVictim, touchLru-on-hit)
+    // run only after materializeSet() has re-zeroed the set's stamps.
+    lruClock_ = 0;
     stats_ = CacheStats();
     victimRng_ = Rng(0x5eed); // deterministic runs
 }

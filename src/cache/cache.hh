@@ -309,6 +309,15 @@ class Cache
      *  tests can construct caches on either side). */
     static constexpr u32 kNarrowLruLines = 16384;
 
+    /** Current u32 stamp-clock value (stamp-LRU caches only). Exposed
+     *  so tests can pin the reset-restart invariant: the clock must
+     *  restart at every reset(), or a pooled lane's cumulative touches
+     *  could wrap it mid-sweep and silently invert victim choice —
+     *  2^32 touches is unreachable within one replay, which is the
+     *  bound reset() re-establishes, but reachable across thousands
+     *  of optimizer replays. */
+    u32 lruClockForTest() const { return lruClock_; }
+
     /** Set index for an address (exposed for tests). */
     u32 setIndex(Addr addr) const
     {

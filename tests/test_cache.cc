@@ -286,6 +286,32 @@ TEST(Cache, RepeatedResetNeverResurrectsLines)
     }
 }
 
+TEST(Cache, ResetRestartsStampClock)
+{
+    // The u32 stamp clock has no wrap handling — touchLru stores
+    // ++lruClock_ raw — so its wrap bound must be per replay, not per
+    // pooled-lane lifetime: reset() restarts it at 0 exactly as the
+    // pre-epoch eager clear did. Without the restart, ~2^32 cumulative
+    // L1 touches (reachable across a long optimizer sweep's thousands
+    // of replays on one pooled lane) wrap stamps to small values and
+    // silently invert LRU victim choice against the fresh-per-run
+    // reference model. Restarting is safe under the lazy reset: stale
+    // sets can't hit (epoch-salted tags), and every LRU read or write
+    // happens only after materializeSet() re-zeroes the set's stamps.
+    Cache cache(smallConfig());
+    for (Addr a = 0; a < 1024; a += 64)
+        cache.access(0x60000 + a);
+    EXPECT_GT(cache.lruClockForTest(), 0u);
+    cache.reset();
+    EXPECT_EQ(cache.lruClockForTest(), 0u);
+    // Same invariant across the epoch wrap's eager-clear path.
+    for (int r = 0; r < 100; ++r) {
+        cache.access(0x60000);
+        cache.reset();
+        EXPECT_EQ(cache.lruClockForTest(), 0u) << "reset " << r;
+    }
+}
+
 /** Smallest geometry that takes the narrow (u8 per-set age) LRU
  *  representation: kNarrowLruLines lines, 4-way. */
 CacheConfig

@@ -19,9 +19,12 @@ import sys
 
 
 def rows_by_name(report):
-    # Later rows win on duplicate names (multi-thread-axis reports emit
-    # one row per thread count; names still differ via config, so keep
-    # the first single-thread row for stability).
+    # First row wins on duplicate names (setdefault): multi-thread-axis
+    # reports emit one row per thread count under the same benchmark
+    # name (only the config field differs), and the single-thread row is
+    # emitted first, so baselines and currents both compare the
+    # single-thread row — like-for-like regardless of the CI host's
+    # core count.
     out = {}
     for row in report.get("rows", []):
         out.setdefault(row["benchmark"], row)
