@@ -1,0 +1,221 @@
+/**
+ * @file
+ * LayoutInjectivity: static proof that layout permutations keep block
+ * addresses distinct.
+ *
+ * The replay kernels store u32 *site indices* as BTB target tokens
+ * instead of 8-byte target addresses, which is sound iff block
+ * addresses are injective per layout: token equality must coincide
+ * with address equality. PR 8 checks that at runtime in
+ * LayoutTables::fillCode, per materialized table, under
+ * verifyOnTrust(). This pass proves it *statically* for any set of
+ * LayoutSpec candidates, with no table materialization, by abstractly
+ * replaying the linker's address arithmetic:
+ *
+ *   - blocks are contiguous within a procedure, so two blocks of one
+ *     procedure are distinct iff no block is zero bytes;
+ *   - the link cursor is monotone (align-up, then advance by the
+ *     procedure's size), so procedures occupy disjoint, increasing
+ *     extents for ANY permutation — two blocks of different
+ *     procedures can never share an address;
+ *   - therefore injectivity holds for a spec iff the program has no
+ *     zero-byte block and the spec is a well-formed permutation.
+ *
+ * The proof is O(procedures) per spec; the final cursor additionally
+ * bounds the text extent, which must stay below the u32 full-PC BTB
+ * tag sentinel for that layout's branch PCs to be taggable at all.
+ */
+
+#include "analyze/analyze.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "layout/linker.hh"
+#include "trace/program.hh"
+
+#include "util/logging.hh"
+
+namespace interf::analyze
+{
+
+namespace
+{
+
+constexpr const char *kPassName = "layout-injectivity";
+
+/** True when @p v is a permutation of @p universe (order-free). */
+bool
+isPermutationOf(std::vector<u32> v, std::vector<u32> universe)
+{
+    std::sort(v.begin(), v.end());
+    std::sort(universe.begin(), universe.end());
+    return v == universe;
+}
+
+/** The worst text address any block of @p spec can reach, exclusive:
+ *  the link cursor after the last procedure. Returns 0 on a malformed
+ *  spec (reported separately). */
+Addr
+textExtent(const trace::Program &prog, const layout::LayoutSpec &spec)
+{
+    Addr cursor = layout::kDefaultTextBase;
+    for (u32 file : spec.fileOrder) {
+        if (file >= spec.procOrder.size())
+            return 0;
+        for (u32 pid : spec.procOrder[file]) {
+            if (pid >= prog.procedures().size())
+                return 0;
+            const auto &proc = prog.proc(pid);
+            Addr align = proc.align ? proc.align : 1;
+            cursor = (cursor + align - 1) / align * align;
+            cursor += proc.bytes();
+        }
+    }
+    return cursor;
+}
+
+class LayoutInjectivity : public verify::Pass
+{
+  public:
+    const char *name() const override { return kPassName; }
+
+    bool applicable(const verify::Artifacts &a) const override
+    {
+        return a.program != nullptr && a.layoutSpecs != nullptr &&
+               !a.layoutSpecs->empty();
+    }
+
+    void run(const verify::Artifacts &a,
+             verify::VerifyResult &out) const override
+    {
+        using verify::EntityKind;
+        verify::Sink sink(out, a.path, kPassName);
+        const trace::Program &prog = *a.program;
+
+        // Zero-byte blocks defeat injectivity in every layout: the
+        // block shares its start address with its successor (or, at
+        // the end of a procedure, possibly with the next procedure's
+        // first block after alignment). One check covers all specs.
+        u32 site = 0;
+        for (const auto &proc : prog.procedures()) {
+            for (size_t b = 0; b < proc.blocks.size(); ++b, ++site) {
+                if (proc.blocks[b].bytes == 0) {
+                    sink.error(
+                        EntityKind::Block, site,
+                        strprintf("proc %u ('%s') block %zu has zero "
+                                  "bytes; its address aliases the "
+                                  "next block in every layout, so "
+                                  "u32 site tokens are not a sound "
+                                  "target encoding",
+                                  proc.id, proc.name.c_str(), b));
+                }
+            }
+        }
+
+        std::vector<u32> file_universe(prog.files().size());
+        std::iota(file_universe.begin(), file_universe.end(), 0);
+
+        for (size_t k = 0; k < a.layoutSpecs->size(); ++k) {
+            const layout::LayoutSpec &spec = (*a.layoutSpecs)[k];
+            bool shape_ok = true;
+            if (!isPermutationOf(spec.fileOrder, file_universe)) {
+                sink.error(EntityKind::Artifact, k,
+                           strprintf("layout spec %zu: fileOrder is "
+                                     "not a permutation of the %zu "
+                                     "object files",
+                                     k, prog.files().size()));
+                shape_ok = false;
+            }
+            if (spec.procOrder.size() != prog.files().size()) {
+                sink.error(EntityKind::Artifact, k,
+                           strprintf("layout spec %zu: procOrder has "
+                                     "%zu entries for %zu files",
+                                     k, spec.procOrder.size(),
+                                     prog.files().size()));
+                shape_ok = false;
+            } else {
+                for (size_t f = 0; f < spec.procOrder.size(); ++f) {
+                    if (!isPermutationOf(spec.procOrder[f],
+                                         prog.files()[f].procIds)) {
+                        sink.error(
+                            EntityKind::Artifact, k,
+                            strprintf("layout spec %zu: procOrder[%zu]"
+                                      " is not a permutation of file "
+                                      "'%s' procedures",
+                                      k, f,
+                                      prog.files()[f].name.c_str()));
+                        shape_ok = false;
+                    }
+                }
+            }
+            if (!shape_ok)
+                continue;
+
+            // With shape proven, injectivity reduces to the zero-byte
+            // check above; what remains per spec is the u32 PC bound.
+            Addr extent = textExtent(prog, spec);
+            if (extent > Addr{~u32{0}}) {
+                sink.error(
+                    EntityKind::Btb, 0,
+                    strprintf("layout spec %zu: text extent reaches "
+                              "%#llx; branch PCs past %#llx cannot be "
+                              "tagged by the u32 full-PC BTB tag",
+                              k,
+                              static_cast<unsigned long long>(extent),
+                              static_cast<unsigned long long>(
+                                  Addr{~u32{0}} - 1)));
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+checkSiteAddressInjectivity(const std::vector<Addr> &site_addr,
+                            const std::vector<u8> &site_is_target,
+                            const std::string &path,
+                            verify::VerifyResult &out)
+{
+    verify::Sink sink(out, path, kPassName);
+    if (site_is_target.size() != site_addr.size()) {
+        sink.error(verify::EntityKind::Artifact, 0,
+                   strprintf("site table sizes disagree: %zu "
+                             "addresses vs %zu target flags",
+                             site_addr.size(), site_is_target.size()));
+        return;
+    }
+    // Sort target sites by address; equal neighbours are aliases.
+    std::vector<u32> targets;
+    targets.reserve(site_addr.size());
+    for (u32 s = 0; s < site_addr.size(); ++s) {
+        if (site_is_target[s])
+            targets.push_back(s);
+    }
+    std::sort(targets.begin(), targets.end(), [&](u32 a, u32 b) {
+        return site_addr[a] != site_addr[b] ? site_addr[a] < site_addr[b]
+                                            : a < b;
+    });
+    for (size_t i = 1; i < targets.size(); ++i) {
+        u32 prev = targets[i - 1], cur = targets[i];
+        if (site_addr[prev] == site_addr[cur]) {
+            sink.error(
+                verify::EntityKind::Site, cur,
+                strprintf("branch-target sites %u and %u share "
+                          "address %#llx; u32 site tokens would call "
+                          "unequal targets equal",
+                          prev, cur,
+                          static_cast<unsigned long long>(
+                              site_addr[cur])));
+        }
+    }
+}
+
+std::unique_ptr<verify::Pass>
+makeLayoutInjectivity()
+{
+    return std::make_unique<LayoutInjectivity>();
+}
+
+} // namespace interf::analyze

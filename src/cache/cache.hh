@@ -309,6 +309,30 @@ class Cache
      *  tests can construct caches on either side). */
     static constexpr u32 kNarrowLruLines = 16384;
 
+    /**
+     * @{ Compacted-tag representation constants, public so the static
+     * soundness analyzer (src/analyze) re-derives the invariants the
+     * kernel assumes from the same values the kernel uses.
+     *
+     * kTagBits is the total stored tag width (the split u32 lo /
+     * u16 hi pair). kNoTag is the invalid-way sentinel: all-ones in
+     * that 48-bit representation. Raw tags are line numbers
+     * (address >> lineShift), which must stay below 2^kEpochShift for
+     * any address the layout engines produce — installs assert it —
+     * leaving bits 42..47 for the epoch salt tagOf() ORs in. A
+     * probe's key therefore only ever matches a tag installed in the
+     * same epoch, which is the entire invalidation check. Epochs
+     * cycle 0..kEpochPeriod-1 (all-ones excluded), so a salted tag's
+     * top six bits can never be all-ones and the sentinel never
+     * collides; the wrap — once every 63 resets — pays for a real
+     * clear (see reset()).
+     */
+    static constexpr u32 kTagBits = 48;
+    static constexpr Addr kNoTag = (Addr{1} << kTagBits) - 1;
+    static constexpr u32 kEpochShift = 42;
+    static constexpr u8 kEpochPeriod = 63;
+    /** @} */
+
     /** Current u32 stamp-clock value (stamp-LRU caches only). Exposed
      *  so tests can pin the reset-restart invariant: the clock must
      *  restart at every reset(), or a pooled lane's cumulative touches
@@ -325,30 +349,6 @@ class Cache
     }
 
   private:
-    /**
-     * Tag value of an invalid way: all-ones in the 48-bit split
-     * representation (lo 0xffffffff, hi 0xffff). Raw tags are line
-     * numbers (address >> lineShift), below 2^42 for any address the
-     * layout engines produce — the stack top near 2^47 passes through
-     * PageMap untranslated and still only reaches tag ~2^41 — which
-     * installs assert, leaving bits 42..47 for the epoch salt. The
-     * salt never reaches kEpochPeriod (= 63), so a salted tag's top
-     * six bits can never be all-ones and the sentinel never collides.
-     */
-    static constexpr Addr kNoTag = (Addr{1} << 48) - 1;
-
-    /** Epoch salt position/range: tagOf() ORs the current epoch into
-     *  tag bits 42..47. A probe's key therefore only ever matches a
-     *  tag installed in the same epoch — which is the entire
-     *  invalidation check. The hot probe/hit paths carry no per-set
-     *  generation load; gen_ is consulted only on the miss/install
-     *  path, where a stale set re-materializes before its first
-     *  install. Epochs cycle 0..62 (six bits, all-ones excluded to
-     *  protect the sentinel), and the wrap — once every 63 resets —
-     *  pays for a real clear. */
-    static constexpr u32 kEpochShift = 42;
-    static constexpr u8 kEpochPeriod = 63;
-
     /** Raw line-number tag of @p addr, salted with the epoch. */
     Addr tagOf(Addr addr) const
     {

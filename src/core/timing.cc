@@ -511,6 +511,7 @@ Machine::replayImpl(const trace::ReplayPlan &plan,
     // so the boundary test is not paid per event (the reference loop
     // checks `ev_idx == warmup_events` each iteration; hoisting it is
     // behaviour-preserving).
+    // lint:hot-begin replay event loop (tools/lint_hotpath.py)
     auto run_events = [&](size_t lo, size_t hi) {
     for (size_t ev_idx = lo; ev_idx < hi; ++ev_idx) {
         const u32 s = ev_site[ev_idx];
@@ -645,6 +646,7 @@ Machine::replayImpl(const trace::ReplayPlan &plan,
         }
     }
     };
+    // lint:hot-end
 
     if (warmup_events < n) {
         run_events(0, warmup_events);
@@ -856,6 +858,7 @@ Machine::replayBatchImpl(const trace::ReplayPlan &plan,
     const size_t warmup_events = static_cast<size_t>(
         static_cast<double>(n) * cfg_.warmupFraction);
 
+    // lint:hot-begin batched replay event loop (tools/lint_hotpath.py)
     auto run_events = [&](size_t lo, size_t hi) {
     for (size_t ev_idx = lo; ev_idx < hi; ++ev_idx) {
         // ---- Decode once; every lane replays this record.
@@ -1034,6 +1037,7 @@ Machine::replayBatchImpl(const trace::ReplayPlan &plan,
         }
     }
     };
+    // lint:hot-end
 
     if (warmup_events < n) {
         run_events(0, warmup_events);

@@ -9,6 +9,7 @@
 #include "telemetry/metrics.hh"
 #include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
+#include "analyze/analyze.hh"
 #include "util/digest.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
@@ -50,6 +51,13 @@ Campaign::Campaign(const workloads::WorkloadProfile &profile,
     // plan through flat per-layout address tables (the ReplayPlan
     // constructor records the "plan.compile" span itself).
     plan_ = trace::ReplayPlan(program_, trace_);
+    // Fail closed, in every build type: a machine geometry that breaks
+    // a compaction invariant (tag width, epoch salt, LRU wrap bound)
+    // must never reach the replay kernel, where it would assert in
+    // Debug and silently corrupt victim choice in Release. The static
+    // analysis is a few hundred comparisons per campaign.
+    analyze::requireSoundMachine(cfg_.machine, &plan_,
+                                 "Campaign machine config");
     campaignKey_ =
         store::campaignKey(program_, profile_.behaviourSeed, cfg_);
 }

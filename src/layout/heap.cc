@@ -12,10 +12,6 @@ namespace interf::layout
 namespace
 {
 
-constexpr Addr kGlobalBase = 0x00600000;
-constexpr Addr kHeapBase = 0x10000000;
-constexpr Addr kStackBase = 0x7fff00000000ULL;
-
 /** Smallest power-of-two size class holding `size` (min 4 KiB). */
 u64
 sizeClassOf(u64 size)

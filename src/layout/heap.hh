@@ -28,6 +28,20 @@
 namespace interf::layout
 {
 
+/**
+ * @{ Virtual-address anchors of the data address space. Every data
+ * address the layout engines can produce lies in [kGlobalBase,
+ * kStackBase): globals pack upward from kGlobalBase, heap arenas from
+ * kHeapBase, and stack regions grow downward from just below
+ * kStackBase. Exposed so the static soundness analyzer (src/analyze)
+ * can bound the reachable address space from the same constants the
+ * placement code uses.
+ */
+inline constexpr Addr kGlobalBase = 0x00600000;
+inline constexpr Addr kHeapBase = 0x10000000;
+inline constexpr Addr kStackBase = 0x7fff00000000ULL;
+/** @} */
+
 /** Reproducible recipe for one data layout. */
 struct HeapKey
 {

@@ -27,6 +27,11 @@
 namespace interf::layout
 {
 
+/** Default text-segment base: a Linux x86_64 non-PIE executable.
+ *  Named so the static soundness analyzer can reason about text
+ *  extents with the same anchor the Linker links against. */
+inline constexpr Addr kDefaultTextBase = 0x400000;
+
 /** Reproducible recipe for one code layout. */
 struct LayoutKey
 {
@@ -125,7 +130,7 @@ class Linker
      * @param text_base Base address of the text segment (default mimics
      *        a Linux x86_64 non-PIE text segment).
      */
-    explicit Linker(Addr text_base = 0x400000);
+    explicit Linker(Addr text_base = kDefaultTextBase);
 
     /**
      * Link the program under the given key. Deterministic: equal keys

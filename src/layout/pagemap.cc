@@ -55,7 +55,7 @@ PageMap::translate(Addr vaddr) const
     // The permutation covers the low 16 TiB (32-bit page numbers) that
     // all text/data/heap images live in; anything above (e.g. stack
     // pages) passes through unchanged, like OS-pinned mappings.
-    if (vaddr >> (pageBits + 32))
+    if (vaddr >> (pageBits + permutedVpnBits))
         return vaddr;
     Addr offset = vaddr & ((Addr{1} << pageBits) - 1);
     u32 vpn = static_cast<u32>(vaddr >> pageBits);

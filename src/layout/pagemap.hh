@@ -49,6 +49,15 @@ class PageMap
     /** Page size (fixed 4 KiB, as on the measured system). */
     static constexpr u32 pageBits = 12;
 
+    /**
+     * The Feistel permutation covers this many page-number bits;
+     * addresses at or above 1 << (pageBits + permutedVpnBits) pass
+     * through translate() unchanged. The soundness analyzer uses this
+     * to bound the post-translation address space: translate() can
+     * lift a low address to at most that ceiling, never beyond.
+     */
+    static constexpr u32 permutedVpnBits = 32;
+
   private:
     u32 permutePage(u32 vpn) const;
 

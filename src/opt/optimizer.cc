@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analyze/analyze.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/span.hh"
 #include "util/digest.hh"
@@ -102,6 +103,11 @@ FitnessOracle::FitnessOracle(const workloads::WorkloadProfile &profile,
                              "Optimizer trace");
     }
     plan_ = trace::ReplayPlan(program_, trace_);
+    // Fail closed (every build type): refuse a machine config whose
+    // geometry breaks a compaction invariant before the first replay
+    // lane is built. See analyze::requireSoundMachine.
+    analyze::requireSoundMachine(cfg_.machine, &plan_,
+                                 "Optimizer machine config");
     baseKey_ = store::fitnessBaseKey(
         program_, profile_.behaviourSeed, cfg_.instructionBudget,
         cfg_.physicalPages, cfg_.pageSeed, cfg_.randomizeHeap,
@@ -149,6 +155,23 @@ FitnessOracle::measureGroup(core::MeasurementRunner &runner,
         key.seed = cand.heapSeed;
         return key;
     };
+    // Trust boundary: Neighborhood moves construct these specs by
+    // permutation editing, so they should be injective by
+    // construction — prove it statically (O(procs) per spec, no
+    // tables) before fillCode's runtime check could trip on them.
+    if (verify::verifyOnTrust()) {
+        std::vector<layout::LayoutSpec> specs;
+        specs.reserve(n);
+        for (u32 l = 0; l < n; ++l)
+            specs.push_back(cands[l]->code);
+        verify::Artifacts a;
+        a.program = &program_;
+        a.layoutSpecs = &specs;
+        a.path = "<optimizer candidates>";
+        verify::VerifyResult result;
+        analyze::makeLayoutInjectivity()->run(a, result);
+        verify::requireClean(result, "Optimizer candidate layouts");
+    }
     if (n == 1) {
         trace::LayoutTables tables = [&] {
             INTERF_SPAN("layout.gen");

@@ -49,6 +49,10 @@ entityKindName(EntityKind k)
         return "manifest";
       case EntityKind::Batch:
         return "batch";
+      case EntityKind::Cache:
+        return "cache";
+      case EntityKind::Btb:
+        return "btb";
     }
     return "unknown";
 }

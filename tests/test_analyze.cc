@@ -1,0 +1,451 @@
+/** @file Tests for the static soundness analyzer: a seeded-unsoundness
+ *  matrix proving every invariant-breaking config class is rejected by
+ *  the right pass with the right entity reference, clean-acceptance
+ *  checks over the default machine and bundled profiles, and the
+ *  fail-closed trust boundary. Mirrors the test_verify.cc
+ *  corruption-matrix style. */
+
+#include <cstring>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyze.hh"
+#include "core/config.hh"
+#include "interferometry/campaign.hh"
+#include "layout/linker.hh"
+#include "trace/generator.hh"
+#include "trace/program.hh"
+#include "trace/replay.hh"
+#include "verify/verify.hh"
+#include "workloads/builder.hh"
+#include "workloads/spec.hh"
+
+namespace
+{
+
+using namespace interf;
+using verify::EntityKind;
+using verify::Severity;
+using verify::VerifyResult;
+
+/** True when the result contains a matching diagnostic. */
+bool
+hasDiag(const VerifyResult &r, const char *pass, EntityKind kind,
+        std::optional<u64> index = std::nullopt,
+        Severity severity = Severity::Error)
+{
+    for (const auto &d : r.diagnostics()) {
+        if (d.severity != severity || std::strcmp(d.pass, pass) != 0 ||
+            d.entity != kind)
+            continue;
+        if (index.has_value() && d.index != *index)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+std::string
+render(const VerifyResult &r)
+{
+    std::string out;
+    for (const auto &d : r.diagnostics())
+        out += d.text() + "\n";
+    return out.empty() ? "(no diagnostics)" : out;
+}
+
+#define EXPECT_CLEAN(result)                                             \
+    do {                                                                 \
+        const auto &r_ = (result);                                       \
+        EXPECT_EQ(r_.errorCount(), 0u) << render(r_);                    \
+        EXPECT_EQ(r_.warningCount(), 0u) << render(r_);                  \
+    } while (0)
+
+core::MachineConfig
+machineWith(const std::string &override_spec)
+{
+    core::MachineConfig m = core::MachineConfig::xeonE5440();
+    std::string err;
+    EXPECT_TRUE(analyze::applyConfigOverride(m, override_spec, &err))
+        << err;
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Clean acceptance: the default machine and the bundled profiles.
+// ---------------------------------------------------------------------
+
+TEST(Analyze, DefaultConfigIsSound)
+{
+    EXPECT_CLEAN(
+        analyze::analyzeMachine(core::MachineConfig::xeonE5440()));
+}
+
+TEST(Analyze, BundledProfilesAnalyzeClean)
+{
+    const auto machine = core::MachineConfig::xeonE5440();
+    for (const char *name : {"400.perlbench", "429.mcf", "445.gobmk"}) {
+        const auto &profile = workloads::specFor(name).profile;
+        auto prog = workloads::buildProgram(profile);
+        trace::TraceGenerator gen(prog, profile.behaviourSeed);
+        auto tr = gen.makeTrace(30000);
+        trace::ReplayPlan plan(prog, tr);
+        const layout::Linker linker;
+        std::vector<layout::LayoutSpec> specs;
+        for (u64 seed = 0; seed < 3; ++seed) {
+            layout::LayoutKey key;
+            key.seed = seed;
+            specs.push_back(linker.specFor(prog, key));
+        }
+        EXPECT_CLEAN(analyze::analyzeMachine(machine, &plan, &prog,
+                                             &specs, name));
+    }
+}
+
+// ---------------------------------------------------------------------
+// ConfigSoundness: tag width, epoch salt, geometry, representation.
+// ---------------------------------------------------------------------
+
+TEST(Analyze, EpochSaltCollisionRejected)
+{
+    // 16-byte lines need 44 tag bits for the default address space —
+    // two of them land inside the epoch-salt field at bits 42..47, so
+    // a salted tag could alias a real line address across epochs.
+    auto r = analyze::analyzeMachine(machineWith("l1i.line=16"));
+    EXPECT_TRUE(hasDiag(r, "config-soundness", EntityKind::Cache, 0))
+        << render(r);
+    // The other caches keep 64-byte lines and stay sound.
+    EXPECT_FALSE(hasDiag(r, "config-soundness", EntityKind::Cache, 1))
+        << render(r);
+    EXPECT_FALSE(hasDiag(r, "config-soundness", EntityKind::Cache, 2))
+        << render(r);
+}
+
+TEST(Analyze, ThirtyTwoByteLinesSitAtTheSaltBoundary)
+{
+    // 32-byte lines need exactly kEpochShift tag bits: the widest
+    // geometry that is still sound. Guards off-by-one drift in the
+    // boundary comparison.
+    EXPECT_CLEAN(analyze::analyzeMachine(
+        machineWith("l1i.line=32,l1d.line=32,l2.line=32")));
+}
+
+TEST(Analyze, TagWidthOverflowRejectedForHugeAddressSpace)
+{
+    // A 2^55 line-address ceiling needs 49 tag bits with 64-byte
+    // lines — past the whole 48-bit split-tag field, caught for every
+    // cache level independently.
+    verify::Artifacts a;
+    const auto machine = core::MachineConfig::xeonE5440();
+    a.machine = &machine;
+    a.lineAddrCeiling = Addr{1} << 55;
+    a.path = "<huge address space>";
+    auto r = analyze::soundnessPasses().run(a);
+    for (u64 cache : {0u, 1u, 2u})
+        EXPECT_TRUE(
+            hasDiag(r, "config-soundness", EntityKind::Cache, cache))
+            << render(r);
+}
+
+TEST(Analyze, LruAssociativityPastRenormalizationRejected)
+{
+    // 33-way LRU breaks the u8-age renormalization contract (and the
+    // Cache constructor would fatal); the analyzer reports it as a
+    // typed diagnostic instead.
+    auto r = analyze::analyzeMachine(machineWith("l2.assoc=33"));
+    EXPECT_TRUE(hasDiag(r, "config-soundness", EntityKind::Cache, 2))
+        << render(r);
+}
+
+TEST(Analyze, BrokenGeometryRejectedNotFatal)
+{
+    // Non-power-of-two line size: a typed diagnostic, no fatal().
+    auto r = analyze::analyzeMachine(machineWith("l1d.line=48"));
+    EXPECT_TRUE(hasDiag(r, "config-soundness", EntityKind::Cache, 1))
+        << render(r);
+}
+
+TEST(Analyze, NarrowLruThresholdMatchesConstructor)
+{
+    const auto machine = core::MachineConfig::xeonE5440();
+    // 32 KiB / 64 B = 512 lines: far below kNarrowLruLines -> stamps.
+    EXPECT_FALSE(analyze::narrowLruFor(machine.hierarchy.l1i));
+    // 6 MiB / 64 B = 98304 lines: narrow u8 ages.
+    EXPECT_TRUE(analyze::narrowLruFor(machine.hierarchy.l2));
+}
+
+TEST(Analyze, ClaimedLruRepresentationMismatchCaught)
+{
+    const auto machine = core::MachineConfig::xeonE5440();
+
+    // A sub-threshold cache claiming narrow u8 ages: the constructor
+    // would pick stamps, so the claim is a seeded unsoundness.
+    VerifyResult narrow_claim;
+    analyze::auditLruRepresentation(machine.hierarchy.l1i,
+                                    /*claimed_narrow=*/true, 0,
+                                    "<claims>", narrow_claim);
+    EXPECT_TRUE(hasDiag(narrow_claim, "config-soundness",
+                        EntityKind::Cache, 0))
+        << render(narrow_claim);
+
+    // And the reverse: a big L2 claiming u32 stamps.
+    VerifyResult stamp_claim;
+    analyze::auditLruRepresentation(machine.hierarchy.l2,
+                                    /*claimed_narrow=*/false, 2,
+                                    "<claims>", stamp_claim);
+    EXPECT_TRUE(hasDiag(stamp_claim, "config-soundness",
+                        EntityKind::Cache, 2))
+        << render(stamp_claim);
+
+    // Truthful claims are clean.
+    VerifyResult truthful;
+    analyze::auditLruRepresentation(machine.hierarchy.l1i, false, 0,
+                                    "<claims>", truthful);
+    analyze::auditLruRepresentation(machine.hierarchy.l2, true, 2,
+                                    "<claims>", truthful);
+    EXPECT_CLEAN(truthful);
+}
+
+TEST(Analyze, BtbTagOverflowRejected)
+{
+    // Branch PCs at 2^33 cannot round-trip through the u32 full-PC
+    // BTB tag.
+    VerifyResult r;
+    analyze::auditBtbConfig(1024, 4, Addr{1} << 33, "<btb>", r);
+    EXPECT_TRUE(hasDiag(r, "config-soundness", EntityKind::Btb, 0))
+        << render(r);
+
+    VerifyResult ok;
+    analyze::auditBtbConfig(1024, 4, Addr{1} << 31, "<btb>", ok);
+    EXPECT_CLEAN(ok);
+}
+
+TEST(Analyze, BtbBadGeometryRejected)
+{
+    VerifyResult r;
+    analyze::auditBtbConfig(1000, 4, Addr{1} << 31, "<btb>", r);
+    EXPECT_TRUE(hasDiag(r, "config-soundness", EntityKind::Btb, 0))
+        << render(r);
+}
+
+// ---------------------------------------------------------------------
+// PlanBounds: the u32 stamp-clock wrap bound.
+// ---------------------------------------------------------------------
+
+TEST(Analyze, StampWrapBoundSeam)
+{
+    const auto machine = core::MachineConfig::xeonE5440();
+    const u64 wrap = u64{1} << 32;
+
+    // A stamp cache (L1I geometry) whose per-replay advance can reach
+    // the wrap: victim choice could invert mid-replay.
+    VerifyResult over;
+    analyze::checkLruAdvanceBound(machine.hierarchy.l1i,
+                                  /*claimed_narrow=*/false, wrap, 0,
+                                  "<plan>", over);
+    EXPECT_TRUE(hasDiag(over, "plan-bounds", EntityKind::Cache, 0))
+        << render(over);
+
+    // One below the wrap is proven safe.
+    VerifyResult under;
+    analyze::checkLruAdvanceBound(machine.hierarchy.l1i, false,
+                                  wrap - 1, 0, "<plan>", under);
+    EXPECT_CLEAN(under);
+
+    // Narrow u8-age caches renormalize per touch: wrap-safe by
+    // construction, any bound is fine.
+    VerifyResult narrow;
+    analyze::checkLruAdvanceBound(machine.hierarchy.l2, true,
+                                  wrap * 16, 2, "<plan>", narrow);
+    EXPECT_CLEAN(narrow);
+}
+
+TEST(Analyze, PlanWithWrappingAdvanceBoundRejected)
+{
+    // A hand-built plan whose blocks are so large the L1I fetch-line
+    // bound overflows the u32 stamp clock within one replay. 70
+    // events of ~4 GiB of code each bound ~4.7e9 fetch lines.
+    const auto machine = core::MachineConfig::xeonE5440();
+    trace::ReplayPlan plan;
+    plan.site.assign(70, 0);
+    plan.bytes.assign(70, 0xfff00000u);
+
+    auto bounds = analyze::lruAdvanceBounds(machine, plan);
+    EXPECT_GE(bounds.l1i, u64{1} << 32);
+
+    auto r = analyze::analyzeMachine(machine, &plan);
+    // L1I (stamps) trips the wrap bound; L2 is narrow and wrap-safe,
+    // L1D advance is bounded by the (empty) memory stream.
+    EXPECT_TRUE(hasDiag(r, "plan-bounds", EntityKind::Cache, 0))
+        << render(r);
+    EXPECT_FALSE(hasDiag(r, "plan-bounds", EntityKind::Cache, 1))
+        << render(r);
+    EXPECT_FALSE(hasDiag(r, "plan-bounds", EntityKind::Cache, 2))
+        << render(r);
+}
+
+TEST(Analyze, AdvanceBoundsFollowPlanCounts)
+{
+    const auto &profile = workloads::specFor("429.mcf").profile;
+    auto prog = workloads::buildProgram(profile);
+    trace::TraceGenerator gen(prog, profile.behaviourSeed);
+    auto tr = gen.makeTrace(20000);
+    trace::ReplayPlan plan(prog, tr);
+
+    const auto machine = core::MachineConfig::xeonE5440();
+    auto bounds = analyze::lruAdvanceBounds(machine, plan);
+
+    u64 fetch = 0;
+    const u32 line = machine.hierarchy.l1i.lineBytes;
+    for (u32 b : plan.bytes)
+        fetch += b / line + 1;
+    EXPECT_EQ(bounds.fetchLines, fetch);
+    EXPECT_EQ(bounds.l1i, 2 * fetch);
+    EXPECT_EQ(bounds.l1d, plan.memCount());
+    EXPECT_EQ(bounds.l2, 2 * fetch + plan.memCount());
+    EXPECT_EQ(bounds.forCache(0), bounds.l1i);
+    EXPECT_EQ(bounds.forCache(1), bounds.l1d);
+    EXPECT_EQ(bounds.forCache(2), bounds.l2);
+}
+
+// ---------------------------------------------------------------------
+// LayoutInjectivity: aliased targets, zero-byte blocks, spec shape.
+// ---------------------------------------------------------------------
+
+TEST(Analyze, AliasedBranchTargetSitesCaught)
+{
+    // Sites 0 and 2 are both branch targets at the same address: u32
+    // site tokens would call unequal targets equal. The diagnostic
+    // names the higher site.
+    VerifyResult r;
+    analyze::checkSiteAddressInjectivity(
+        {0x1000, 0x2000, 0x1000}, {1, 1, 1}, "<sites>", r);
+    EXPECT_TRUE(hasDiag(r, "layout-injectivity", EntityKind::Site, 2))
+        << render(r);
+
+    // An alias is only unsound if both sites can be targets.
+    VerifyResult ok;
+    analyze::checkSiteAddressInjectivity({0x1000, 0x1000}, {1, 0},
+                                         "<sites>", ok);
+    EXPECT_CLEAN(ok);
+}
+
+/** Two-file, two-procedure program for the layout matrix. */
+trace::Program
+makeTwoProc(u32 zero_byte_block = ~u32{0})
+{
+    trace::Program prog;
+    prog.addFile("a.o");
+    prog.addFile("b.o");
+
+    u32 site = 0;
+    for (u32 p = 0; p < 2; ++p) {
+        trace::Procedure proc;
+        proc.name = p == 0 ? "main" : "callee";
+        proc.fileIndex = p;
+        proc.align = 16;
+        for (u32 b = 0; b < 2; ++b, ++site) {
+            trace::BasicBlock blk;
+            blk.bytes = site == zero_byte_block ? 0 : 16;
+            blk.nInsts = 4;
+            if (b == 1)
+                blk.branch.kind = trace::OpClass::Return;
+            proc.blocks.push_back(blk);
+        }
+        prog.addProcedure(proc);
+        prog.placeInFile(p, p);
+    }
+    return prog;
+}
+
+TEST(Analyze, ZeroByteBlockDefeatsInjectivity)
+{
+    // Dense site id 3 = callee's second block.
+    auto prog = makeTwoProc(/*zero_byte_block=*/3);
+    std::vector<layout::LayoutSpec> specs = {
+        layout::LayoutSpec::authored(prog)};
+    auto r = analyze::analyzeMachine(core::MachineConfig::xeonE5440(),
+                                     nullptr, &prog, &specs);
+    EXPECT_TRUE(hasDiag(r, "layout-injectivity", EntityKind::Block, 3))
+        << render(r);
+}
+
+TEST(Analyze, MalformedSpecCaughtByIndex)
+{
+    auto prog = makeTwoProc();
+    std::vector<layout::LayoutSpec> specs = {
+        layout::LayoutSpec::authored(prog),
+        layout::LayoutSpec::authored(prog)};
+    specs[1].fileOrder = {0, 0}; // Not a permutation.
+    auto r = analyze::analyzeMachine(core::MachineConfig::xeonE5440(),
+                                     nullptr, &prog, &specs);
+    EXPECT_FALSE(
+        hasDiag(r, "layout-injectivity", EntityKind::Artifact, 0))
+        << render(r);
+    EXPECT_TRUE(
+        hasDiag(r, "layout-injectivity", EntityKind::Artifact, 1))
+        << render(r);
+}
+
+TEST(Analyze, AuthoredSpecsAreInjective)
+{
+    auto prog = makeTwoProc();
+    std::vector<layout::LayoutSpec> specs = {
+        layout::LayoutSpec::authored(prog)};
+    EXPECT_CLEAN(analyze::analyzeMachine(
+        core::MachineConfig::xeonE5440(), nullptr, &prog, &specs));
+}
+
+// ---------------------------------------------------------------------
+// Config overrides + the fail-closed trust boundary.
+// ---------------------------------------------------------------------
+
+TEST(Analyze, ConfigOverrideRoundTrip)
+{
+    auto m = machineWith(
+        "l1i.line=32,l2.size=12m,l2.assoc=24,l1d.repl=random,"
+        "btb.sets=4096,btb.ways=8");
+    EXPECT_EQ(m.hierarchy.l1i.lineBytes, 32u);
+    EXPECT_EQ(m.hierarchy.l2.sizeBytes, u64{12} << 20);
+    EXPECT_EQ(m.hierarchy.l2.assoc, 24u);
+    EXPECT_EQ(m.hierarchy.l1d.replacement, cache::Replacement::Random);
+    EXPECT_EQ(m.btbSets, 4096u);
+    EXPECT_EQ(m.btbWays, 8u);
+}
+
+TEST(Analyze, ConfigOverrideErrorsAreTyped)
+{
+    core::MachineConfig m = core::MachineConfig::xeonE5440();
+    std::string err;
+    EXPECT_FALSE(analyze::applyConfigOverride(m, "bogus=1", &err));
+    EXPECT_NE(err.find("unit.field=value"), std::string::npos) << err;
+    EXPECT_FALSE(analyze::applyConfigOverride(m, "l3.size=1m", &err));
+    EXPECT_NE(err.find("unknown unit"), std::string::npos) << err;
+    EXPECT_FALSE(analyze::applyConfigOverride(m, "l1i.line=huge", &err));
+    EXPECT_NE(err.find("bad numeric"), std::string::npos) << err;
+    EXPECT_FALSE(analyze::applyConfigOverride(m, "btb.assoc=4", &err));
+    EXPECT_NE(err.find("unknown btb field"), std::string::npos) << err;
+}
+
+TEST(AnalyzeDeathTest, RequireSoundMachinePanicsOnUnsoundConfig)
+{
+    auto m = machineWith("l1i.line=16");
+    EXPECT_DEATH(
+        analyze::requireSoundMachine(m, nullptr, "test boundary"),
+        "test boundary");
+}
+
+TEST(AnalyzeDeathTest, CampaignRefusesUnsoundMachine)
+{
+    interferometry::CampaignConfig cfg;
+    cfg.instructionBudget = 20000;
+    cfg.initialLayouts = 2;
+    cfg.maxLayouts = 2;
+    cfg.machine.hierarchy.l1i.lineBytes = 16;
+    EXPECT_DEATH(interferometry::Campaign(
+                     workloads::defaultProfile("unsound"), cfg),
+                 "Campaign machine config");
+}
+
+} // anonymous namespace

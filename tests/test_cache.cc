@@ -197,7 +197,7 @@ assocConfig(u32 assoc)
 
 TEST(Cache, HintedProbeMatchesUnhintedAcrossAssociativities)
 {
-    for (u32 assoc : {2u, 4u, 8u, 16u, 32u}) {
+    for (u32 assoc : {2u, 3u, 4u, 6u, 8u, 16u, 32u}) {
         Cache cache(assocConfig(assoc));
         const Addr stride = 64 * 8;
         // Overfill one set so probes see present lines, evicted
@@ -226,7 +226,7 @@ TEST(Cache, ProbeCommitSplitMatchesAccessAcrossAssociativities)
     // The batched kernel's probeWay + accessFoundWay split must be
     // observationally identical to access(): same hit/miss sequence,
     // same stats, and the reported way is where the line now lives.
-    for (u32 assoc : {2u, 4u, 8u, 16u, 32u}) {
+    for (u32 assoc : {2u, 3u, 4u, 6u, 8u, 16u, 32u}) {
         Cache direct(assocConfig(assoc));
         Cache split(assocConfig(assoc));
         const Addr stride = 64 * 8;

@@ -10,12 +10,39 @@ regression is a soft warning — the script prints GitHub Actions
 ::warning:: annotations and always exits 0 — but the annotations land on
 the PR, so a real regression is visible where the change is reviewed.
 
+A missing or unparsable report is a hard error (exit 2): a soft-warn
+there would let a renamed baseline silently disable the check forever.
+
 Stdlib only; the baseline lives at the repo root as BENCH_replay.json.
 """
 
 import argparse
 import json
 import sys
+
+
+def load_report(path, role):
+    """Parse one report file, or exit 2 with a typed message.
+
+    `role` is "baseline" or "current" so the error says which side of
+    the comparison is broken.
+    """
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        print(f"error: {role} report {path} missing or unreadable: "
+              f"{e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"error: {role} report {path} is not valid JSON: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(report, dict):
+        print(f"error: {role} report {path} must be a JSON object, "
+              f"got {type(report).__name__}", file=sys.stderr)
+        sys.exit(2)
+    return report
 
 
 def rows_by_name(report):
@@ -39,10 +66,8 @@ def main():
                     help="fractional slowdown that triggers a warning")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = rows_by_name(json.load(f))
-    with open(args.current) as f:
-        cur = rows_by_name(json.load(f))
+    base = rows_by_name(load_report(args.baseline, "baseline"))
+    cur = rows_by_name(load_report(args.current, "current"))
 
     shared = sorted(set(base) & set(cur))
     if not shared:
