@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "interferometry/campaign.hh"
+#include "telemetry/progress.hh"
 #include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
@@ -177,6 +178,9 @@ addScaleOptions(OptionParser &opts, u32 default_layouts = 40,
                    "enable telemetry and write the Perfetto-loadable "
                    "phase trace plus per-campaign run manifests into "
                    "this directory (empty = off)");
+    opts.addFlag("progress",
+                 "live campaign progress ticker on stderr (TTY only; "
+                 "implies telemetry)");
     opts.addString("only", "",
                    "restrict to benchmarks whose name contains this");
 }
@@ -204,8 +208,10 @@ readScale(const OptionParser &opts)
     // trace + manifests, --json for the embedded per-phase durations.
     if (!s.telemetryDir.empty())
         telemetry::setOutputDir(s.telemetryDir);
-    else if (!s.jsonPath.empty())
+    else if (!s.jsonPath.empty() || opts.getFlag("progress"))
         telemetry::enable();
+    if (opts.getFlag("progress"))
+        telemetry::installStderrProgressTicker();
     return s;
 }
 

@@ -5,6 +5,7 @@
 
 #include "telemetry/metrics.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/trace_ctx.hh"
 #include "util/logging.hh"
 
 namespace interf::exec
@@ -49,6 +50,20 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    // Carry the submitter's causal context (campaign/batch/candidate
+    // ids + the enqueuing span) across the thread hop, so worker spans
+    // are attributable. captureContext() is empty-and-free when
+    // telemetry is off, and we only pay the wrapper when it is on —
+    // the task itself is identical either way (observe-only).
+    if (telemetry::enabled()) {
+        telemetry::TraceContext ctx = telemetry::captureContext();
+        if (!ctx.empty()) {
+            task = [ctx, inner = std::move(task)] {
+                telemetry::ScopedTraceContext scope(ctx);
+                inner();
+            };
+        }
+    }
     size_t depth = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);

@@ -9,6 +9,7 @@
 #include "telemetry/metrics.hh"
 #include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
+#include "telemetry/trace_ctx.hh"
 #include "analyze/analyze.hh"
 #include "util/digest.hh"
 #include "util/logging.hh"
@@ -134,6 +135,10 @@ void
 Campaign::measureGroup(core::MeasurementRunner &runner, u32 first, u32 n,
                        core::Measurement *out) const
 {
+    // Attribute the group's spans to its first lane's layout seed (the
+    // campaign/batch ids are already on the thread's context).
+    telemetry::ScopedCandidateDigest candidate(cfg_.layoutSeedBase +
+                                               first);
     if (n == 1) {
         *out = measureOne(runner, first);
         return;
@@ -182,11 +187,26 @@ Campaign::measureRange(u32 first, u32 count,
 {
     const u32 jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
     const u32 lanes = laneWidth();
+    // Progress tick per finished group. Workers land here too, so the
+    // tracker (not thread-safe by itself) is fed under a mutex; when no
+    // tracker is installed (telemetry off) this is one pointer test.
+    auto note_progress = [this](u32 n) {
+        if (!telemetry::enabled())
+            return;
+        std::lock_guard<std::mutex> lock(progressMutex_);
+        if (progress_ == nullptr)
+            return;
+        progressDone_ += n;
+        progress_->update(progressDone_, progressCached_,
+                          progressDone_ - progressCached_);
+    };
     if (jobs <= 1 || count <= 1) {
-        INTERF_SPAN("replay.batch");
-        for (u32 k = 0; k < count; k += lanes)
-            measureGroup(runner_, first + k, std::min(lanes, count - k),
-                         &out[out_offset + k]);
+        INTERF_SPAN_PHASE("replay.batch");
+        for (u32 k = 0; k < count; k += lanes) {
+            const u32 n = std::min(lanes, count - k);
+            measureGroup(runner_, first + k, n, &out[out_offset + k]);
+            note_progress(n);
+        }
         return;
     }
     if (!pool_ || pool_->workers() != jobs)
@@ -199,12 +219,13 @@ Campaign::measureRange(u32 first, u32 count,
     // layout, so neither scheduling nor lane grouping can reorder or
     // otherwise perturb the samples.
     exec::parallelForChunks(*pool_, count, [&](size_t begin, size_t end) {
-        INTERF_SPAN("replay.batch");
+        INTERF_SPAN_PHASE("replay.batch");
         core::MeasurementRunner runner(cfg_.machine, cfg_.runner);
         for (size_t k = begin; k < end; k += lanes) {
             u32 n = static_cast<u32>(std::min<size_t>(lanes, end - k));
             measureGroup(runner, first + static_cast<u32>(k), n,
                          &out[out_offset + k]);
+            note_progress(n);
         }
     });
 }
@@ -212,6 +233,10 @@ Campaign::measureRange(u32 first, u32 count,
 std::vector<core::Measurement>
 Campaign::measureLayouts(u32 first, u32 count)
 {
+    // Every span recorded below (this thread and the pool workers, via
+    // ThreadPool::submit's capture) carries this campaign/batch id.
+    telemetry::ScopedTraceContext trace_ctx(campaignKey_, batchIndex_);
+    ++batchIndex_;
     std::vector<core::Measurement> out(count);
     auto *st = store();
 
@@ -225,12 +250,31 @@ Campaign::measureLayouts(u32 first, u32 count)
     measuredLayouts_ += count - have;
     INTERF_TELEM_COUNT("store.sample_hits", have);
     INTERF_TELEM_COUNT("store.sample_misses", count - have);
-    if (have == count)
+    telemetry::ProgressTracker tracker("campaign.measure", count);
+    if (have == count) {
+        tracker.update(have, have, 0);
+        tracker.finish();
         return out;
+    }
 
+    // Install the tracker for the duration of the fresh measurements;
+    // measureRange's completions (on any thread) tick it.
+    if (telemetry::enabled()) {
+        std::lock_guard<std::mutex> lock(progressMutex_);
+        progress_ = &tracker;
+        progressDone_ = have;
+        progressCached_ = have;
+        if (have > 0)
+            tracker.update(have, have, 0);
+    }
     const u64 measure_start = telemetry::nowNs();
     measureRange(first + have, count - have, out, have);
     measureNs_ += telemetry::nowNs() - measure_start;
+    {
+        std::lock_guard<std::mutex> lock(progressMutex_);
+        progress_ = nullptr;
+    }
+    tracker.finish();
 
     // Checkpoint the fresh samples if they extend the persisted prefix
     // contiguously; a gap (a caller jumping ahead of the store) is
@@ -251,7 +295,7 @@ Campaign::measureLayouts(u32 first, u32 count)
 CampaignResult
 Campaign::run()
 {
-    INTERF_SPAN("campaign.run");
+    INTERF_SPAN_PHASE("campaign.run");
     CampaignResult res;
     res.samples.reserve(cfg_.maxLayouts);
     const u32 measured_before = measuredLayouts_;
@@ -331,6 +375,8 @@ Campaign::buildManifest() const
     m.logWarns = logs.warns;
     m.logInforms = logs.informs;
     m.recentWarnings = logs.recentWarnings;
+    m.spansDropped = telemetry::droppedSpans();
+    m.spansDroppedByName = telemetry::droppedSpansByName();
     m.regressionRan = regressionRan_;
     m.regressionSignificant = lastSignificant_;
     m.enoughMpkiRange = lastEnoughRange_;

@@ -18,6 +18,7 @@
 #define INTERF_INTERFEROMETRY_CAMPAIGN_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "layout/linker.hh"
 #include "layout/pagemap.hh"
 #include "telemetry/manifest.hh"
+#include "telemetry/progress.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workloads/profile.hh"
@@ -226,9 +228,20 @@ class Campaign
     u32 measuredLayouts_ = 0;
     u32 cachedLayouts_ = 0;
 
+    /** @{ Live progress plumbing for measureLayouts: a tracker is
+     *  installed for the duration of one call and fed from measureRange
+     *  completions (worker threads included, hence the mutex). All
+     *  observe-only; null whenever telemetry is off. */
+    telemetry::ProgressTracker *progress_ = nullptr;
+    std::mutex progressMutex_;
+    u32 progressDone_ = 0;   ///< Layouts finished (cached + fresh).
+    u32 progressCached_ = 0; ///< Of which served from the store.
+    /** @} */
+
     /** @{ Telemetry bookkeeping for buildManifest(); maintained
      *  unconditionally (cheap), observed only. */
     u64 campaignKey_ = 0;
+    u32 batchIndex_ = 0; ///< measureLayouts calls so far (trace ctx).
     u64 startNs_ = 0;
     std::vector<telemetry::PhaseStat> phaseBase_; ///< At construction.
     u64 verifyErrors_ = 0;

@@ -6,6 +6,7 @@
 #include "analyze/analyze.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/span.hh"
+#include "telemetry/trace_ctx.hh"
 #include "util/digest.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
@@ -149,6 +150,9 @@ FitnessOracle::measureGroup(core::MeasurementRunner &runner,
                             const u64 *digests, u32 n,
                             core::Measurement *out) const
 {
+    // Attribute this group's spans to its first lane's content digest
+    // (base key / batch ordinal are already on the thread's context).
+    telemetry::ScopedCandidateDigest candidate(digests[0]);
     auto heap_key = [&](const CandidateLayout &cand) {
         layout::HeapKey key;
         key.randomize = cfg_.randomizeHeap;
@@ -206,9 +210,37 @@ FitnessOracle::measureGroup(core::MeasurementRunner &runner,
         out[l] = samples[l];
 }
 
+void
+FitnessOracle::setProgressTracker(telemetry::ProgressTracker *tracker)
+{
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    progress_ = tracker;
+    progressDone_ = 0;
+    progressCached_ = 0;
+    progressFresh_ = 0;
+}
+
 std::vector<core::Measurement>
 FitnessOracle::evaluate(const std::vector<CandidateLayout> &cands)
 {
+    // Spans below (including the pool workers', via submit's context
+    // capture) carry this search's base key and evaluate-call ordinal.
+    telemetry::ScopedTraceContext trace_ctx(baseKey_, evalBatch_);
+    ++evalBatch_;
+    // Progress tick: callable from any thread; one relaxed load when
+    // telemetry is off, one pointer test when no tracker is installed.
+    auto tick = [this](u64 done, u64 cached, u64 fresh) {
+        if (!telemetry::enabled())
+            return;
+        std::lock_guard<std::mutex> lock(progressMutex_);
+        if (progress_ == nullptr)
+            return;
+        progressDone_ += done;
+        progressCached_ += cached;
+        progressFresh_ += fresh;
+        progress_->update(progressDone_, progressCached_,
+                          progressFresh_);
+    };
     const u32 count = static_cast<u32>(cands.size());
     std::vector<core::Measurement> out(count);
     std::vector<u64> digests(count);
@@ -244,6 +276,8 @@ FitnessOracle::evaluate(const std::vector<CandidateLayout> &cands)
     }
     INTERF_TELEM_COUNT("opt.evals_cached", count - fresh.size());
     INTERF_TELEM_COUNT("opt.evals_fresh", fresh.size());
+    if (count > fresh.size())
+        tick(count - fresh.size(), count - fresh.size(), 0);
 
     if (!fresh.empty()) {
         const u32 lanes = laneWidth();
@@ -267,10 +301,11 @@ FitnessOracle::evaluate(const std::vector<CandidateLayout> &cands)
                          group.data());
             for (u32 l = 0; l < cnt; ++l)
                 out[fresh[beg + l]] = group[l];
+            tick(cnt, 0, cnt);
         };
         const u32 jobs = exec::ThreadPool::resolveJobs(cfg_.jobs);
         if (jobs <= 1 || groups <= 1) {
-            INTERF_SPAN("replay.batch");
+            INTERF_SPAN_PHASE("replay.batch");
             for (u32 g = 0; g < groups; ++g)
                 run_group(runner_, g);
         } else {
@@ -278,7 +313,7 @@ FitnessOracle::evaluate(const std::vector<CandidateLayout> &cands)
                 pool_ = std::make_unique<exec::ThreadPool>(jobs);
             exec::parallelForChunks(
                 *pool_, groups, [&](size_t begin, size_t end) {
-                    INTERF_SPAN("replay.batch");
+                    INTERF_SPAN_PHASE("replay.batch");
                     core::MeasurementRunner runner(cfg_.machine,
                                                    cfg_.runner);
                     for (size_t g = begin; g < end; ++g)
@@ -362,7 +397,7 @@ SearchBase::record(u32 step, const CandidateLayout &cand, const Move &move,
 OptResult
 SearchBase::run()
 {
-    INTERF_SPAN("opt.search");
+    INTERF_SPAN_PHASE("opt.search");
     INTERF_ASSERT(cfg_.budget >= 1);
     const u64 fresh0 = oracle_.freshEvals();
     const u64 cached0 = oracle_.cachedEvals();
@@ -383,6 +418,12 @@ SearchBase::run()
     acceptRng_ = base.fork(3);
 
     Neighborhood nb(oracle_.program(), cfg_.randomizeHeap);
+
+    // Live progress over the evaluation budget, ticked by the oracle
+    // per cached candidate and per finished replay group.
+    telemetry::ProgressTracker progress(
+        strprintf("opt.%s", strategyName(cfg_.strategy)), cfg_.budget);
+    oracle_.setProgressTracker(&progress);
 
     u32 evals_left = cfg_.budget;
 
@@ -419,7 +460,7 @@ SearchBase::run()
 
     u32 step = 0;
     while (evals_left > 0) {
-        INTERF_SPAN("opt.step");
+        INTERF_SPAN_PHASE("opt.step");
         const u32 p = std::min(traj.proposalsPerStep, evals_left);
         std::vector<CandidateLayout> cands(p, current_);
         std::vector<Move> moves(p);
@@ -431,6 +472,8 @@ SearchBase::run()
         ++step;
     }
 
+    oracle_.setProgressTracker(nullptr);
+    progress.finish();
     traj.finalCycles = result_.bestSample.cycles;
     traj.finalDigest = oracle_.digestOf(result_.best);
     result_.freshEvals = oracle_.freshEvals() - fresh0;
@@ -529,7 +572,7 @@ makeOptimizer(FitnessOracle &oracle, const OptConfig &cfg)
 OptResult
 bestOfRandom(FitnessOracle &oracle, const OptConfig &cfg)
 {
-    INTERF_SPAN("opt.baseline");
+    INTERF_SPAN_PHASE("opt.baseline");
     INTERF_ASSERT(cfg.budget >= 1);
     const u64 fresh0 = oracle.freshEvals();
     const u64 cached0 = oracle.cachedEvals();
@@ -540,7 +583,11 @@ bestOfRandom(FitnessOracle &oracle, const OptConfig &cfg)
     cands.reserve(cfg.budget);
     for (u32 i = 0; i < cfg.budget; ++i)
         cands.push_back(oracle.seededCandidate(rng.next()));
+    telemetry::ProgressTracker progress("opt.random", cfg.budget);
+    oracle.setProgressTracker(&progress);
     auto ms = oracle.evaluate(cands);
+    oracle.setProgressTracker(nullptr);
+    progress.finish();
     u32 best = 0;
     for (u32 i = 1; i < ms.size(); ++i)
         if (ms[i].cycles < ms[best].cycles)

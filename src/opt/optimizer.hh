@@ -26,6 +26,7 @@
 #define INTERF_OPT_OPTIMIZER_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "layout/pagemap.hh"
 #include "opt/neighborhood.hh"
 #include "store/fitness.hh"
+#include "telemetry/progress.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "util/json.hh"
@@ -188,6 +190,15 @@ class FitnessOracle
     u64 cachedEvals() const { return cachedEvals_; }
     /** @} */
 
+    /**
+     * Install (or, with nullptr, remove) a progress tracker that
+     * evaluate() ticks per classified-cached candidate and per finished
+     * replay group — including from pool workers. The tracker must
+     * outlive its installation; the search loops install one for the
+     * duration of run(). Observe-only, like all telemetry.
+     */
+    void setProgressTracker(telemetry::ProgressTracker *tracker);
+
   private:
     /** Measure @p n candidates as one batched replay pass. */
     void measureGroup(core::MeasurementRunner &runner,
@@ -211,6 +222,16 @@ class FitnessOracle
     u64 baseKey_ = 0;
     u64 freshEvals_ = 0;
     u64 cachedEvals_ = 0;
+
+    /** @{ Progress plumbing (see setProgressTracker) + the per-call
+     *  batch ordinal stamped into worker trace contexts. */
+    telemetry::ProgressTracker *progress_ = nullptr;
+    std::mutex progressMutex_;
+    u64 progressDone_ = 0;
+    u64 progressCached_ = 0;
+    u64 progressFresh_ = 0;
+    u32 evalBatch_ = 0; ///< evaluate() calls so far.
+    /** @} */
 };
 
 /** One search strategy over a shared oracle. */

@@ -108,6 +108,18 @@ RunManifest::toJson() const
     logj.set("recent_warnings", std::move(recent));
     doc.set("log", std::move(logj));
 
+    Json spans = Json::object();
+    spans.set("dropped", spansDropped);
+    Json by_name = Json::array();
+    for (const auto &[name, count] : spansDroppedByName) {
+        Json entry = Json::object();
+        entry.set("name", name);
+        entry.set("count", count);
+        by_name.push(std::move(entry));
+    }
+    spans.set("dropped_by_name", std::move(by_name));
+    doc.set("spans", std::move(spans));
+
     Json regression = Json::object();
     regression.set("ran", regressionRan);
     regression.set("significant", regressionSignificant);
@@ -198,6 +210,28 @@ RunManifest::fromJson(const Json &doc, std::string *error)
         for (size_t i = 0; i < recent.size(); ++i)
             if (recent.at(i).isString())
                 recentWarnings.push_back(recent.at(i).asString());
+    }
+
+    // Lenient: manifests written before the flight-recorder work have
+    // no 'spans' section; absence means zero drops.
+    spansDropped = 0;
+    spansDroppedByName.clear();
+    const Json *spansJson = doc.find("spans");
+    if (spansJson != nullptr && spansJson->isObject()) {
+        const Json &droppedJson = spansJson->get("dropped");
+        if (droppedJson.isNumber())
+            spansDropped = droppedJson.asU64();
+        const Json &byName = spansJson->get("dropped_by_name");
+        if (byName.isArray()) {
+            for (size_t i = 0; i < byName.size(); ++i) {
+                const Json &entry = byName.at(i);
+                if (entry.get("name").isString() &&
+                    entry.get("count").isNumber())
+                    spansDroppedByName.emplace_back(
+                        entry.get("name").asString(),
+                        entry.get("count").asU64());
+            }
+        }
     }
 
     const Json &regression = doc.get("regression");

@@ -67,6 +67,11 @@ struct RunManifest
     u64 logWarns = 0;
     u64 logInforms = 0;
     std::vector<std::string> recentWarnings;
+    /** Span-ring overflow: raw records lost to overwrite (phase
+     *  aggregates stay exact), total and per span name. A nonzero value
+     *  means the Chrome trace export is partial. */
+    u64 spansDropped = 0;
+    std::vector<std::pair<std::string, u64>> spansDroppedByName;
     /** @} */
 
     /** @{ Final regression stats (valid when regressionRan). */

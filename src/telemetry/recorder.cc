@@ -1,0 +1,693 @@
+#include "telemetry/recorder.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "store/format.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/span.hh"
+#include "telemetry/telemetry.hh"
+#include "util/digest.hh"
+#include "util/logging.hh"
+
+namespace interf::telemetry
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** @{ Payload encoding: fixed-width little-endian-as-stored PODs and
+ *  u32-length-prefixed strings appended to a byte buffer. The checksum
+ *  in the record header covers exactly these bytes. */
+template <typename T>
+void
+put(std::string &buf, const T &value)
+{
+    buf.append(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+void
+putString(std::string &buf, const std::string &s)
+{
+    put<u32>(buf, static_cast<u32>(s.size()));
+    buf.append(s);
+}
+
+/** Bounds-checked cursor over one record payload. */
+struct Cursor
+{
+    const char *data;
+    size_t size;
+    size_t at = 0;
+    bool ok = true;
+
+    template <typename T> T take()
+    {
+        T value{};
+        if (at + sizeof(T) > size) {
+            ok = false;
+            return value;
+        }
+        std::copy_n(data + at, sizeof(T),
+                    reinterpret_cast<char *>(&value));
+        at += sizeof(T);
+        return value;
+    }
+
+    std::string takeString()
+    {
+        const u32 len = take<u32>();
+        if (!ok || at + len > size) {
+            ok = false;
+            return {};
+        }
+        std::string s(data + at, len);
+        at += len;
+        return s;
+    }
+};
+/** @} */
+
+u64
+payloadChecksum(const std::string &payload)
+{
+    Digest d(flight::kFlightMagic);
+    d.mixString(payload);
+    return d.value();
+}
+
+std::string
+encodeEvent(const flight::Event &ev)
+{
+    std::string buf;
+    switch (ev.type) {
+    case flight::EventType::Span:
+    case flight::EventType::SpanOpen:
+        put<u64>(buf, ev.tsNs);
+        put<u64>(buf, ev.wallNs);
+        put<u64>(buf, ev.threadNs);
+        put<u32>(buf, ev.tid);
+        put<u64>(buf, ev.spanId);
+        put<u64>(buf, ev.parentSpanId);
+        put<u64>(buf, ev.campaignId);
+        put<u32>(buf, ev.batchIndex);
+        put<u64>(buf, ev.candidateDigest);
+        putString(buf, ev.name);
+        break;
+    case flight::EventType::Log:
+        put<u64>(buf, ev.tsNs);
+        put<u32>(buf, ev.logLevel);
+        putString(buf, ev.name);
+        break;
+    case flight::EventType::Progress:
+        put<u64>(buf, ev.tsNs);
+        put<u64>(buf, ev.done);
+        put<u64>(buf, ev.total);
+        put<u64>(buf, ev.cached);
+        put<u64>(buf, ev.fresh);
+        put<double>(buf, ev.ratePerSec);
+        put<double>(buf, ev.etaSec);
+        putString(buf, ev.name);
+        break;
+    }
+    return buf;
+}
+
+bool
+decodeEvent(u32 type, const char *data, size_t size, flight::Event &ev)
+{
+    Cursor c{data, size};
+    switch (static_cast<flight::EventType>(type)) {
+    case flight::EventType::Span:
+    case flight::EventType::SpanOpen:
+        ev.type = static_cast<flight::EventType>(type);
+        ev.tsNs = c.take<u64>();
+        ev.wallNs = c.take<u64>();
+        ev.threadNs = c.take<u64>();
+        ev.tid = c.take<u32>();
+        ev.spanId = c.take<u64>();
+        ev.parentSpanId = c.take<u64>();
+        ev.campaignId = c.take<u64>();
+        ev.batchIndex = c.take<u32>();
+        ev.candidateDigest = c.take<u64>();
+        ev.name = c.takeString();
+        return c.ok;
+    case flight::EventType::Log:
+        ev.type = flight::EventType::Log;
+        ev.tsNs = c.take<u64>();
+        ev.logLevel = static_cast<u8>(c.take<u32>());
+        ev.name = c.takeString();
+        return c.ok;
+    case flight::EventType::Progress:
+        ev.type = flight::EventType::Progress;
+        ev.tsNs = c.take<u64>();
+        ev.done = c.take<u64>();
+        ev.total = c.take<u64>();
+        ev.cached = c.take<u64>();
+        ev.fresh = c.take<u64>();
+        ev.ratePerSec = c.take<double>();
+        ev.etaSec = c.take<double>();
+        ev.name = c.takeString();
+        return c.ok;
+    }
+    return false; // Unknown type: caller skips (forward compatibility).
+}
+
+/** Sealed name for sequence @p seq ("flight-000042.bin"). */
+std::string
+segmentName(u64 seq)
+{
+    return strprintf("flight-%06llu.bin",
+                     static_cast<unsigned long long>(seq));
+}
+
+/** Parse a segment sequence number out of a file name; false when the
+ *  name is neither a sealed segment nor an active .tmp sibling. */
+bool
+parseSegmentName(const std::string &name, u64 &seq, bool &is_tmp)
+{
+    unsigned long long value = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "flight-%6llu.bin%n", &value,
+                    &consumed) != 1 ||
+        consumed < 0)
+        return false;
+    const std::string rest = name.substr(static_cast<size_t>(consumed));
+    seq = value;
+    if (rest.empty()) {
+        is_tmp = false;
+        return true;
+    }
+    is_tmp = rest.rfind(".tmp.", 0) == 0;
+    return is_tmp;
+}
+
+void
+fsyncFile(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return; // Best-effort on the fatal path; never recurse into log.
+    ::fsync(fd);
+    ::close(fd);
+}
+
+/**
+ * The recorder singleton. One mutex guards producer/queue state, a
+ * second serializes all file writes (the drain thread and flushNow can
+ * race otherwise). Lock order: queueMutex -> ioMutex, never reversed.
+ */
+struct Recorder
+{
+    std::atomic<bool> active{false};
+    std::atomic<u64> dropped{0};
+
+    std::mutex queueMutex; ///< dir, queue, drain-thread lifecycle.
+    std::condition_variable queueReady;
+    std::deque<flight::Event> queue;
+    std::string dir;
+    bool stopping = false;
+    std::thread drainThread;
+
+    /** Everything below: the active segment. Recursive because the
+     *  fatal/panic log path calls flushNow(), and a fatal raised while
+     *  this thread holds the lock (commitFile dies on fsync failure)
+     *  must not self-deadlock on its last-words flush. */
+    std::recursive_mutex ioMutex;
+    std::ofstream out;
+    std::string tmpPath;   ///< Active (unsealed) segment path.
+    std::string finalPath; ///< Where rotation seals it to.
+    u64 seq = 0;
+    u64 bytes = 0;
+
+    void openSegmentLocked();
+    void rotateLocked();
+    void writeEventsLocked(const std::deque<flight::Event> &events);
+    void drainLoop();
+};
+
+Recorder &
+rec()
+{
+    static Recorder *r = new Recorder();
+    return *r;
+}
+
+/** Open the next active segment (ioMutex held). */
+void
+Recorder::openSegmentLocked()
+{
+    finalPath = dir + "/" + segmentName(seq);
+    tmpPath = store::format::tmpPathFor(finalPath);
+    out.open(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        // Disk trouble must never take the instrumented process down;
+        // deactivate and say so once.
+        active.store(false, std::memory_order_relaxed);
+        warn("flight recorder: cannot open '%s'; recording disabled",
+             tmpPath.c_str());
+        return;
+    }
+    store::format::writePod(out, flight::kFlightMagic);
+    store::format::writePod(out, flight::kFlightVersion);
+    store::format::writePod(out, seq);
+    out.flush();
+    bytes = flight::kSegmentHeaderBytes;
+}
+
+/** Seal the active segment and open the next one (ioMutex held). */
+void
+Recorder::rotateLocked()
+{
+    out.flush();
+    out.close();
+    store::format::commitFile(tmpPath, finalPath, dir);
+    ++seq;
+    openSegmentLocked();
+    // Bound the on-disk footprint: delete sealed segments oldest-first
+    // past the cap. The active segment never counts.
+    std::vector<std::pair<u64, fs::path>> sealed;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        u64 s = 0;
+        bool is_tmp = false;
+        if (parseSegmentName(entry.path().filename().string(), s,
+                             is_tmp) &&
+            !is_tmp)
+            sealed.emplace_back(s, entry.path());
+    }
+    std::sort(sealed.begin(), sealed.end());
+    while (sealed.size() > flight::kMaxSealedSegments) {
+        fs::remove(sealed.front().second, ec);
+        sealed.erase(sealed.begin());
+    }
+}
+
+void
+Recorder::writeEventsLocked(const std::deque<flight::Event> &events)
+{
+    if (!out.is_open())
+        return;
+    for (const auto &ev : events) {
+        const std::string payload = encodeEvent(ev);
+        store::format::writePod(out,
+                                static_cast<u32>(payload.size()));
+        store::format::writePod(out, static_cast<u32>(ev.type));
+        store::format::writePod(out, payloadChecksum(payload));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        bytes += flight::kRecordHeaderBytes + payload.size();
+    }
+    out.flush();
+    if (bytes >= flight::kSegmentBytes)
+        rotateLocked();
+}
+
+void
+Recorder::drainLoop()
+{
+    setCurrentThreadName("flight-drain");
+    for (;;) {
+        std::deque<flight::Event> batch;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueReady.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty() && stopping)
+                return;
+            batch.swap(queue);
+        }
+        std::lock_guard<std::recursive_mutex> io(ioMutex);
+        writeEventsLocked(batch);
+    }
+}
+
+void
+atexitStop()
+{
+    // A clean exit seals the active segment (fsync + rename), so only
+    // a killed process leaves a .tmp tail for readDir to recover.
+    recorder::stop();
+}
+
+/** Enqueue one event; drops (counted) when the queue is full. */
+void
+push(flight::Event &&ev)
+{
+    Recorder &r = rec();
+    bool notify = false;
+    {
+        std::lock_guard<std::mutex> lock(r.queueMutex);
+        if (!r.active.load(std::memory_order_relaxed))
+            return; // Raced with stop().
+        if (r.queue.size() >= flight::kQueueCapacity) {
+            r.dropped.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        r.queue.push_back(std::move(ev));
+        notify = true;
+    }
+    if (notify)
+        r.queueReady.notify_one();
+}
+
+} // anonymous namespace
+
+namespace recorder
+{
+
+void
+start(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    stop(); // Idempotent; moves an active recorder to the new dir.
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("flight recorder: cannot create '%s': %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    Recorder &r = rec();
+    std::lock_guard<std::mutex> lock(r.queueMutex);
+    r.dir = dir;
+    // Resume after any segments already present (sealed or a dead
+    // process's torn active segment): continue the sequence instead of
+    // clobbering history.
+    u64 next_seq = 0;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        u64 s = 0;
+        bool is_tmp = false;
+        if (parseSegmentName(entry.path().filename().string(), s,
+                             is_tmp))
+            next_seq = std::max(next_seq, s + 1);
+    }
+    {
+        std::lock_guard<std::recursive_mutex> io(r.ioMutex);
+        r.seq = next_seq;
+        r.openSegmentLocked();
+        if (!r.out.is_open())
+            return; // openSegmentLocked already warned + deactivated.
+    }
+    r.stopping = false;
+    r.active.store(true, std::memory_order_relaxed);
+    r.drainThread = std::thread([&r] { r.drainLoop(); });
+    static bool atexit_installed = false;
+    if (!atexit_installed) {
+        atexit_installed = true;
+        std::atexit(atexitStop);
+    }
+}
+
+void
+stop()
+{
+    Recorder &r = rec();
+    std::thread drain;
+    {
+        std::lock_guard<std::mutex> lock(r.queueMutex);
+        if (!r.active.load(std::memory_order_relaxed) &&
+            !r.drainThread.joinable())
+            return;
+        r.active.store(false, std::memory_order_relaxed);
+        r.stopping = true;
+        drain.swap(r.drainThread);
+    }
+    r.queueReady.notify_all();
+    if (drain.joinable())
+        drain.join();
+    // Drain whatever raced in, then seal the active segment: a cleanly
+    // stopped recorder leaves only sealed, fully-verified segments.
+    std::deque<flight::Event> rest;
+    {
+        std::lock_guard<std::mutex> lock(r.queueMutex);
+        rest.swap(r.queue);
+        r.dir.clear();
+    }
+    std::lock_guard<std::recursive_mutex> io(r.ioMutex);
+    if (r.out.is_open()) {
+        r.writeEventsLocked(rest);
+        if (r.out.is_open()) { // writeEvents may have rotated.
+            r.out.flush();
+            r.out.close();
+            if (r.bytes > flight::kSegmentHeaderBytes) {
+                store::format::commitFile(r.tmpPath, r.finalPath,
+                                          fs::path(r.finalPath)
+                                              .parent_path()
+                                              .string());
+            } else {
+                std::error_code ec;
+                fs::remove(r.tmpPath, ec); // Nothing recorded: drop it.
+            }
+        }
+    }
+}
+
+bool
+active()
+{
+    return rec().active.load(std::memory_order_relaxed);
+}
+
+std::string
+dir()
+{
+    Recorder &r = rec();
+    std::lock_guard<std::mutex> lock(r.queueMutex);
+    return r.dir;
+}
+
+void
+recordSpan(const SpanRecord &span)
+{
+    if (!active())
+        return;
+    flight::Event ev;
+    ev.type = flight::EventType::Span;
+    ev.tsNs = span.startNs;
+    ev.name = span.name != nullptr ? span.name : "";
+    ev.tid = span.tid;
+    ev.wallNs = span.wallNs;
+    ev.threadNs = span.threadNs;
+    ev.spanId = span.spanId;
+    ev.parentSpanId = span.parentSpanId;
+    ev.campaignId = span.ctx.campaignId;
+    ev.batchIndex = span.ctx.batchIndex;
+    ev.candidateDigest = span.ctx.candidateDigest;
+    push(std::move(ev));
+}
+
+void
+recordSpanOpen(const SpanRecord &span)
+{
+    if (!active())
+        return;
+    flight::Event ev;
+    ev.type = flight::EventType::SpanOpen;
+    ev.tsNs = span.startNs;
+    ev.name = span.name != nullptr ? span.name : "";
+    ev.tid = span.tid;
+    ev.spanId = span.spanId;
+    ev.parentSpanId = span.parentSpanId;
+    ev.campaignId = span.ctx.campaignId;
+    ev.batchIndex = span.ctx.batchIndex;
+    ev.candidateDigest = span.ctx.candidateDigest;
+    push(std::move(ev));
+}
+
+void
+recordLog(u8 level, const std::string &message)
+{
+    if (!active())
+        return;
+    flight::Event ev;
+    ev.type = flight::EventType::Log;
+    ev.tsNs = nowNs();
+    ev.logLevel = level;
+    ev.name = message;
+    push(std::move(ev));
+}
+
+void
+recordProgress(const ProgressEvent &event)
+{
+    if (!active())
+        return;
+    flight::Event ev;
+    ev.type = flight::EventType::Progress;
+    ev.tsNs = event.tsNs;
+    ev.name = event.task;
+    ev.done = event.done;
+    ev.total = event.total;
+    ev.cached = event.cached;
+    ev.fresh = event.fresh;
+    ev.ratePerSec = event.ratePerSec;
+    ev.etaSec = event.etaSec;
+    push(std::move(ev));
+}
+
+void
+flushNow()
+{
+    Recorder &r = rec();
+    std::deque<flight::Event> batch;
+    {
+        std::lock_guard<std::mutex> lock(r.queueMutex);
+        batch.swap(r.queue);
+    }
+    std::lock_guard<std::recursive_mutex> io(r.ioMutex);
+    if (!r.out.is_open())
+        return;
+    r.writeEventsLocked(batch);
+    r.out.flush();
+    fsyncFile(r.tmpPath);
+}
+
+u64
+droppedEvents()
+{
+    return rec().dropped.load(std::memory_order_relaxed);
+}
+
+} // namespace recorder
+
+namespace flight
+{
+
+namespace
+{
+
+/** Parse one segment file; returns false on open failure. */
+bool
+readSegment(const fs::path &path, bool is_last, ReadResult &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    is.seekg(0, std::ios::end);
+    const u64 file_size = static_cast<u64>(is.tellg());
+    is.seekg(0);
+    if (file_size < kSegmentHeaderBytes) {
+        // A header-less active segment is a process killed between
+        // open and header write: a torn tail, not corruption.
+        if (is_last)
+            out.tornTail = true;
+        else
+            out.errors.push_back(path.filename().string() +
+                                 ": shorter than a segment header");
+        return true;
+    }
+    u64 magic = 0;
+    u32 version = 0;
+    u64 seq = 0;
+    store::format::readPod(is, magic);
+    store::format::readPod(is, version);
+    store::format::readPod(is, seq);
+    if (magic != kFlightMagic || version != kFlightVersion) {
+        out.errors.push_back(path.filename().string() +
+                             ": bad segment magic or version");
+        return true;
+    }
+    u64 at = kSegmentHeaderBytes;
+    while (at + kRecordHeaderBytes <= file_size) {
+        u32 len = 0, type = 0;
+        u64 checksum = 0;
+        store::format::readPod(is, len);
+        store::format::readPod(is, type);
+        store::format::readPod(is, checksum);
+        if (at + kRecordHeaderBytes + len > file_size) {
+            // Torn mid-payload: the expected SIGKILL shape on the
+            // active segment, corruption anywhere else.
+            if (is_last)
+                out.tornTail = true;
+            else
+                out.errors.push_back(path.filename().string() +
+                                     ": truncated record");
+            return true;
+        }
+        std::string payload(len, '\0');
+        is.read(payload.data(), len);
+        if (!is) {
+            if (is_last)
+                out.tornTail = true;
+            else
+                out.errors.push_back(path.filename().string() +
+                                     ": short read");
+            return true;
+        }
+        at += kRecordHeaderBytes + len;
+        if (payloadChecksum(payload) != checksum) {
+            const bool final_record = at + kRecordHeaderBytes > file_size;
+            if (is_last && final_record) {
+                out.tornTail = true; // Half-flushed last record.
+                return true;
+            }
+            out.errors.push_back(path.filename().string() +
+                                 ": record checksum mismatch");
+            return true;
+        }
+        Event ev;
+        if (decodeEvent(type, payload.data(), payload.size(), ev))
+            out.events.push_back(std::move(ev));
+        // Undecodable-but-checksummed records are skipped: a newer
+        // writer's event types must not break an older reader.
+    }
+    if (at != file_size) {
+        if (is_last)
+            out.tornTail = true; // Partial record header.
+        else
+            out.errors.push_back(path.filename().string() +
+                                 ": trailing bytes");
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+readDir(const std::string &dir, ReadResult &out)
+{
+    std::error_code ec;
+    std::vector<std::tuple<u64, bool, fs::path>> segments;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        u64 seq = 0;
+        bool is_tmp = false;
+        if (parseSegmentName(entry.path().filename().string(), seq,
+                             is_tmp))
+            segments.emplace_back(seq, is_tmp, entry.path());
+    }
+    if (ec || segments.empty())
+        return false;
+    // Sequence order; a sealed segment sorts before a same-sequence
+    // active one (cannot normally coexist).
+    std::sort(segments.begin(), segments.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(std::get<0>(a), std::get<1>(a)) <
+                         std::tie(std::get<0>(b), std::get<1>(b));
+              });
+    for (size_t i = 0; i < segments.size(); ++i) {
+        const bool is_last = i + 1 == segments.size();
+        if (readSegment(std::get<2>(segments[i]), is_last, out))
+            ++out.segments;
+    }
+    return out.segments > 0;
+}
+
+} // namespace flight
+
+} // namespace interf::telemetry

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Crash-safe flight recorder: a bounded binary event log that survives
+ * a killed campaign.
+ *
+ * When telemetry is on and a recorder is started (setOutputDir does
+ * both), finished spans, captured log warnings and progress events
+ * spill into an append-only binary log under <dir>/flight/. The
+ * framing ("interf-flight-1") reuses the store's durability discipline
+ * (store/format.hh): every record is length-prefixed and checksummed,
+ * the active segment is a pid-unique .tmp sibling that rotation seals
+ * via fsync + atomic rename, and sealed segments beyond a bounded count
+ * are deleted oldest-first. A reader therefore always finds a readable
+ * tail: sealed segments verify record by record, and the active
+ * segment parses up to the first torn record — which is exactly the
+ * state a SIGKILL leaves behind. tools/interf_trace is that reader.
+ *
+ * Hot paths never touch the disk: producers enqueue events into a
+ * bounded in-memory queue (dropping, with a counter, when full) and a
+ * dedicated drain thread owns all file I/O. An atexit hook and the
+ * fatal/panic log path call flushNow(), which synchronously drains the
+ * queue and fsyncs the active segment, so even a panicking process
+ * leaves its last events on disk.
+ *
+ * Same invariants as the rest of the telemetry layer: recording is
+ * observe-only (provably byte-identical samples on/off), and every
+ * entry point no-ops on one relaxed load when telemetry is disabled or
+ * no recorder is active.
+ */
+
+#ifndef INTERF_TELEMETRY_RECORDER_HH
+#define INTERF_TELEMETRY_RECORDER_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace interf::telemetry
+{
+
+struct ProgressEvent;
+struct SpanRecord;
+
+namespace flight
+{
+
+/** @{ On-disk framing constants ("interf-flight-1"). */
+inline constexpr u64 kFlightMagic = 0x494e544652464c54ULL; // INTFRFLT
+inline constexpr u32 kFlightVersion = 1;
+/** Segment header: magic, version, sequence number. */
+inline constexpr u64 kSegmentHeaderBytes = 8 + 4 + 8;
+/** Record header: payload length, type, payload checksum. */
+inline constexpr u64 kRecordHeaderBytes = 4 + 4 + 8;
+/** Rotation threshold for the active segment. */
+inline constexpr u64 kSegmentBytes = 1u << 20;
+/** Sealed segments kept on disk (oldest deleted past this). */
+inline constexpr u32 kMaxSealedSegments = 4;
+/** Producer queue bound; events past this are dropped (counted). */
+inline constexpr size_t kQueueCapacity = 8192;
+
+/** Record types (the wire tag; never renumber, only append). */
+enum class EventType : u32
+{
+    Span = 1,     ///< A finished telemetry span.
+    Log = 2,      ///< A warn()/fatal()/panic() message.
+    Progress = 3, ///< A typed progress event.
+    /** A long-lived span announced when it *opens* (same payload as
+     *  Span, wall/thread zero). Finished spans are only written at
+     *  close, so without these a kill mid-phase would leave every
+     *  recorded child pointing at a parent id that never reached the
+     *  log. Phase spans (campaign.run, replay.batch, opt.search, ...)
+     *  announce themselves so a post-mortem can always resolve them. */
+    SpanOpen = 4,
+};
+
+/** One decoded flight-log event (the reader's view). */
+struct Event
+{
+    EventType type = EventType::Span;
+    u64 tsNs = 0; ///< Telemetry-epoch-relative, like span startNs.
+
+    /** @{ Span fields (type == Span). */
+    std::string name;
+    u32 tid = 0;
+    u64 wallNs = 0;
+    u64 threadNs = 0;
+    u64 spanId = 0;
+    u64 parentSpanId = 0;
+    u64 campaignId = 0;
+    u32 batchIndex = 0;
+    u64 candidateDigest = 0;
+    /** @} */
+
+    /** @{ Log fields (type == Log); name carries the message. */
+    u8 logLevel = 0; ///< Mirrors interf::LogLevel.
+    /** @} */
+
+    /** @{ Progress fields (type == Progress); name carries the task. */
+    u64 done = 0;
+    u64 total = 0;
+    u64 cached = 0;
+    u64 fresh = 0;
+    double ratePerSec = 0.0;
+    double etaSec = 0.0;
+    /** @} */
+};
+
+/** Outcome of reading a flight-log directory. */
+struct ReadResult
+{
+    std::vector<Event> events; ///< In on-disk (chronological) order.
+    u32 segments = 0;          ///< Files parsed (sealed + active).
+    bool tornTail = false;     ///< Active segment ended mid-record.
+    /** Corruption anywhere but the active segment's tail (a sealed
+     *  segment failing its checksums); events up to the corruption are
+     *  still returned. */
+    std::vector<std::string> errors;
+};
+
+/**
+ * Parse every segment under @p dir (a .../flight directory), sealed
+ * segments first in sequence order, then the active .tmp segment.
+ * Returns false only when @p dir does not exist or holds no segments.
+ */
+bool readDir(const std::string &dir, ReadResult &out);
+
+} // namespace flight
+
+namespace recorder
+{
+
+/**
+ * Start recording into @p dir (created if needed; segments land
+ * directly inside it). Resumes after any sealed segments already
+ * present — sequence numbering continues, so a restarted campaign
+ * appends to its predecessor's log instead of clobbering it. Starting
+ * while started moves the recorder to the new directory.
+ */
+void start(const std::string &dir);
+
+/** Flush and seal the active segment, then join the drain thread. */
+void stop();
+
+/** Is a recorder active? One relaxed load. */
+bool active();
+
+/** The directory passed to start(); empty when inactive. */
+std::string dir();
+
+/** @{ Enqueue one event; no-ops (one relaxed load) when inactive. */
+void recordSpan(const SpanRecord &rec);
+/** Announce a still-open span (flight::EventType::SpanOpen); @p rec
+ *  carries its id/parent/context, wall and thread time ignored. */
+void recordSpanOpen(const SpanRecord &rec);
+void recordLog(u8 level, const std::string &message);
+void recordProgress(const ProgressEvent &event);
+/** @} */
+
+/**
+ * Synchronously drain the queue and fsync the active segment. Called
+ * from atexit and from the fatal/panic log path; safe to call from any
+ * thread, including with the drain thread running. Never touches
+ * sealed segments — a crash mid-flush can tear only the active tail.
+ */
+void flushNow();
+
+/** Events dropped because the producer queue was full. */
+u64 droppedEvents();
+
+} // namespace recorder
+
+} // namespace interf::telemetry
+
+#endif // INTERF_TELEMETRY_RECORDER_HH

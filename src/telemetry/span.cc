@@ -1,9 +1,13 @@
 #include "telemetry/span.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <mutex>
+#include <unordered_map>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/recorder.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -35,6 +39,9 @@ struct SpanSink
     size_t next = 0;    ///< Ring cursor once full.
     u64 dropped = 0;    ///< Spans that overwrote an older record.
     std::map<std::string, Agg> aggregates;
+    /** Overwritten records by *their* name — which phases lost raw
+     *  records to overflow (aggregates above stay exact regardless). */
+    std::map<std::string, u64> droppedByName;
 
     void push(const SpanRecord &rec)
     {
@@ -46,6 +53,10 @@ struct SpanSink
             ring.push_back(rec);
             return;
         }
+        droppedByName[ring[next].name] += 1;
+        static const Counter drop_counter =
+            Registry::global().counter("telemetry.spans_dropped");
+        drop_counter.add(1);
         ring[next] = rec;
         next = (next + 1) % kRingCapacity;
         ++dropped;
@@ -61,13 +72,32 @@ sink()
 
 } // anonymous namespace
 
-ScopedSpan::ScopedSpan(const char *name) : name_(name)
+ScopedSpan::ScopedSpan(const char *name, bool announce) : name_(name)
 {
     if (!enabled())
         return;
     active_ = true;
+    spanId_ = nextSpanId();
+    // Nesting: while this span is open it is the parent of any span
+    // opened (or any work enqueued — see captureContext) on this thread.
+    u64 &active_span = detail::threadActiveSpanId();
+    savedActiveSpanId_ = active_span;
+    active_span = spanId_;
     startNs_ = nowNs();
     threadStartNs_ = threadCpuNs();
+    // Phase spans announce their open so the flight log can resolve
+    // them as parents even if the process dies before they close.
+    if (announce && recorder::active()) {
+        SpanRecord rec;
+        rec.name = name_;
+        rec.tid = currentTid();
+        rec.startNs = startNs_;
+        rec.spanId = spanId_;
+        rec.ctx = detail::threadContext();
+        rec.parentSpanId = savedActiveSpanId_ != 0 ? savedActiveSpanId_
+                                                   : rec.ctx.parentSpanId;
+        recorder::recordSpanOpen(rec);
+    }
 }
 
 ScopedSpan::~ScopedSpan()
@@ -80,9 +110,20 @@ ScopedSpan::~ScopedSpan()
     rec.startNs = startNs_;
     rec.wallNs = nowNs() - startNs_;
     rec.threadNs = threadCpuNs() - threadStartNs_;
-    SpanSink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mutex);
-    s.push(rec);
+    rec.spanId = spanId_;
+    rec.ctx = detail::threadContext();
+    // Parent: the enclosing span on this thread, or — for a worker's
+    // outermost span — the span that enqueued the task (carried in by
+    // the restored TraceContext).
+    rec.parentSpanId = savedActiveSpanId_ != 0 ? savedActiveSpanId_
+                                               : rec.ctx.parentSpanId;
+    detail::threadActiveSpanId() = savedActiveSpanId_;
+    {
+        SpanSink &s = sink();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.push(rec);
+    }
+    recorder::recordSpan(rec);
 }
 
 std::vector<PhaseStat>
@@ -127,6 +168,14 @@ droppedSpans()
     return s.dropped;
 }
 
+std::vector<std::pair<std::string, u64>>
+droppedSpansByName()
+{
+    SpanSink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return {s.droppedByName.begin(), s.droppedByName.end()};
+}
+
 void
 clearSpans()
 {
@@ -136,6 +185,7 @@ clearSpans()
     s.next = 0;
     s.dropped = 0;
     s.aggregates.clear();
+    s.droppedByName.clear();
 }
 
 void
@@ -178,6 +228,11 @@ writeChromeTrace(const std::string &path)
         meta.set("args", std::move(args));
         events.push(std::move(meta));
     }
+    std::unordered_map<u64, const SpanRecord *> by_id;
+    by_id.reserve(records.size());
+    for (const auto &rec : records)
+        if (rec.spanId != 0)
+            by_id.emplace(rec.spanId, &rec);
     for (const auto &rec : records) {
         Json ev = Json::object();
         ev.set("name", rec.name);
@@ -188,8 +243,55 @@ writeChromeTrace(const std::string &path)
         ev.set("dur", rec.wallNs / 1000);
         Json args = Json::object();
         args.set("thread_us", rec.threadNs / 1000);
+        if (rec.spanId != 0) {
+            args.set("span_id", rec.spanId);
+            if (rec.parentSpanId != 0)
+                args.set("parent_span_id", rec.parentSpanId);
+            if (rec.ctx.campaignId != 0) {
+                args.set("campaign_id", rec.ctx.campaignId);
+                args.set("batch_index", rec.ctx.batchIndex);
+            }
+            if (rec.ctx.candidateDigest != 0)
+                args.set("candidate_digest", rec.ctx.candidateDigest);
+        }
         ev.set("args", std::move(args));
         events.push(std::move(ev));
+        // A parent on another thread means this span's work was
+        // enqueued there: emit a flow arrow from the parent slice to
+        // this one. Same-thread parenthood is already visible as slice
+        // nesting, so no arrow. The flow id is the child's span id
+        // (unique per arrow, as Perfetto requires).
+        auto parent = rec.parentSpanId != 0
+                          ? by_id.find(rec.parentSpanId)
+                          : by_id.end();
+        if (parent == by_id.end() || parent->second->tid == rec.tid)
+            continue;
+        Json flow_s = Json::object();
+        flow_s.set("name", "enqueue");
+        flow_s.set("cat", "flow");
+        flow_s.set("ph", "s");
+        flow_s.set("id", rec.spanId);
+        flow_s.set("pid", 1);
+        flow_s.set("tid", parent->second->tid);
+        flow_s.set("ts", parent->second->startNs / 1000);
+        events.push(std::move(flow_s));
+        Json flow_f = Json::object();
+        flow_f.set("name", "enqueue");
+        flow_f.set("cat", "flow");
+        flow_f.set("ph", "f");
+        flow_f.set("bp", "e");
+        flow_f.set("id", rec.spanId);
+        flow_f.set("pid", 1);
+        flow_f.set("tid", rec.tid);
+        flow_f.set("ts", rec.startNs / 1000);
+        events.push(std::move(flow_f));
+    }
+    if (dropped > 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("span ring overflowed: %llu spans dropped; the trace "
+                 "at '%s' is partial (aggregates stay exact)",
+                 static_cast<unsigned long long>(dropped), path.c_str());
     }
 
     Json doc = Json::object();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.hh"
+#include "telemetry/trace_ctx.hh"
 #include "util/types.hh"
 
 namespace interf::telemetry
@@ -38,6 +39,15 @@ struct SpanRecord
     u64 startNs = 0;  ///< Relative to the telemetry epoch.
     u64 wallNs = 0;
     u64 threadNs = 0; ///< Thread CPU time consumed inside the span.
+
+    /** @{ Causal ids: process-unique span id, the id of the enclosing
+     *  (or enqueuing, across a thread hop) span, and the campaign/
+     *  batch/candidate context active when the span closed. All zero
+     *  when no context was installed. */
+    u64 spanId = 0;
+    u64 parentSpanId = 0;
+    TraceContext ctx;
+    /** @} */
 };
 
 /** Aggregated totals for one span name. */
@@ -53,8 +63,15 @@ struct PhaseStat
 class ScopedSpan
 {
   public:
-    /** @param name Must be a string literal (kept by pointer). */
-    explicit ScopedSpan(const char *name);
+    /** @param name Must be a string literal (kept by pointer).
+     *  @param announce Write a flight::EventType::SpanOpen marker into
+     *  the flight recorder at construction. Finished spans reach the
+     *  flight log only at close, so a long-lived phase span that is
+     *  still open when the process is killed would otherwise leave its
+     *  recorded children pointing at an id absent from the log. Use
+     *  INTERF_SPAN_PHASE for such spans; they are rare (per phase, not
+     *  per layout), so the extra record is noise. */
+    explicit ScopedSpan(const char *name, bool announce = false);
     ~ScopedSpan();
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -64,6 +81,8 @@ class ScopedSpan
     const char *name_;
     u64 startNs_ = 0;
     u64 threadStartNs_ = 0;
+    u64 spanId_ = 0;
+    u64 savedActiveSpanId_ = 0; ///< Enclosing span on this thread.
     bool active_ = false;
 };
 
@@ -82,12 +101,21 @@ std::vector<PhaseStat> phaseStatsSince(const std::vector<PhaseStat> &base);
 /**
  * Export the span ring as Chrome trace-event JSON (atomic write):
  * complete ("X") events with microsecond timestamps plus thread-name
- * metadata for every thread telemetry has seen. Loadable in Perfetto.
+ * metadata for every thread telemetry has seen, plus flow ("s"/"f")
+ * events connecting each cross-thread span to the span that enqueued
+ * it — in Perfetto these render as arrows from campaign.measure to the
+ * workers' replay.batch slices. Warns (once per process) when ring
+ * overflow dropped spans, so a partial trace is never mistaken for a
+ * complete one.
  */
 void writeChromeTrace(const std::string &path);
 
 /** Spans dropped because the ring was full (oldest-overwritten). */
 u64 droppedSpans();
+
+/** Ring-overflow drops broken down by span name (sorted by name).
+ *  The same total as droppedSpans(); feeds manifests + interf_stats. */
+std::vector<std::pair<std::string, u64>> droppedSpansByName();
 
 /** Clear the ring and the aggregates (tests). */
 void clearSpans();
@@ -101,5 +129,14 @@ void clearSpans();
 #define INTERF_SPAN(name)                                                   \
     ::interf::telemetry::ScopedSpan INTERF_SPAN_CONCAT(interfSpan_,         \
                                                        __LINE__)(name)
+
+/** INTERF_SPAN for long-lived *phase* spans (a whole campaign, a
+ *  worker's batch loop, an optimizer search): additionally announces
+ *  the open into the flight recorder, so a SIGKILL mid-phase leaves a
+ *  log in which every child's parent id still resolves. */
+#define INTERF_SPAN_PHASE(name)                                             \
+    ::interf::telemetry::ScopedSpan INTERF_SPAN_CONCAT(interfSpan_,         \
+                                                       __LINE__)(name,     \
+                                                                 true)
 
 #endif // INTERF_TELEMETRY_SPAN_HH

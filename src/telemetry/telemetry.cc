@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "telemetry/metrics.hh"
+#include "telemetry/recorder.hh"
 #include "telemetry/span.hh"
 #include "util/logging.hh"
 
@@ -58,16 +59,24 @@ envSetting()
 void
 onLogMessage(LogLevel level, const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    if (level == LogLevel::Inform) {
-        ++g_logCapture.informs;
-        return;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        if (level == LogLevel::Inform) {
+            ++g_logCapture.informs;
+            return;
+        }
+        // Warnings (and the last words of fatal/panic) go to the
+        // manifest.
+        ++g_logCapture.warns;
+        g_logCapture.recent.push_back(msg);
+        while (g_logCapture.recent.size() > kRecentWarnings)
+            g_logCapture.recent.pop_front();
     }
-    // Warnings (and the last words of fatal/panic) go to the manifest.
-    ++g_logCapture.warns;
-    g_logCapture.recent.push_back(msg);
-    while (g_logCapture.recent.size() > kRecentWarnings)
-        g_logCapture.recent.pop_front();
+    // ... and into the flight log. A dying process flushes its last
+    // words synchronously so the recorder's tail explains the death.
+    recorder::recordLog(static_cast<u8>(level), msg);
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        recorder::flushNow();
 }
 
 struct EnvInit
@@ -127,6 +136,11 @@ setOutputDir(const std::string &dir)
         g_outputDir = dir;
     }
     enable();
+    // An output dir is the opt-in for durable observability: start the
+    // flight recorder next to the manifests/traces. No-op (with a
+    // warning from enable()) under the INTERF_TELEMETRY=0 hard-off.
+    if (enabled())
+        recorder::start(dir + "/flight");
 }
 
 std::string
@@ -229,12 +243,14 @@ logCapture()
 void
 resetForTest()
 {
+    recorder::stop(); // Seals + detaches any flight log of the test.
     Registry::global().resetValues();
     clearSpans();
     std::lock_guard<std::mutex> lock(g_mutex);
     g_logCapture.warns = 0;
     g_logCapture.informs = 0;
     g_logCapture.recent.clear();
+    g_outputDir.clear();
 }
 
 } // namespace interf::telemetry

@@ -1,0 +1,108 @@
+#include "telemetry/trace_ctx.hh"
+
+#include <atomic>
+
+namespace interf::telemetry
+{
+
+namespace
+{
+
+/** Process-wide span id allocator. Ids only need to be unique within a
+ *  process lifetime (they name spans inside one flight log / trace
+ *  export), so a relaxed counter is enough; 0 is reserved for "none". */
+std::atomic<u64> g_nextSpanId{1};
+
+thread_local TraceContext t_ctx;
+thread_local u64 t_activeSpanId = 0;
+
+} // anonymous namespace
+
+namespace detail
+{
+
+TraceContext &
+threadContext()
+{
+    return t_ctx;
+}
+
+u64 &
+threadActiveSpanId()
+{
+    return t_activeSpanId;
+}
+
+} // namespace detail
+
+u64
+nextSpanId()
+{
+    return g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContext
+captureContext()
+{
+    if (!enabled())
+        return TraceContext{};
+    TraceContext ctx = t_ctx;
+    // The span open right now is the causal parent of whatever the
+    // capture is for (a task about to be enqueued): a worker restoring
+    // this context hands the id to its own spans' parentSpanId, which
+    // is what the Chrome-trace flow arrows connect.
+    if (t_activeSpanId != 0)
+        ctx.parentSpanId = t_activeSpanId;
+    return ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext &ctx)
+    : saved_(t_ctx), active_(true)
+{
+    t_ctx = ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(u64 campaign_id, u32 batch_index)
+{
+    if (!enabled())
+        return;
+    saved_ = t_ctx;
+    active_ = true;
+    t_ctx.campaignId = campaign_id;
+    t_ctx.batchIndex = batch_index;
+}
+
+ScopedTraceContext::ScopedTraceContext(u64 campaign_id, u32 batch_index,
+                                       u64 candidate_digest)
+{
+    if (!enabled())
+        return;
+    saved_ = t_ctx;
+    active_ = true;
+    t_ctx.campaignId = campaign_id;
+    t_ctx.batchIndex = batch_index;
+    t_ctx.candidateDigest = candidate_digest;
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    if (active_)
+        t_ctx = saved_;
+}
+
+ScopedCandidateDigest::ScopedCandidateDigest(u64 digest)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    saved_ = t_ctx.candidateDigest;
+    t_ctx.candidateDigest = digest;
+}
+
+ScopedCandidateDigest::~ScopedCandidateDigest()
+{
+    if (active_)
+        t_ctx.candidateDigest = saved_;
+}
+
+} // namespace interf::telemetry

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Causal span context: who caused this work, across thread hops.
+ *
+ * A span recorded on a pool worker is useless for attribution unless it
+ * can answer "which campaign / which batch / which candidate put me
+ * here". TraceContext is that answer: a small per-thread value holding
+ * the campaign id (store key / fitness base key), the batch index, the
+ * candidate digest and the id of the span that was open when the work
+ * was *enqueued*. ThreadPool::submit captures the submitting thread's
+ * context and restores it around the task body on the worker, so every
+ * span a worker records carries the causal ids of its submitter — and
+ * writeChromeTrace can emit Perfetto flow arrows connecting
+ * campaign.measure on the main thread to replay.batch on the workers.
+ *
+ * Everything here is observe-only and follows the telemetry invariants:
+ * reading the context when telemetry is disabled is one relaxed load
+ * (the capture helpers return an empty context without touching the
+ * thread-local), and no context value ever feeds back into a
+ * measurement.
+ */
+
+#ifndef INTERF_TELEMETRY_TRACE_CTX_HH
+#define INTERF_TELEMETRY_TRACE_CTX_HH
+
+#include "telemetry/telemetry.hh"
+#include "util/types.hh"
+
+namespace interf::telemetry
+{
+
+/** Causal ids carried across ThreadPool::submit boundaries. */
+struct TraceContext
+{
+    u64 campaignId = 0;      ///< Campaign store key / fitness base key.
+    u32 batchIndex = 0;      ///< Batch ordinal within the campaign.
+    u64 candidateDigest = 0; ///< Layout seed / candidate content digest.
+    u64 parentSpanId = 0;    ///< Innermost span open at capture time.
+
+    bool empty() const
+    {
+        return campaignId == 0 && batchIndex == 0 &&
+               candidateDigest == 0 && parentSpanId == 0;
+    }
+};
+
+namespace detail
+{
+/** The calling thread's live context (no enabled() gate; prefer the
+ *  capture helpers below on any path that can run with telemetry off). */
+TraceContext &threadContext();
+
+/** Innermost open span id on the calling thread (0 = none). Maintained
+ *  by ScopedSpan; read by captureContext() so cross-thread children can
+ *  name their enqueuing span as parent. */
+u64 &threadActiveSpanId();
+} // namespace detail
+
+/** Allocate a fresh process-unique span id (never 0). */
+u64 nextSpanId();
+
+/**
+ * Snapshot the calling thread's context for a thread hop, folding in
+ * the innermost open span as parent. Returns an empty context (and does
+ * nothing else) when telemetry is disabled — one relaxed load.
+ */
+TraceContext captureContext();
+
+/**
+ * RAII: install @p ctx (or fields of it) on the calling thread,
+ * restoring the previous context on destruction. Used by ThreadPool
+ * workers to adopt the submitter's context, and by campaigns/optimizers
+ * to stamp campaign/batch/candidate ids around their work. Cheap
+ * (two thread-local copies); safe to use unconditionally, but the
+ * convenience constructors no-op when telemetry is disabled so hot
+ * paths keep the one-relaxed-load property.
+ */
+class ScopedTraceContext
+{
+  public:
+    /** Install a full captured context (thread-hop restore). */
+    explicit ScopedTraceContext(const TraceContext &ctx);
+
+    /** Overlay campaign/batch onto the current context. */
+    ScopedTraceContext(u64 campaign_id, u32 batch_index);
+
+    /** Overlay campaign/batch/candidate onto the current context. */
+    ScopedTraceContext(u64 campaign_id, u32 batch_index,
+                       u64 candidate_digest);
+
+    ~ScopedTraceContext();
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    TraceContext saved_;
+    bool active_ = false;
+};
+
+/**
+ * RAII: overlay only the candidate digest (layout seed / candidate
+ * content hash) on the current context, keeping campaign/batch ids
+ * intact — for the inner measurement loops, where the enclosing
+ * campaign context is already installed. No-op when telemetry is
+ * disabled (one relaxed load).
+ */
+class ScopedCandidateDigest
+{
+  public:
+    explicit ScopedCandidateDigest(u64 digest);
+    ~ScopedCandidateDigest();
+
+    ScopedCandidateDigest(const ScopedCandidateDigest &) = delete;
+    ScopedCandidateDigest &operator=(const ScopedCandidateDigest &) =
+        delete;
+
+  private:
+    u64 saved_ = 0;
+    bool active_ = false;
+};
+
+} // namespace interf::telemetry
+
+#endif // INTERF_TELEMETRY_TRACE_CTX_HH

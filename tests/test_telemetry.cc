@@ -17,6 +17,7 @@
 #include "store/serialize.hh"
 #include "telemetry/manifest.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/progress.hh"
 #include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "util/json.hh"
@@ -67,10 +68,12 @@ quickConfig(u32 jobs)
 }
 
 u64
-campaignChecksum(u32 jobs)
+campaignChecksum(u32 jobs, u32 batch = 4)
 {
+    auto cfg = quickConfig(jobs);
+    cfg.batchLanes = batch;
     interferometry::Campaign camp(workloads::defaultProfile("camp"),
-                                  quickConfig(jobs));
+                                  cfg);
     return store::samplesChecksum(camp.measureLayouts(0, 6));
 }
 
@@ -87,6 +90,36 @@ TEST(TelemetryDeterminism, SamplesIdenticalOnOrOff)
         EXPECT_EQ(campaignChecksum(4), off_parallel);
     }
     EXPECT_EQ(off_parallel, off_serial);
+}
+
+/** PR 10's flavor of the invariant: with the flight recorder writing
+ *  and a progress observer subscribed, samples are still byte-identical
+ *  to the telemetry-off run at every jobs x batch combination. */
+TEST(TelemetryDeterminism, SamplesIdenticalWithRecorderAndProgressOn)
+{
+    telemetry::disable();
+    const u32 jobs_axis[] = {1, 4};
+    const u32 batch_axis[] = {1, 4};
+    u64 off[2][2];
+    for (int j = 0; j < 2; ++j)
+        for (int b = 0; b < 2; ++b)
+            off[j][b] = campaignChecksum(jobs_axis[j], batch_axis[b]);
+
+    const std::string dir = tempDir("recorder-det");
+    {
+        TelemetryOn on;
+        telemetry::setOutputDir(dir); // Starts the flight recorder.
+        auto prev = telemetry::setProgressObserver(
+            [](const telemetry::ProgressEvent &) {});
+        for (int j = 0; j < 2; ++j)
+            for (int b = 0; b < 2; ++b)
+                EXPECT_EQ(campaignChecksum(jobs_axis[j], batch_axis[b]),
+                          off[j][b])
+                    << "jobs " << jobs_axis[j] << " batch "
+                    << batch_axis[b];
+        telemetry::setProgressObserver(std::move(prev));
+    } // TelemetryOn teardown stops + seals the recorder.
+    std::filesystem::remove_all(dir);
 }
 
 TEST(TelemetryCore, DisabledByDefaultAndRecordingNoOps)
@@ -202,9 +235,91 @@ TEST(TelemetrySpans, PhaseStatsSinceReportsOnlyTheDelta)
     EXPECT_EQ(b_count, 1u);
 }
 
+/** The per-name aggregates behind phaseStats() are monotonic: pushing
+ *  more spans than the ring holds overwrites raw records (counted, by
+ *  name) but never loses a count from the aggregate. */
+TEST(TelemetrySpans, PhaseStatsSurviveRingWrapAround)
+{
+    TelemetryOn on;
+    auto base = telemetry::phaseStats();
+    ASSERT_EQ(telemetry::droppedSpans(), 0u);
+    constexpr u64 kRing = 1 << 16; // span.cc's kRingCapacity.
+    constexpr u64 kSpans = kRing + 5000;
+    for (u64 i = 0; i < kSpans; ++i) {
+        telemetry::ScopedSpan span("test.wrap");
+    }
+    u64 wrap_count = 0;
+    for (const auto &p : telemetry::phaseStatsSince(base))
+        if (p.name == "test.wrap")
+            wrap_count = p.count;
+    EXPECT_EQ(wrap_count, kSpans);
+    // The ring started empty, so every overwritten record was ours.
+    EXPECT_EQ(telemetry::droppedSpans(), kSpans - kRing);
+    u64 dropped_by_name = 0;
+    for (const auto &[name, count] : telemetry::droppedSpansByName())
+        if (name == "test.wrap")
+            dropped_by_name = count;
+    EXPECT_EQ(dropped_by_name, kSpans - kRing);
+}
+
+/** Spans closed concurrently on pool workers all land in the ring with
+ *  unique ids, and each one's parent is the span that enqueued the
+ *  work on the main thread — the causal chain the flow arrows draw. */
+TEST(TelemetrySpans, ConcurrentPoolWorkerSpansRecordCausalIds)
+{
+    TelemetryOn on;
+    auto base = telemetry::phaseStats();
+    {
+        telemetry::ScopedSpan parent("test.enqueue_parent");
+        exec::ThreadPool pool(4);
+        exec::parallelFor(pool, 512, [](size_t) {
+            telemetry::ScopedSpan s("test.worker_span");
+        });
+    }
+    u64 workers = 0, parents = 0;
+    for (const auto &p : telemetry::phaseStatsSince(base)) {
+        if (p.name == "test.worker_span")
+            workers = p.count;
+        if (p.name == "test.enqueue_parent")
+            parents = p.count;
+    }
+    EXPECT_EQ(workers, 512u);
+    EXPECT_EQ(parents, 1u);
+
+    const std::string dir = tempDir("causal");
+    const std::string path = dir + "/trace.json";
+    telemetry::writeChromeTrace(path);
+    Json doc;
+    std::string error;
+    ASSERT_TRUE(Json::parseFile(path, doc, &error)) << error;
+    u64 parent_id = 0;
+    for (const auto &ev : doc.get("traceEvents").elements())
+        if (ev.get("ph").asString() == "X" &&
+            ev.get("name").asString() == "test.enqueue_parent")
+            parent_id = ev.get("args").get("span_id").asU64();
+    ASSERT_NE(parent_id, 0u);
+    std::set<u64> worker_ids;
+    size_t flow_starts = 0;
+    for (const auto &ev : doc.get("traceEvents").elements()) {
+        const std::string ph = ev.get("ph").asString();
+        if (ph == "s")
+            ++flow_starts;
+        if (ph != "X" ||
+            ev.get("name").asString() != "test.worker_span")
+            continue;
+        worker_ids.insert(ev.get("args").get("span_id").asU64());
+        EXPECT_EQ(ev.get("args").get("parent_span_id").asU64(),
+                  parent_id);
+    }
+    EXPECT_EQ(worker_ids.size(), 512u); // All distinct, all in the ring.
+    EXPECT_GE(flow_starts, 1u); // Cross-thread arrows were emitted.
+    std::filesystem::remove_all(dir);
+}
+
 /** The exported trace must be valid Chrome trace-event JSON: "M"
- *  metadata naming every thread plus "X" complete events with ts/dur,
- *  all on pid 1 — exactly what Perfetto loads. */
+ *  metadata naming every thread plus "X" complete events with ts/dur
+ *  and "s"/"f" flow arrows, all on pid 1 — exactly what Perfetto
+ *  loads. */
 TEST(TelemetryTrace, ChromeTraceExportIsSchemaValid)
 {
     TelemetryOn on;
@@ -240,6 +355,12 @@ TEST(TelemetryTrace, ChromeTraceExportIsSchemaValid)
             if (ev.get("name").asString() == "thread_name")
                 thread_names.insert(
                     ev.get("args").get("name").asString());
+            continue;
+        }
+        if (ph == "s" || ph == "f") {
+            EXPECT_EQ(ev.get("cat").asString(), "flow");
+            EXPECT_TRUE(ev.get("id").isNumber());
+            EXPECT_TRUE(ev.get("ts").isNumber());
             continue;
         }
         ASSERT_EQ(ph, "X");
@@ -279,6 +400,8 @@ TEST(TelemetryManifest, RoundTripsThroughJson)
     m.logWarns = 3;
     m.logInforms = 9;
     m.recentWarnings = {"warning one", "warning two"};
+    m.spansDropped = 7;
+    m.spansDroppedByName = {{"replay.batch", 4}, {"store.commit", 3}};
     m.regressionRan = true;
     m.regressionSignificant = true;
     m.enoughMpkiRange = true;
@@ -310,6 +433,8 @@ TEST(TelemetryManifest, RoundTripsThroughJson)
     EXPECT_EQ(back.verifyWarnings, m.verifyWarnings);
     EXPECT_EQ(back.logWarns, m.logWarns);
     EXPECT_EQ(back.recentWarnings, m.recentWarnings);
+    EXPECT_EQ(back.spansDropped, 7u);
+    EXPECT_EQ(back.spansDroppedByName, m.spansDroppedByName);
     EXPECT_TRUE(back.regressionRan);
     EXPECT_TRUE(back.regressionSignificant);
     EXPECT_DOUBLE_EQ(back.slope, m.slope);

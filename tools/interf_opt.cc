@@ -26,6 +26,7 @@
 #include "opt/optimizer.hh"
 #include "telemetry/manifest.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/progress.hh"
 #include "telemetry/span.hh"
 #include "telemetry/telemetry.hh"
 #include "util/digest.hh"
@@ -134,11 +135,26 @@ main(int argc, char **argv)
                    "cache); empty disables persistence");
     opts.addString("out", "", "write the trajectory JSON here");
     opts.addString("manifest", "", "write a run manifest JSON here");
+    opts.addString("telemetry-out", "",
+                   "enable telemetry and write the Perfetto-loadable "
+                   "trace (with flow events), run artifacts and the "
+                   "crash-safe flight log into this directory");
+    opts.addFlag("progress",
+                 "live progress ticker on stderr (TTY only; implies "
+                 "telemetry)");
     opts.addFlag("json", "print the result summary as JSON on stdout");
     opts.addFlag("smoke",
                  "CI-sized preset: 150k instructions, budget 16, "
                  "baseline 16");
     opts.parse(argc, argv);
+
+    const std::string telemetry_dir = opts.getString("telemetry-out");
+    if (!telemetry_dir.empty())
+        telemetry::setOutputDir(telemetry_dir);
+    else if (opts.getFlag("progress"))
+        telemetry::enable();
+    if (opts.getFlag("progress"))
+        telemetry::installStderrProgressTicker();
 
     const u64 start_ns = telemetry::nowNs();
     const auto phase_base = telemetry::phaseStats();
@@ -189,6 +205,9 @@ main(int argc, char **argv)
     const std::string out_path = opts.getString("out");
     if (!out_path.empty())
         telemetry::writeFileAtomic(out_path, res.trajectory.dump());
+
+    if (!telemetry_dir.empty() && telemetry::enabled())
+        telemetry::writeChromeTrace(telemetry_dir + "/trace.json");
 
     const std::string manifest_path = opts.getString("manifest");
     if (!manifest_path.empty()) {

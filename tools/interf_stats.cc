@@ -61,6 +61,14 @@ printManifest(const RunManifest &m)
                 static_cast<unsigned long long>(m.logInforms));
     for (const auto &msg : m.recentWarnings)
         std::printf("    warn: %s\n", msg.c_str());
+    if (m.spansDropped > 0) {
+        std::printf("  spans        %llu dropped by ring overflow "
+                    "(trace is incomplete)\n",
+                    static_cast<unsigned long long>(m.spansDropped));
+        for (const auto &[name, count] : m.spansDroppedByName)
+            std::printf("    %-20s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(count));
+    }
     if (m.regressionRan) {
         std::printf("  regression   cpi = %.6f * mpki + %.6f  (r2 %.4f)\n",
                     m.slope, m.intercept, m.r2);

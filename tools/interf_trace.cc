@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Read a flight-recorder log from the command line.
+ *
+ * Front-end to telemetry/recorder.hh's reader: parses every segment of
+ * a flight directory (sealed segments verify record by record; the
+ * active segment parses up to the first torn record, which is the
+ * expected shape after a SIGKILL) and prints the events as text
+ * (default), as one JSON document (--json, schema
+ * docs/flight.schema.json), or converted to Chrome trace-event JSON
+ * with cross-thread flow arrows (--chrome PATH, loadable in Perfetto).
+ * The exit code is the machine-readable verdict, interf_verify-style:
+ *
+ *   0  log read cleanly (a torn active tail is clean: that is what a
+ *      killed process leaves, and everything before it is intact);
+ *   1  corruption diagnostics (a sealed segment failing its checksums)
+ *      or no flight log at the given directory;
+ *   2  usage error.
+ *
+ * Examples:
+ *   interf_trace --dir /tmp/telemetry            # finds /tmp/telemetry/flight
+ *   interf_trace --dir /tmp/telemetry --tail 20
+ *   interf_trace --dir /tmp/telemetry --json | jq .events
+ *   interf_trace --dir /tmp/telemetry --chrome /tmp/flight-trace.json
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/recorder.hh"
+#include "telemetry/telemetry.hh"
+#include "util/digest.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+using namespace interf;
+using namespace interf::telemetry;
+
+namespace
+{
+
+constexpr int kExitClean = 0;
+constexpr int kExitDiagnostics = 1;
+constexpr int kExitUsage = 2;
+
+int
+usageError(const char *msg)
+{
+    std::fprintf(stderr, "interf_trace: %s\n", msg);
+    return kExitUsage;
+}
+
+const char *
+eventTypeName(flight::EventType type)
+{
+    switch (type) {
+    case flight::EventType::Span:
+        return "span";
+    case flight::EventType::Log:
+        return "log";
+    case flight::EventType::Progress:
+        return "progress";
+    case flight::EventType::SpanOpen:
+        return "span_open";
+    }
+    return "unknown";
+}
+
+const char *
+logLevelName(u8 level)
+{
+    switch (static_cast<LogLevel>(level)) {
+    case LogLevel::Inform:
+        return "inform";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Fatal:
+        return "fatal";
+    case LogLevel::Panic:
+        return "panic";
+    }
+    return "unknown";
+}
+
+void
+printText(const std::vector<flight::Event> &events)
+{
+    for (const auto &ev : events) {
+        const double ts = ev.tsNs / 1e9;
+        switch (ev.type) {
+        case flight::EventType::Span:
+        case flight::EventType::SpanOpen:
+            if (ev.type == flight::EventType::Span)
+                std::printf("+%010.6fs  span      %-24s tid=%u "
+                            "wall=%.3fms span=%llu",
+                            ts, ev.name.c_str(), ev.tid, ev.wallNs / 1e6,
+                            (unsigned long long)ev.spanId);
+            else
+                std::printf("+%010.6fs  open      %-24s tid=%u "
+                            "span=%llu",
+                            ts, ev.name.c_str(), ev.tid,
+                            (unsigned long long)ev.spanId);
+            if (ev.parentSpanId != 0)
+                std::printf(" parent=%llu",
+                            (unsigned long long)ev.parentSpanId);
+            if (ev.campaignId != 0)
+                std::printf(" campaign=%s batch=%u",
+                            digestHex(ev.campaignId).c_str(),
+                            ev.batchIndex);
+            if (ev.candidateDigest != 0)
+                std::printf(" candidate=%s",
+                            digestHex(ev.candidateDigest).c_str());
+            std::printf("\n");
+            break;
+        case flight::EventType::Log:
+            std::printf("+%010.6fs  log       %s: %s\n", ts,
+                        logLevelName(ev.logLevel), ev.name.c_str());
+            break;
+        case flight::EventType::Progress:
+            std::printf("+%010.6fs  progress  %s %llu", ts,
+                        ev.name.c_str(), (unsigned long long)ev.done);
+            if (ev.total > 0)
+                std::printf("/%llu", (unsigned long long)ev.total);
+            std::printf(" (%llu cached, %llu fresh)",
+                        (unsigned long long)ev.cached,
+                        (unsigned long long)ev.fresh);
+            if (ev.ratePerSec > 0)
+                std::printf(" %.1f/s", ev.ratePerSec);
+            if (ev.etaSec > 0)
+                std::printf(" eta %.0fs", ev.etaSec);
+            std::printf("\n");
+            break;
+        }
+    }
+}
+
+Json
+toJsonDoc(const flight::ReadResult &rr,
+          const std::vector<flight::Event> &events)
+{
+    Json doc = Json::object();
+    doc.set("schema", "interf-flight-1");
+    doc.set("schema_version", flight::kFlightVersion);
+    doc.set("segments", rr.segments);
+    doc.set("torn_tail", rr.tornTail);
+    Json errors = Json::array();
+    for (const auto &e : rr.errors)
+        errors.push(e);
+    doc.set("errors", std::move(errors));
+    Json evs = Json::array();
+    for (const auto &ev : events) {
+        Json e = Json::object();
+        e.set("type", eventTypeName(ev.type));
+        e.set("ts_ns", ev.tsNs);
+        switch (ev.type) {
+        case flight::EventType::Span:
+        case flight::EventType::SpanOpen:
+            e.set("name", ev.name);
+            e.set("tid", ev.tid);
+            e.set("wall_ns", ev.wallNs);
+            e.set("thread_ns", ev.threadNs);
+            e.set("span_id", ev.spanId);
+            e.set("parent_span_id", ev.parentSpanId);
+            e.set("campaign_id", digestHex(ev.campaignId));
+            e.set("batch_index", ev.batchIndex);
+            e.set("candidate_digest", digestHex(ev.candidateDigest));
+            break;
+        case flight::EventType::Log:
+            e.set("level", logLevelName(ev.logLevel));
+            e.set("message", ev.name);
+            break;
+        case flight::EventType::Progress:
+            e.set("task", ev.name);
+            e.set("done", ev.done);
+            e.set("total", ev.total);
+            e.set("cached", ev.cached);
+            e.set("fresh", ev.fresh);
+            e.set("rate_per_sec", ev.ratePerSec);
+            e.set("eta_sec", ev.etaSec);
+            break;
+        }
+        evs.push(std::move(e));
+    }
+    doc.set("events", std::move(evs));
+    return doc;
+}
+
+/** Convert span events to Chrome trace-event JSON with flow arrows —
+ *  the post-mortem twin of telemetry::writeChromeTrace. */
+void
+writeChrome(const std::string &path,
+            const std::vector<flight::Event> &events)
+{
+    // Open markers resolve parents whose close never reached the log
+    // (killed mid-phase); they share tid and start ts with the finished
+    // record, so either works as a flow-arrow source.
+    std::unordered_map<u64, const flight::Event *> by_id;
+    for (const auto &ev : events)
+        if ((ev.type == flight::EventType::Span ||
+             ev.type == flight::EventType::SpanOpen) &&
+            ev.spanId != 0)
+            by_id.emplace(ev.spanId, &ev);
+
+    Json out = Json::array();
+    {
+        Json meta = Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", 1);
+        meta.set("tid", 0);
+        Json args = Json::object();
+        args.set("name", "interferometry (flight log)");
+        meta.set("args", std::move(args));
+        out.push(std::move(meta));
+    }
+    for (const auto &ev : events) {
+        if (ev.type != flight::EventType::Span)
+            continue;
+        Json x = Json::object();
+        x.set("name", ev.name);
+        x.set("ph", "X");
+        x.set("pid", 1);
+        x.set("tid", ev.tid);
+        x.set("ts", ev.tsNs / 1000); // microseconds
+        x.set("dur", ev.wallNs / 1000);
+        Json args = Json::object();
+        args.set("thread_us", ev.threadNs / 1000);
+        args.set("span_id", ev.spanId);
+        if (ev.parentSpanId != 0)
+            args.set("parent_span_id", ev.parentSpanId);
+        if (ev.campaignId != 0) {
+            args.set("campaign_id", digestHex(ev.campaignId));
+            args.set("batch_index", ev.batchIndex);
+        }
+        if (ev.candidateDigest != 0)
+            args.set("candidate_digest", digestHex(ev.candidateDigest));
+        x.set("args", std::move(args));
+        out.push(std::move(x));
+        auto parent = ev.parentSpanId != 0 ? by_id.find(ev.parentSpanId)
+                                           : by_id.end();
+        if (parent == by_id.end() || parent->second->tid == ev.tid)
+            continue;
+        Json flow_s = Json::object();
+        flow_s.set("name", "enqueue");
+        flow_s.set("cat", "flow");
+        flow_s.set("ph", "s");
+        flow_s.set("id", ev.spanId);
+        flow_s.set("pid", 1);
+        flow_s.set("tid", parent->second->tid);
+        flow_s.set("ts", parent->second->tsNs / 1000);
+        out.push(std::move(flow_s));
+        Json flow_f = Json::object();
+        flow_f.set("name", "enqueue");
+        flow_f.set("cat", "flow");
+        flow_f.set("ph", "f");
+        flow_f.set("bp", "e");
+        flow_f.set("id", ev.spanId);
+        flow_f.set("pid", 1);
+        flow_f.set("tid", ev.tid);
+        flow_f.set("ts", ev.tsNs / 1000);
+        out.push(std::move(flow_f));
+    }
+    Json doc = Json::object();
+    doc.set("displayTimeUnit", "ms");
+    doc.set("traceEvents", std::move(out));
+    writeFileAtomic(path, doc.dump(1) + "\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("interf_trace",
+                      "read a crash-safe flight-recorder log: tail it, "
+                      "dump it as JSON, or convert it for Perfetto");
+    opts.addString("dir", "",
+                   "flight-log directory (a .../flight dir, or a "
+                   "--telemetry-out dir containing one)");
+    opts.addInt("tail", 0, "print only the last N events (0 = all)");
+    opts.addInt("since", 0,
+                "drop events before this many nanoseconds after the "
+                "recorded process's telemetry epoch");
+    opts.addFlag("json", "print one JSON document on stdout "
+                         "(docs/flight.schema.json)");
+    opts.addString("chrome", "",
+                   "also write the span events as Chrome trace-event "
+                   "JSON (with flow arrows) to this path");
+    opts.parse(argc, argv);
+
+    const std::string dir_opt = opts.getString("dir");
+    const i64 tail = opts.getInt("tail");
+    const i64 since = opts.getInt("since");
+    if (dir_opt.empty())
+        return usageError("--dir is required (see --help)");
+    if (tail < 0 || since < 0)
+        return usageError("--tail and --since must be >= 0");
+
+    // Accept either the flight dir itself or its parent telemetry-out
+    // dir, so `interf_trace --dir $TELEMETRY_OUT` just works.
+    std::string dir = dir_opt;
+    flight::ReadResult rr;
+    if (!flight::readDir(dir, rr)) {
+        const std::string nested = dir_opt + "/flight";
+        rr = flight::ReadResult();
+        if (!std::filesystem::is_directory(nested) ||
+            !flight::readDir(nested, rr)) {
+            std::fprintf(stderr,
+                         "interf_trace: no flight log under '%s'\n",
+                         dir_opt.c_str());
+            return kExitDiagnostics;
+        }
+        dir = nested;
+    }
+
+    std::vector<flight::Event> events = rr.events;
+    if (since > 0) {
+        events.erase(std::remove_if(events.begin(), events.end(),
+                                    [since](const flight::Event &e) {
+                                        return e.tsNs <
+                                               static_cast<u64>(since);
+                                    }),
+                     events.end());
+    }
+    if (tail > 0 && events.size() > static_cast<size_t>(tail))
+        events.erase(events.begin(),
+                     events.end() - static_cast<size_t>(tail));
+
+    if (!opts.getString("chrome").empty())
+        writeChrome(opts.getString("chrome"), events);
+
+    if (opts.getFlag("json")) {
+        std::printf("%s\n", toJsonDoc(rr, events).dump(1).c_str());
+    } else {
+        printText(events);
+        std::printf("-- %u segment%s, %zu event%s", rr.segments,
+                    rr.segments == 1 ? "" : "s", events.size(),
+                    events.size() == 1 ? "" : "s");
+        if (rr.tornTail)
+            std::printf(", torn active tail (expected after a kill)");
+        std::printf("\n");
+        for (const auto &err : rr.errors)
+            std::fprintf(stderr, "interf_trace: %s: %s\n", dir.c_str(),
+                         err.c_str());
+    }
+    return rr.errors.empty() ? kExitClean : kExitDiagnostics;
+}

@@ -94,6 +94,45 @@ def test_non_object_report_exits_two():
         assert "must be a JSON object" in r.stderr
 
 
+def test_verdict_json_records_each_row():
+    with tempfile.TemporaryDirectory() as d:
+        base = write_json(d, "base.json",
+                          report([("replay", 100.0), ("opt", 50.0)]))
+        cur = write_json(d, "cur.json",
+                         report([("replay", 40.0), ("opt", 51.0)]))
+        verdict_path = os.path.join(d, "verdict.json")
+        r = run(base, cur, "--verdict-json", verdict_path)
+        assert r.returncode == 0, r.stderr
+        with open(verdict_path) as f:
+            v = json.load(f)
+        assert v["schema"] == "interf-bench-verdict-1"
+        assert v["shared_rows"] == 2
+        assert v["regressed_rows"] == 1
+        rows = {row["benchmark"]: row for row in v["rows"]}
+        assert rows["replay"]["verdict"] == "REGRESSED"
+        assert rows["replay"]["baseline"] == 100.0
+        assert rows["replay"]["current"] == 40.0
+        assert abs(rows["replay"]["delta"] - (-0.6)) < 1e-9
+        assert rows["opt"]["verdict"] == "ok"
+
+
+def test_history_append_accumulates_lines():
+    with tempfile.TemporaryDirectory() as d:
+        base = write_json(d, "base.json", report([("replay", 100.0)]))
+        cur = write_json(d, "cur.json", report([("replay", 99.0)]))
+        hist = os.path.join(d, "hist.jsonl")
+        for sha in ("aaa", "bbb"):
+            r = run(base, cur, "--history-append", hist,
+                    "--run-id", sha)
+            assert r.returncode == 0, r.stderr
+        with open(hist) as f:
+            lines = [json.loads(ln) for ln in f if ln.strip()]
+        assert [ln["run_id"] for ln in lines] == ["aaa", "bbb"]
+        assert lines[0]["rows"][0]["benchmark"] == "replay"
+        assert lines[0]["rows"][0]["layouts_per_sec"] == 99.0
+        assert "utc" in lines[0]
+
+
 def test_no_common_rows_soft_warns():
     with tempfile.TemporaryDirectory() as d:
         base = write_json(d, "base.json", report([("a", 1.0)]))
